@@ -1,0 +1,25 @@
+"""A1 — ablations of the controller's design choices (DESIGN.md §6)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.experiments.report import banner, format_table
+
+
+def test_ablations(benchmark, config, emit):
+    data = run_once(benchmark, lambda: ablations.run_ablations(config))
+    chunks = [banner("Ablations: controller design choices")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("ablations", "\n".join(chunks))
+
+    for name, rows in data.items():
+        # every variant still terminates and does bounded work
+        for r in rows:
+            assert r["iterations"] > 0
+            assert r["relaxations"] > 0
+
+    # tracking quality is only a meaningful yardstick on the road
+    # network (wiki's bursts defeat every variant at bench scale)
+    cal = {r["variant"]: r for r in data["cal"]}
+    assert cal["full"]["tracking err"] < 0.5

@@ -1,0 +1,22 @@
+"""A3 — controller transient dynamics (supplement to Figure 5)."""
+
+from conftest import run_once
+
+from repro.experiments import dynamics
+from repro.experiments.report import banner, format_table
+
+
+def test_controller_dynamics(benchmark, config, emit):
+    data = run_once(benchmark, lambda: dynamics.run_dynamics(config))
+    chunks = [banner("Controller transient dynamics")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("dynamics", "\n".join(chunks))
+
+    # on the road network control must engage early: the parallelism
+    # band is entered in a small fraction of the run, and the learned
+    # degree settles almost immediately
+    for row in data["cal"]:
+        assert row["par entry"] < 0.2 * row["iterations"], row
+        assert row["d settle"] < 0.2 * row["iterations"], row
+        assert row["steady err"] < 0.3, row

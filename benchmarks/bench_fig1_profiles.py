@@ -1,0 +1,29 @@
+"""F1 — regenerate Figure 1 (concurrency profiles + density insets)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig1
+from repro.experiments.report import banner, format_series, format_table
+
+
+def test_fig1_profiles(benchmark, config, emit):
+    res = run_once(benchmark, lambda: fig1.run_fig1(config, dataset="wiki"))
+    text = "\n".join(
+        [
+            banner("Figure 1: concurrency profiles (wiki)"),
+            format_series("(a) baseline X^(2)", res.baseline.series),
+            format_series("(b) self-tuning X^(2)", res.selftuning.series),
+            "",
+            format_table(res.comparison_rows()),
+            "",
+            "density of (a): "
+            + np.array2string(res.baseline.density, precision=3),
+            "density of (b): "
+            + np.array2string(res.selftuning.density, precision=3),
+        ]
+    )
+    emit("fig1_profiles", text)
+    # the paper's claim: lower variability, smaller dynamic range
+    assert res.selftuning.summary.cv < res.baseline.summary.cv
+    assert res.selftuning.dynamic_range <= res.baseline.dynamic_range

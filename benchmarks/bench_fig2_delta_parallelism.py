@@ -1,0 +1,21 @@
+"""F2 — regenerate Figure 2 (delta versus average parallelism)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+from repro.experiments.report import banner, format_table
+
+
+def test_fig2_delta_vs_parallelism(benchmark, config, emit):
+    data = run_once(benchmark, lambda: fig2.run_fig2(config))
+    chunks = [banner("Figure 2: delta versus parallelism")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("fig2_delta_parallelism", "\n".join(chunks))
+
+    for name, rows in data.items():
+        pars = [r["avg parallelism"] for r in rows]
+        # parallelism grows with delta (the figure's monotone trend)
+        assert pars[-1] > 1.5 * pars[0], name
+        iters = [r["iterations"] for r in rows]
+        assert iters[-1] < iters[0], name

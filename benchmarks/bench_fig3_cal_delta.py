@@ -1,0 +1,30 @@
+"""F3 — regenerate Figure 3 (Cal performance versus delta)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+from repro.experiments.report import banner, format_series, format_table
+
+
+def test_fig3_cal_performance_vs_delta(benchmark, config, emit):
+    res = run_once(benchmark, lambda: fig3.run_fig3(config))
+    chunks = [
+        banner("Figure 3: Cal performance versus delta"),
+        format_table(res.rows),
+        "",
+    ]
+    chunks += [
+        format_series(f"frontier {label}", series)
+        for label, series in res.series.items()
+    ]
+    emit("fig3_cal_delta", "\n".join(chunks))
+
+    times = [r["sim time (ms)"] for r in res.rows]
+    relax = [r["relaxations"] for r in res.rows]
+    iters = [r["iterations"] for r in res.rows]
+    # left side of the U: tiny delta is slow (too many iterations)
+    assert times[0] > min(times)
+    # iterations fall monotonically-ish as delta grows
+    assert iters[-1] < iters[0]
+    # redundant work grows with delta (the energy cost of oversizing it)
+    assert relax[-1] > relax[0]

@@ -1,0 +1,26 @@
+"""F5 — regenerate Figure 5 (efficacy of parallelism control)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+from repro.experiments.report import banner, format_table
+
+
+def test_fig5_setpoint_control(benchmark, config, emit):
+    rows = run_once(benchmark, lambda: fig5.run_fig5(config, dataset="cal"))
+    emit(
+        "fig5_setpoint_control",
+        banner("Figure 5: efficacy of parallelism control (cal)")
+        + "\n"
+        + format_table([r.as_row() for r in rows]),
+    )
+
+    baseline, tuned = rows[0], rows[1:]
+    assert baseline.setpoint is None
+    for r in tuned:
+        # the controller pins the median near P...
+        assert 0.5 * r.setpoint <= r.summary.median <= 1.6 * r.setpoint
+        # ...with meaningful mass close to it
+        assert r.mass_near_target > 0.4
+    # and the baseline's spread exceeds the best-controlled spread
+    assert min(r.summary.cv for r in tuned) < baseline.summary.cv

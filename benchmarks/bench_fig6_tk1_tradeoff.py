@@ -1,0 +1,36 @@
+"""F6 — regenerate Figure 6 (TK1 speedup versus relative power)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+from repro.experiments.report import banner, format_table
+
+
+def test_fig6_tk1_tradeoff(benchmark, config, emit):
+    data = run_once(benchmark, lambda: fig6.run_fig6(config))
+    chunks = [banner("Figure 6: performance versus power (TK1)")]
+    for name, points in data.items():
+        chunks += [f"-- {name} --", format_table([p.as_row() for p in points])]
+    emit("fig6_tk1_tradeoff", "\n".join(chunks))
+
+    for name, points in data.items():
+        ref = points[0]
+        assert ref.speedup == 1.0 and ref.relative_power == 1.0
+        fixed = [p for p in points if p.algorithm == "baseline" and p.dvfs != "auto"]
+        # DVFS-only: high clocks buy speed for power, low clocks the reverse
+        assert fixed[0].avg_power_w > fixed[-1].avg_power_w
+        assert fixed[0].time_ms < fixed[-1].time_ms
+
+    # composition claim: self-tuning reaches faster-and-lower-energy
+    # points on the scale-free input
+    wiki_wins = [
+        p
+        for p in data["wiki"]
+        if p.algorithm == "self-tuning" and p.speedup > 1 and p.energy_win
+    ]
+    assert wiki_wins, "no self-tuning energy wins on wiki"
+
+    # on the road network the middle set-point is competitive with the
+    # best fixed-delta baseline (paper: peak speedup at the middle P)
+    tuned_cal = [p for p in data["cal"] if p.algorithm == "self-tuning"]
+    assert max(p.speedup for p in tuned_cal) > 0.95

@@ -1,0 +1,31 @@
+"""F7 — regenerate Figure 7 (TX1 speedup versus relative power)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig7
+from repro.experiments.report import banner, format_table
+
+
+def test_fig7_tx1_tradeoff(benchmark, config, emit):
+    data = run_once(benchmark, lambda: fig7.run_fig7(config))
+    chunks = [banner("Figure 7: performance versus power (TX1)")]
+    for name, points in data.items():
+        chunks += [f"-- {name} --", format_table([p.as_row() for p in points])]
+    emit("fig7_tx1_tradeoff", "\n".join(chunks))
+
+    for name, points in data.items():
+        assert all(np.isfinite(p.speedup) and p.speedup > 0 for p in points)
+        assert all(np.isfinite(p.relative_power) for p in points)
+
+    # the paper's TX1 observation: self-tuning points cluster more
+    # tightly across P than on the TK1 (better stock DVFS) — check the
+    # self-tuning auto points span a modest speedup range
+    for name, points in data.items():
+        autos = [
+            p.speedup
+            for p in points
+            if p.algorithm == "self-tuning" and p.dvfs == "auto"
+        ]
+        assert len(autos) == 3
+        assert max(autos) / max(min(autos), 1e-9) < 10

@@ -1,0 +1,21 @@
+"""F8 — regenerate Figure 8 (average power versus set-point)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+from repro.experiments.report import banner, format_table
+
+
+def test_fig8_power_vs_setpoint(benchmark, config, emit):
+    data = run_once(benchmark, lambda: fig8.run_fig8(config))
+    chunks = [banner("Figure 8: average power versus set-point P (default DVFS)")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("fig8_power_vs_setpoint", "\n".join(chunks))
+
+    for name, rows in data.items():
+        powers = [r["avg power (W)"] for r in rows]
+        pars = [r["avg parallelism"] for r in rows]
+        # the figure's claim: power correlates with P under default DVFS
+        assert powers[-1] > powers[0], name
+        assert pars[-1] > pars[0], name

@@ -1,0 +1,24 @@
+"""A2 — KLA constant-k versus the paper's per-iteration delta tuning."""
+
+from conftest import run_once
+
+from repro.experiments import kla_comparison
+from repro.experiments.report import banner, format_table
+
+
+def test_kla_comparison(benchmark, config, emit):
+    data = run_once(benchmark, lambda: kla_comparison.run_kla_comparison(config))
+    chunks = [banner("KLA constant-k versus delta tuning (related work)")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("kla_comparison", "\n".join(chunks))
+
+    for name, rows in data.items():
+        kla_rows = [r for r in rows if r["algorithm"].startswith("KLA")]
+        tuned = next(r for r in rows if r["algorithm"].startswith("self-tuning"))
+        # larger k buys fewer synchronisations...
+        syncs = [r["syncs"] for r in kla_rows]
+        assert syncs == sorted(syncs, reverse=True)
+        # ...but no work reduction: KLA has no distance prioritisation,
+        # so the self-tuning run does strictly less relaxation work
+        assert all(tuned["relaxations"] < r["relaxations"] for r in kla_rows), name

@@ -1,0 +1,21 @@
+"""S5.2 — controller runtime overhead."""
+
+from conftest import run_once
+
+from repro.experiments import overhead
+from repro.experiments.report import banner, format_table
+
+
+def test_controller_overhead(benchmark, config, emit):
+    rows = run_once(benchmark, lambda: overhead.run_overhead(config))
+    emit(
+        "overhead",
+        banner("Section 5.2: controller runtime overhead")
+        + "\n"
+        + format_table(rows),
+    )
+    for row in rows:
+        # the Python controller must stay a small fraction of wall time
+        # (the paper's C controller: 0.005-0.02% of runtime)
+        assert row["controller wall (s)"] < 0.1 * row["wall time (s)"]
+        assert row["sim overhead frac"] < 0.05

@@ -1,0 +1,28 @@
+"""P1 — power-target control extension (paper §6 future work)."""
+
+from conftest import run_once
+
+from repro.experiments import power_target
+from repro.experiments.report import banner, format_table
+
+
+def test_power_target(benchmark, config, emit):
+    data = run_once(benchmark, lambda: power_target.run_power_target(config))
+    chunks = [banner("Power-target control (paper §6 future work)")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("power_target", "\n".join(chunks))
+
+    # the road network's long smooth runs let the servo settle: every
+    # budget tracked within 15%, and higher budgets buy power + speed
+    cal = data["cal"]
+    for row in cal:
+        assert abs(row["error"]) < 0.15, row
+    assert cal[-1]["steady power (W)"] > cal[0]["steady power (W)"]
+    assert cal[-1]["time (ms)"] <= cal[0]["time (ms)"]
+
+    # wiki runs are bursty and (at bench scale) only ~20-40 iterations
+    # long, so tight tracking is physically impossible; require the
+    # highest budget — the easiest to satisfy — to land close
+    wiki = data["wiki"]
+    assert abs(wiki[-1]["error"]) < 0.3, wiki[-1]

@@ -1,0 +1,23 @@
+"""A4 — source robustness of the parallelism control (batched Fig. 5)."""
+
+from conftest import run_once
+
+from repro.experiments import robustness
+from repro.experiments.report import banner, format_table
+
+
+def test_source_robustness(benchmark, config, emit):
+    data = run_once(
+        benchmark, lambda: robustness.run_robustness(config, num_sources=4)
+    )
+    chunks = [banner("Source robustness (batched Fig. 5)")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    emit("robustness", "\n".join(chunks))
+
+    # pooled over sources, the controller still tightens the road
+    # network's distribution relative to the baseline
+    cal = data["cal"]
+    baseline, tuned = cal[0], cal[1]
+    assert tuned["pooled cv"] < baseline["pooled cv"]
+    assert tuned["mass near P"] > 0.5

@@ -1,0 +1,21 @@
+"""T1 — regenerate Table 1 (dataset characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+from repro.experiments.report import banner, format_table
+
+
+def test_table1(benchmark, config, emit):
+    rows = run_once(benchmark, lambda: table1.run_table1(config))
+    emit(
+        "table1",
+        banner("Table 1: data set characteristics") + "\n" + format_table(rows),
+    )
+    assert len(rows) == 2
+    wiki = next(r for r in rows if "wiki" in r["Input graph"])
+    cal = next(r for r in rows if "cal" in r["Input graph"])
+    # the structural traits the substitution must preserve
+    assert wiki["Max degree"] > 10 * wiki["Avg degree"]
+    assert cal["Max degree"] <= 8
+    assert cal["Est. diameter"] > 5 * wiki["Est. diameter"]

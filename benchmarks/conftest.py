@@ -1,0 +1,46 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_*`` module regenerates one table/figure of the paper at
+``REPRO_SCALE`` (default 0.02) and
+
+* times the regeneration with pytest-benchmark (one round — these are
+  experiment harnesses, not microbenchmarks; run with
+  ``pytest benchmarks/ --benchmark-only``), and
+* writes the regenerated rows/series to ``benchmarks/results/<name>.txt``
+  and echoes them to stdout (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The session-wide experiment config (REPRO_SCALE-aware)."""
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer for regenerated artifacts: emit(name, text)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` with a single round (it is a whole experiment)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Full DVFS x set-point matrix on both simulated Jetson boards.
+
+Regenerates the paper's Figures 6 and 7 as tables, then summarises the
+composition claim: which (speedup, relative power) points are reachable
+with DVFS alone, and which only open up once the algorithmic knob is in
+play.
+
+Run:
+    python examples/dvfs_exploration.py            # default bench scale
+    REPRO_SCALE=0.05 python examples/dvfs_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import default_config
+from repro.experiments.fig6 import run_tradeoff
+from repro.experiments.report import banner, format_table
+from repro.gpusim import get_device
+
+
+def main() -> None:
+    config = default_config()
+    print(f"running at scale={config.scale} (set REPRO_SCALE to change)\n")
+
+    for device_name in ("tk1", "tx1"):
+        device = get_device(device_name)
+        data = run_tradeoff(device, config)
+        fig = "6" if device_name == "tk1" else "7"
+        for dataset, points in data.items():
+            print(banner(f"Figure {fig}: {device.name} / {dataset}"))
+            print(format_table([p.as_row() for p in points]))
+
+            dvfs_only = [
+                p for p in points if p.algorithm == "baseline" and p.dvfs != "auto"
+            ]
+            tuned = [p for p in points if p.algorithm == "self-tuning"]
+            best_dvfs_speedup = max(p.speedup for p in dvfs_only)
+            best_tuned = max(tuned, key=lambda p: p.speedup)
+            eff_tuned = [p for p in tuned if p.energy_win and p.speedup >= 1.0]
+            print(
+                f"DVFS-only best speedup: {best_dvfs_speedup:.3f}; "
+                f"with the algorithmic knob: {best_tuned.speedup:.3f} "
+                f"(P={best_tuned.setpoint:.0f} @ {best_tuned.dvfs})"
+            )
+            if eff_tuned:
+                star = max(eff_tuned, key=lambda p: p.speedup)
+                print(
+                    f"composition win: speedup {star.speedup:.3f} at relative "
+                    f"power {star.relative_power:.3f} "
+                    f"(P={star.setpoint:.0f} @ {star.dvfs})"
+                )
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Bursty scale-free workload: set-point sweep and PowerMon traces.
+
+The Wiki-style hyperlink network is the paper's hard case: parallelism
+arrives in huge bursts the controller can shape but not fully remove.
+This example sweeps the set-point ladder, shows how the measured
+parallelism distribution and the (simulated) PowerMon power trace
+respond, and prints the speedup/relative-power frontier — the data
+behind the paper's Figure 6(b).
+
+Run:
+    python examples/scale_free_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.experiments.report import banner, format_series, format_table
+from repro.experiments.runner import find_time_minimizing_delta, pick_source
+from repro.gpusim import get_device, sample_run, simulate_run
+from repro.gpusim.dvfs import default_governor
+from repro.graph import wiki_like
+from repro.instrument import summarize
+from repro.sssp import nearfar_sssp
+
+SCALE = 0.02
+
+
+def main() -> None:
+    device = get_device("tx1")
+    graph = wiki_like(scale=SCALE, seed=11)
+    source = pick_source(graph)
+    print(banner("scale-free workload"))
+    print(f"{graph!r} on {device.name}, source={source} (hub)")
+
+    best_delta, _ = find_time_minimizing_delta(graph, source, device)
+    _, base_trace = nearfar_sssp(graph, source, delta=best_delta)
+    ref = simulate_run(base_trace, device, default_governor(device))
+    print(
+        f"\nbaseline: delta={best_delta:.3g}, {len(base_trace)} iterations, "
+        f"{ref.total_seconds * 1e3:.2f} ms, {ref.average_power_w:.2f} W"
+    )
+
+    ladder = np.geomspace(2_000, 64_000, 6)
+    rows = []
+    traces = {}
+    for setpoint in ladder:
+        _, trace, _ = adaptive_sssp(
+            graph, source, AdaptiveParams(setpoint=float(setpoint))
+        )
+        run = simulate_run(trace, device, default_governor(device))
+        pm = sample_run(run, seed=3)
+        stats = summarize(trace.parallelism)
+        traces[setpoint] = trace
+        rows.append(
+            {
+                "P": int(setpoint),
+                "median par": round(stats.median, 0),
+                "p75 par": round(stats.p75, 0),
+                "cv": round(stats.cv, 2),
+                "speedup": round(ref.total_seconds / run.total_seconds, 3),
+                "rel power": round(run.average_power_w / ref.average_power_w, 3),
+                "powermon avg (W)": round(pm.average_power_w, 2)
+                if pm.num_samples
+                else float("nan"),
+                "energy (J)": round(run.total_energy_j, 4),
+            }
+        )
+
+    print()
+    print(banner("set-point sweep (Figure 6(b)/7(b) axes)"))
+    print(format_table(rows))
+
+    print()
+    print(banner("parallelism shaping"))
+    print(format_series("baseline", base_trace.parallelism))
+    lo, hi = ladder[0], ladder[-1]
+    print(format_series(f"self-tuned P={lo:.0f}", traces[lo].parallelism))
+    print(format_series(f"self-tuned P={hi:.0f}", traces[hi].parallelism))
+
+    best = max(rows, key=lambda r: r["speedup"] / max(r["rel power"], 1e-9))
+    print(
+        f"\nbest efficiency point: P={best['P']} "
+        f"(speedup {best['speedup']}, relative power {best['rel power']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

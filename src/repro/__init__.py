@@ -1,0 +1,51 @@
+"""repro — reproduction of *An Energy-Efficient Single-Source Shortest
+Path Algorithm* (Karamati, Young & Vuduc, IPDPS 2018).
+
+The package implements, in pure NumPy-accelerated Python:
+
+* the Gunrock-style **near+far SSSP** baseline and its classic
+  relatives (Dijkstra, Bellman–Ford, Meyer–Sanders delta-stepping) —
+  :mod:`repro.sssp`;
+* the paper's contribution, a **self-tuning near+far algorithm** whose
+  delta is retuned every iteration by an online-learning controller so
+  available parallelism tracks a user set-point ``P`` —
+  :mod:`repro.core`;
+* a simulated **embedded CPU+GPU platform** (Jetson TK1/TX1 presets)
+  with DVFS frequency knobs, a roofline kernel-time model, a CMOS power
+  model, and a PowerMon-style sampler — :mod:`repro.gpusim`;
+* **instrumentation** (parallelism profiles, traces, distribution
+  stats) — :mod:`repro.instrument`;
+* a per-figure **experiment harness** regenerating every table and
+  figure of the paper's evaluation — :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro.graph import wiki_like
+    from repro.sssp import nearfar_sssp
+    from repro.core import AdaptiveParams, adaptive_sssp
+
+    g = wiki_like(scale=0.01)
+    baseline, base_trace = nearfar_sssp(g, source=0)
+    tuned, trace, ctrl = adaptive_sssp(
+        g, source=0, params=AdaptiveParams(setpoint=20_000)
+    )
+    assert (baseline.dist == tuned.dist).all()
+    print(base_trace.parallelism_cv, trace.parallelism_cv)
+"""
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.graph import CSRGraph, cal_like, wiki_like
+from repro.sssp import dijkstra, nearfar_sssp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveParams",
+    "CSRGraph",
+    "adaptive_sssp",
+    "cal_like",
+    "dijkstra",
+    "nearfar_sssp",
+    "wiki_like",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``experiment <id>`` — regenerate a paper artifact (``table1``,
+  ``fig1`` … ``fig8``, ``overhead``, ``ablations``, ``kla``,
+  ``power-target``, or ``all``) at a chosen scale;
+* ``sssp <graph-file>`` — run any of the SSSP algorithms on a graph
+  file (DIMACS ``.gr``, MatrixMarket ``.mtx`` or TSV edge list),
+  optionally replaying the run on a simulated device;
+* ``generate <dataset>`` — write a synthetic Cal/Wiki stand-in to a
+  graph file;
+* ``info <graph-file>`` — print a graph's Table-1-style statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _experiment_registry() -> Dict[str, Callable]:
+    from repro.experiments import (
+        ablations,
+        dynamics,
+        fig1,
+        fig2,
+        fig3,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        kla_comparison,
+        overhead,
+        robustness,
+        power_target,
+        table1,
+    )
+
+    return {
+        "table1": table1.main,
+        "fig1": fig1.main,
+        "fig2": fig2.main,
+        "fig3": fig3.main,
+        "fig5": fig5.main,
+        "fig6": fig6.main,
+        "fig7": fig7.main,
+        "fig8": fig8.main,
+        "overhead": overhead.main,
+        "ablations": ablations.main,
+        "dynamics": dynamics.main,
+        "kla": kla_comparison.main,
+        "robustness": robustness.main,
+        "power-target": power_target.main,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Energy-Efficient Single-Source Shortest "
+            "Path Algorithm' (IPDPS 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument(
+        "artifact",
+        choices=sorted(_experiment_registry()) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    exp.add_argument("--scale", type=float, default=None, help="dataset scale")
+
+    run = sub.add_parser("sssp", help="run SSSP on a graph file")
+    run.add_argument("graph", help="graph file (.gr/.mtx/.tsv, optionally .gz)")
+    run.add_argument("--source", type=int, default=None, help="source vertex (default: hub)")
+    run.add_argument(
+        "--algorithm",
+        choices=["dijkstra", "bellman-ford", "delta-stepping", "nearfar", "adaptive", "kla"],
+        default="adaptive",
+    )
+    run.add_argument("--delta", type=float, default=None, help="delta (fixed-delta algorithms)")
+    run.add_argument("--setpoint", type=float, default=None, help="P (adaptive)")
+    run.add_argument("--k", type=int, default=4, help="asynchrony depth (kla)")
+    run.add_argument("--device", choices=["tk1", "tx1"], default=None,
+                     help="also replay the run on this simulated device")
+    run.add_argument("--save-trace", default=None, help="write the trace JSON here")
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to a file")
+    gen.add_argument("dataset", choices=["cal", "wiki"])
+    gen.add_argument("output", help="output path (.gr/.mtx/.tsv)")
+    gen.add_argument("--scale", type=float, default=0.02)
+    gen.add_argument("--seed", type=int, default=7)
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("graph", help="graph file")
+
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.config import default_config
+
+    config = default_config(args.scale)
+    registry = _experiment_registry()
+    names = sorted(registry) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        registry[name](config)
+        print()
+    return 0
+
+
+def _cmd_sssp(args: argparse.Namespace) -> int:
+    from repro.graph.io import load_graph
+    from repro.sssp import (
+        bellman_ford,
+        delta_stepping,
+        dijkstra,
+        kla_sssp,
+        nearfar_sssp,
+    )
+    from repro.core import AdaptiveParams, adaptive_sssp
+
+    graph = load_graph(args.graph)
+    source = (
+        args.source
+        if args.source is not None
+        else int(np.argmax(np.diff(graph.indptr)))
+    )
+    print(f"{graph!r}, source={source}, algorithm={args.algorithm}")
+
+    trace = None
+    if args.algorithm == "dijkstra":
+        result = dijkstra(graph, source)
+    elif args.algorithm == "bellman-ford":
+        result = bellman_ford(graph, source)
+    elif args.algorithm == "delta-stepping":
+        result = delta_stepping(graph, source, args.delta)
+    elif args.algorithm == "nearfar":
+        result, trace = nearfar_sssp(graph, source, delta=args.delta)
+    elif args.algorithm == "kla":
+        result, trace = kla_sssp(graph, source, args.k)
+    else:
+        setpoint = args.setpoint if args.setpoint is not None else 10_000.0
+        result, trace, _ = adaptive_sssp(
+            graph, source, AdaptiveParams(setpoint=setpoint)
+        )
+
+    finite = result.finite_distances()
+    print(
+        f"reached {result.num_reached}/{graph.num_nodes} vertices; "
+        f"iterations={result.iterations}, relaxations={result.relaxations:,}"
+    )
+    if finite.size:
+        print(
+            f"distance stats: max={finite.max():.4g}, mean={finite.mean():.4g}"
+        )
+
+    if trace is not None and args.save_trace:
+        from repro.instrument.serialize import save_trace
+
+        path = save_trace(trace, args.save_trace)
+        print(f"trace written to {path}")
+
+    if args.device:
+        if trace is None or len(trace) == 0:
+            print("(no trace to simulate for this algorithm)")
+        else:
+            from repro.gpusim import get_device, simulate_run
+
+            run = simulate_run(trace, get_device(args.device))
+            s = run.summary()
+            print(
+                f"simulated on {s['device']} ({s['dvfs']}): "
+                f"{s['time_ms']} ms, {s['avg_power_w']} W, {s['energy_j']} J"
+            )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.datasets import cal_like, wiki_like
+    from repro.graph.io import write_dimacs, write_edge_list, write_matrix_market
+
+    factory = cal_like if args.dataset == "cal" else wiki_like
+    graph = factory(args.scale, seed=args.seed)
+    out = args.output
+    if out.endswith((".gr", ".gr.gz")):
+        write_dimacs(graph, out)
+    elif out.endswith((".mtx", ".mtx.gz")):
+        write_matrix_market(graph, out)
+    else:
+        write_edge_list(graph, out)
+    print(f"wrote {graph!r} to {out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.graph.io import load_graph
+    from repro.graph.properties import graph_stats
+
+    graph = load_graph(args.graph)
+    stats = graph_stats(graph)
+    print(format_table([stats.as_row()]))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "sssp": _cmd_sssp,
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""The set-point controller (paper Section 4, Figure 4).
+
+Closes the loop around the near+far stages: it watches the workload
+counters ``X^(1)``, ``X^(2)``, ``X^(4)`` of each iteration, keeps the
+ADVANCE-MODEL and BISECT-MODEL updated, and emits the per-iteration
+delta adjustment ``Δδ_k`` (Eq. 6):
+
+    δ_{k+1} = δ_k + (P/d − X_k^(4)) / α
+
+During the first iterations — before the BISECT-MODEL converges
+(paper: ~5 updates) — α comes from the Eq. 8 bootstrap built from the
+current window width and the far-queue partition occupancy instead of
+the learned model.
+
+The controller is engine-agnostic: it sees only counters and produces
+only a delta.  The same object could sit next to a real GPU run, which
+is the paper's deployment (controller on the CPU, kernels on the GPU).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.advance_model import AdvanceModel
+from repro.core.bisect_model import BisectModel
+
+__all__ = ["ControllerConfig", "SetpointController", "DeltaDecision"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller tuning knobs.
+
+    Parameters
+    ----------
+    setpoint:
+        ``P`` — the desired available parallelism (advance workload).
+    delta_min:
+        Lower clamp for δ; must stay positive for the window to move.
+    delta_max:
+        Upper clamp for δ (``inf`` disables).
+    max_step_fraction:
+        A single Δδ may not exceed this multiple of the current δ —
+        the paper's "reduce overshoots and undershoots" concern,
+        expressed as a slew-rate limit.
+    gain:
+        Loop gain on Eq. 6 (1.0 = the paper's update verbatim).
+    bootstrap_updates:
+        BISECT-MODEL updates required before trusting the learned α
+        (paper: converged "after about 5 iterations").
+    use_bootstrap:
+        Ablation switch: when false, the Eq. 8 bootstrap is disabled
+        and the (unconverged) learned α is trusted from iteration one.
+    sgd_mode:
+        ``'adaptive'`` (Algorithm 1) or ``'fixed'`` (ablation).
+    """
+
+    setpoint: float
+    delta_min: float = 1e-9
+    delta_max: float = float("inf")
+    max_step_fraction: float = 4.0
+    gain: float = 1.0
+    bootstrap_updates: int = 5
+    use_bootstrap: bool = True
+    sgd_mode: str = "adaptive"
+
+    def __post_init__(self) -> None:
+        if self.setpoint <= 0:
+            raise ValueError("setpoint must be positive")
+        if self.delta_min <= 0:
+            raise ValueError("delta_min must be positive")
+        if self.delta_max < self.delta_min:
+            raise ValueError("delta_max must be >= delta_min")
+        if self.max_step_fraction <= 0:
+            raise ValueError("max_step_fraction must be positive")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        if self.sgd_mode not in ("adaptive", "fixed"):
+            raise ValueError("sgd_mode must be 'adaptive' or 'fixed'")
+
+
+@dataclass(frozen=True)
+class DeltaDecision:
+    """What the controller decided for the next iteration."""
+
+    delta: float
+    delta_change: float
+    alpha_used: float
+    target_frontier: float
+    bootstrapped: bool
+
+
+@dataclass
+class _PendingObservation:
+    """BISECT-MODEL training sample awaiting its X^(1)_next label."""
+
+    x4: int
+    delta_change: float
+
+
+class SetpointController:
+    """Online-learning delta controller for the near+far algorithm."""
+
+    def __init__(
+        self,
+        config: ControllerConfig,
+        initial_delta: float,
+        *,
+        initial_d: float = 1.0,
+        initial_alpha: float = 1.0,
+    ):
+        if initial_delta <= 0:
+            raise ValueError("initial_delta must be positive")
+        self.config = config
+        # the live set-point: initialised from the config but mutable,
+        # so an outer loop (e.g. the power-target servo of
+        # repro.cosim) can retarget the controller mid-run
+        self.setpoint = config.setpoint
+        self.delta = min(max(initial_delta, config.delta_min), config.delta_max)
+        self.advance_model = AdvanceModel(
+            initial_d=initial_d, sgd_mode=config.sgd_mode
+        )
+        self.bisect_model = BisectModel(
+            initial_alpha=initial_alpha,
+            convergence_updates=config.bootstrap_updates,
+            sgd_mode=config.sgd_mode,
+        )
+        self._pending: _PendingObservation | None = None
+        self.seconds: float = 0.0  # cumulative controller CPU time (§5.2 overhead)
+        self.decisions: int = 0
+
+    # ------------------------------------------------------------------
+    # observation hooks (called by the algorithm around each stage)
+    # ------------------------------------------------------------------
+    def begin_iteration(self, x1: int) -> None:
+        """Label delivery: X^(1) of this iteration trains the BISECT-MODEL.
+
+        The pending (X^(4), Δδ) pair from the previous iteration predicted
+        this X^(1); now that it is observed, run the Algorithm-1 step.
+        """
+        t0 = time.perf_counter()
+        if self._pending is not None:
+            self.bisect_model.observe(
+                self._pending.x4, self._pending.delta_change, x1
+            )
+            self._pending = None
+        self.seconds += time.perf_counter() - t0
+
+    def observe_advance(self, x1: int, x2: int) -> None:
+        """ADVANCE-MODEL training step from the true (X^(1), X^(2))."""
+        t0 = time.perf_counter()
+        self.advance_model.observe(x1, x2)
+        self.seconds += time.perf_counter() - t0
+
+    def invalidate_pending(self) -> None:
+        """Drop the pending BISECT-MODEL sample.
+
+        Called when the next frontier was produced by a far-queue drain
+        rather than by the rebalancer's Δδ — the linear model of Eq. 4
+        does not describe that transition, so the label would be noise.
+        """
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # decision
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        x4: int,
+        *,
+        window_lower: float,
+        window_split: float,
+        far_total: int,
+        far_partition_size: int,
+        far_partition_upper: float,
+    ) -> DeltaDecision:
+        """Eq. 6: compute δ_{k+1} from X^(4) and the learned models.
+
+        Parameters
+        ----------
+        x4:
+            Frontier size entering the rebalancer.
+        window_lower, window_split:
+            The current near window ``[L, S)``; ``S − L`` is the live δ.
+        far_total:
+            Total far-queue occupancy.  Growing delta has no authority
+            when the far queue is empty — there is nothing to pull into
+            the frontier — so the controller holds delta in that case
+            (and skips the BISECT-MODEL sample, which would otherwise
+            teach a spurious α ≈ 0).
+        far_partition_size, far_partition_upper:
+            Occupancy and upper bound of the current far-queue
+            partition, feeding the Eq. 8 bootstrap.
+        """
+        t0 = time.perf_counter()
+        cfg = self.config
+        target_x1 = self.advance_model.target_frontier(self.setpoint)
+
+        if far_total == 0 and float(x4) <= target_x1:
+            # under target with an empty far queue: the knob is inert
+            self._pending = None
+            self.decisions += 1
+            self.seconds += time.perf_counter() - t0
+            return DeltaDecision(
+                delta=self.delta,
+                delta_change=0.0,
+                alpha_used=self.bisect_model.alpha,
+                target_frontier=target_x1,
+                bootstrapped=not self.bisect_model.converged,
+            )
+
+        bootstrapped = cfg.use_bootstrap and not self.bisect_model.converged
+        if bootstrapped:
+            alpha = self._bootstrap_alpha(
+                x4,
+                target_x1,
+                window_lower=window_lower,
+                window_split=window_split,
+                far_partition_size=far_partition_size,
+                far_partition_upper=far_partition_upper,
+            )
+        else:
+            alpha = self.bisect_model.alpha
+
+        raw_change = cfg.gain * (target_x1 - float(x4)) / alpha
+
+        # multiplicative slew-rate limit: one iteration may grow delta by
+        # at most (1 + f)x and shrink it by at most 1/(1 + f)x, so delta
+        # can never collapse to zero (or overshoot to infinity) in one
+        # bad step; then clamp into the configured box
+        grow_cap = self.delta * (1.0 + cfg.max_step_fraction)
+        shrink_cap = self.delta / (1.0 + cfg.max_step_fraction)
+        new_delta = min(max(self.delta + raw_change, shrink_cap), grow_cap)
+        new_delta = min(max(new_delta, cfg.delta_min), cfg.delta_max)
+        change = new_delta - self.delta
+        self.delta = new_delta
+
+        self._pending = _PendingObservation(x4=x4, delta_change=change)
+        self.decisions += 1
+        self.seconds += time.perf_counter() - t0
+        return DeltaDecision(
+            delta=new_delta,
+            delta_change=change,
+            alpha_used=alpha,
+            target_frontier=target_x1,
+            bootstrapped=bootstrapped,
+        )
+
+    def _bootstrap_alpha(
+        self,
+        x4: int,
+        target_x1: float,
+        *,
+        window_lower: float,
+        window_split: float,
+        far_partition_size: int,
+        far_partition_upper: float,
+    ) -> float:
+        """Eq. 8: density-based α before the BISECT-MODEL converges.
+
+        The paper writes the denominators against δ_k directly; with our
+        explicit window ``[L, S)`` the equivalent densities are
+
+        * shrink case (X^(4) >= X̂^(1)):  α ≈ X^(4) / (S − L) — the
+          frontier's vertices per unit of distance in the live window;
+        * grow case: α ≈ S_i / (B_i − S) — the current far partition's
+          vertices per unit of distance beyond the split.
+        """
+        width = max(window_split - window_lower, self.config.delta_min)
+        if float(x4) >= target_x1:
+            alpha = float(x4) / width
+        else:
+            span = far_partition_upper - window_split
+            if span > 0 and far_partition_size > 0:
+                alpha = float(far_partition_size) / span
+            else:
+                # empty/exhausted partition: fall back to frontier density
+                alpha = max(float(x4), 1.0) / width
+        return max(alpha, self.bisect_model.alpha_min)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def d(self) -> float:
+        return self.advance_model.d
+
+    @property
+    def alpha(self) -> float:
+        return self.bisect_model.alpha

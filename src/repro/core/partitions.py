@@ -1,0 +1,282 @@
+"""Recursively partitioned far queue (paper Section 4.6).
+
+The controller keeps the far queue partitioned by vertex distance so
+that (a) each partition's size stays near the set-point ``P`` and
+(b) bisect-far-queue only has to search the partitions whose distance
+range intersects the next near window, not the whole queue.
+
+Boundary protocol, following the paper:
+
+* Start with two partitions whose upper bounds are the average edge
+  weight and ``MAX`` (+inf here).
+* Partition ``i`` holds vertices with insertion distance in
+  ``(B_{i-1}, B_i]``.
+* Boundary update (Eq. 7): ``B_i ← B_{i-1} + P/α`` — applied only if
+  it *decreases* the bound (monotonic shifts preserve correctness
+  because vertices already routed are re-validated on extraction).
+* If the update would touch the last partition, a fresh ``(…, +inf]``
+  partition is appended first.
+* When the current partition empties, the next becomes current.
+
+Vertices are staged as numpy chunks per partition and concatenated
+lazily; distances are re-checked against the live ``dist`` array at
+extraction time, so stale entries (vertices improved after insertion)
+are harmless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+__all__ = ["FarQueuePartitions", "FlatFarQueue"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class FarQueuePartitions:
+    """Distance-partitioned far queue."""
+
+    def __init__(self, initial_boundary: float):
+        if not (initial_boundary > 0):
+            raise ValueError("initial boundary must be positive")
+        # uppers[i] is B_i; lower bound of partition i is uppers[i-1] (0 for i=0)
+        self._uppers: List[float] = [float(initial_boundary), math.inf]
+        self._chunks: List[List[np.ndarray]] = [[], []]
+        self._counts: List[int] = [0, 0]
+        self._current: int = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self._uppers)
+
+    @property
+    def boundaries(self) -> List[float]:
+        """Upper bounds B_i (a copy)."""
+        return list(self._uppers)
+
+    @property
+    def current_index(self) -> int:
+        return self._current
+
+    def partition_sizes(self) -> np.ndarray:
+        return np.asarray(self._counts, dtype=np.int64)
+
+    def total(self) -> int:
+        return int(sum(self._counts))
+
+    def current_partition_size(self) -> int:
+        self._advance_current()
+        return self._counts[self._current]
+
+    def current_partition_upper(self) -> float:
+        self._advance_current()
+        return self._uppers[self._current]
+
+    def current_partition_lower(self) -> float:
+        self._advance_current()
+        return self._uppers[self._current - 1] if self._current else 0.0
+
+    def min_occupied_lower(self) -> float:
+        """Lower bound of the first non-empty partition (+inf when empty).
+
+        Lets the drain loop jump over empty distance ranges instead of
+        advancing band by band.
+        """
+        lower = 0.0
+        for upper, count in zip(self._uppers, self._counts):
+            if count:
+                return lower
+            lower = upper
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, vertices: np.ndarray, distances: np.ndarray) -> None:
+        """Route ``vertices`` to partitions by their (insertion) distances.
+
+        Vertex with distance ``x`` lands in the partition ``i`` with
+        ``B_{i-1} < x <= B_i`` — ``searchsorted(..., side='left')`` on
+        the upper bounds.
+        """
+        if vertices.size == 0:
+            return
+        if vertices.size != distances.size:
+            raise ValueError("vertices and distances must be parallel")
+        if not np.all(np.isfinite(distances)):
+            raise ValueError("far-queue insertion distances must be finite")
+        part = np.searchsorted(self._uppers, distances, side="left")
+        order = np.argsort(part, kind="stable")
+        part_s = part[order]
+        verts_s = vertices[order]
+        starts = np.flatnonzero(np.diff(part_s, prepend=-1))
+        for si, start in enumerate(starts):
+            end = starts[si + 1] if si + 1 < starts.size else part_s.size
+            p = int(part_s[start])
+            chunk = verts_s[start:end]
+            self._chunks[p].append(chunk)
+            self._counts[p] += chunk.size
+
+    def extract_below(self, split: float) -> np.ndarray:
+        """Remove and return all staged vertices that *may* lie below ``split``.
+
+        Pulls every partition whose distance range starts below
+        ``split``.  The caller re-validates against the live distance
+        array (entries can be stale); vertices still >= split must be
+        re-inserted.
+        """
+        pulled: List[np.ndarray] = []
+        lower = 0.0
+        for i, upper in enumerate(self._uppers):
+            if lower >= split:
+                break
+            if self._counts[i]:
+                pulled.extend(self._chunks[i])
+                self._chunks[i] = []
+                self._counts[i] = 0
+            lower = upper
+        if not pulled:
+            return _EMPTY
+        self._advance_current()
+        return np.concatenate(pulled)
+
+    def extract_all(self) -> np.ndarray:
+        """Drain every partition (used by tests and the final sweep)."""
+        return self.extract_below(math.inf)
+
+    def refresh_boundaries(self, setpoint: float, alpha: float) -> None:
+        """Eq. 7 sweep: ``B_i ← B_{i-1} + P/α``, monotonic decrease only.
+
+        Runs from the current partition outward.  If the sweep reaches
+        the last (+inf) partition, a new +inf partition is appended
+        first so the far tail always has somewhere to live.
+        """
+        if setpoint <= 0 or alpha <= 0:
+            raise ValueError("setpoint and alpha must be positive")
+        self._advance_current()
+        width = setpoint / alpha
+        i = self._current
+        while i < len(self._uppers):
+            if math.isinf(self._uppers[i]):
+                # the update "belongs to the last remaining partition":
+                # append a fresh +inf partition, then bound this one
+                self._uppers.append(math.inf)
+                self._chunks.append([])
+                self._counts.append(0)
+            prev_upper = self._uppers[i - 1] if i else 0.0
+            candidate = prev_upper + width
+            if candidate < self._uppers[i]:
+                self._uppers[i] = candidate  # monotonic: decrease only
+            i += 1
+            if i >= len(self._uppers) - 1:
+                break  # leave exactly one trailing +inf partition
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _advance_current(self) -> None:
+        """Point ``current`` at the first non-empty partition.
+
+        The paper moves forward only ("the next partition becomes the
+        current partition"), but our rebalancer may re-insert vertices
+        *below* the current partition when delta shrinks, so a full
+        scan keeps the bootstrap statistics (Eq. 8) meaningful.  The
+        partition count stays small (it grows one per Eq. 7 overflow),
+        so the scan is O(few).
+        """
+        for i, count in enumerate(self._counts):
+            if count:
+                self._current = i
+                return
+        self._current = len(self._uppers) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FarQueuePartitions(parts={self.num_partitions}, "
+            f"total={self.total()}, current={self._current})"
+        )
+
+
+class FlatFarQueue:
+    """Ablation: an unpartitioned far queue with the same protocol.
+
+    This is what the baseline near+far effectively uses: a single bag
+    of postponed vertices.  Every range query must touch everything —
+    ``extract_below`` cannot exploit distance locality — which is
+    precisely the search cost Section 4.6's recursive partitioning
+    removes.  The Eq. 7 boundary machinery degenerates to a no-op.
+
+    Exposes the same interface as :class:`FarQueuePartitions` so the
+    adaptive algorithm can swap it in via
+    ``AdaptiveParams(use_partitions=False)``.
+    """
+
+    def __init__(self, initial_boundary: float):
+        if not (initial_boundary > 0):
+            raise ValueError("initial boundary must be positive")
+        self._chunks: List[np.ndarray] = []
+        self._count: int = 0
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return 1
+
+    @property
+    def boundaries(self) -> List[float]:
+        return [math.inf]
+
+    def partition_sizes(self) -> np.ndarray:
+        return np.asarray([self._count], dtype=np.int64)
+
+    def total(self) -> int:
+        return self._count
+
+    def current_partition_size(self) -> int:
+        return self._count
+
+    def current_partition_upper(self) -> float:
+        return math.inf
+
+    def current_partition_lower(self) -> float:
+        return 0.0
+
+    def min_occupied_lower(self) -> float:
+        return 0.0 if self._count else math.inf
+
+    # -- mutation -------------------------------------------------------
+    def insert(self, vertices: np.ndarray, distances: np.ndarray) -> None:
+        if vertices.size == 0:
+            return
+        if vertices.size != distances.size:
+            raise ValueError("vertices and distances must be parallel")
+        if not np.all(np.isfinite(distances)):
+            raise ValueError("far-queue insertion distances must be finite")
+        self._chunks.append(np.asarray(vertices, dtype=np.int64))
+        self._count += int(vertices.size)
+
+    def extract_below(self, split: float) -> np.ndarray:
+        """Drain *everything* (a flat queue cannot range-filter)."""
+        if split <= 0 or self._count == 0:
+            return _EMPTY
+        out = np.concatenate(self._chunks) if self._chunks else _EMPTY
+        self._chunks = []
+        self._count = 0
+        return out
+
+    def extract_all(self) -> np.ndarray:
+        return self.extract_below(math.inf)
+
+    def refresh_boundaries(self, setpoint: float, alpha: float) -> None:
+        if setpoint <= 0 or alpha <= 0:
+            raise ValueError("setpoint and alpha must be positive")
+        # no boundaries to maintain
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlatFarQueue(total={self._count})"

@@ -1,0 +1,58 @@
+"""Parallelism set-point menus (paper Section 4, "Choosing P").
+
+The paper argues the set-point is easier to choose than delta because
+it is "a function primarily of available hardware resources, so it is
+possible to create an input-independent 'menu' of P values beforehand
+... based on, for instance, the number of processing elements or the
+power required per processing element."
+
+These helpers build exactly that menu from a
+:class:`~repro.gpusim.device.DeviceSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.device import DeviceSpec
+
+__all__ = ["setpoint_menu", "setpoint_for_utilization", "PAPER_SETPOINTS"]
+
+# The set-points the paper actually evaluates (Fig. 5-7): Cal uses
+# {10k, 20k, 40k}; the Wiki discussion quotes P = 600k.
+PAPER_SETPOINTS = {
+    "cal": [10_000, 20_000, 40_000],
+    "wiki": [150_000, 300_000, 600_000],
+}
+
+
+def setpoint_for_utilization(device: "DeviceSpec", occupancy: float = 1.0) -> float:
+    """P that keeps every core busy at the given occupancy multiple.
+
+    A GPU hides latency by oversubscribing cores with threads; an
+    occupancy of ``k`` means ``k`` work items in flight per core.  The
+    advance workload (edges) maps one item per thread, so
+    ``P = cores * k``.
+    """
+    if occupancy <= 0:
+        raise ValueError("occupancy must be positive")
+    return float(device.num_cores * occupancy)
+
+
+def setpoint_menu(
+    device: "DeviceSpec",
+    occupancies: List[float] | None = None,
+) -> List[float]:
+    """An input-independent menu of set-points for ``device``.
+
+    Default occupancy ladder spans "just saturated" (x8 items per
+    core, enough to hide memory latency) through heavy oversubscription
+    (x256, where extra parallelism only buys redundant work).
+    """
+    if occupancies is None:
+        occupancies = [8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+    menu = [setpoint_for_utilization(device, occ) for occ in occupancies]
+    if sorted(menu) != menu:
+        menu.sort()
+    return menu

@@ -1,0 +1,310 @@
+"""Iteration-stepped execution of the self-tuning near+far SSSP.
+
+:class:`AdaptiveNearFarStepper` exposes the algorithm one outer
+iteration at a time: each :meth:`step` runs advance → filter →
+bisect-frontier → rebalancer and returns that iteration's
+:class:`~repro.instrument.trace.IterationRecord`.
+
+This is the integration point for *outer* control loops that need to
+react between iterations — most importantly the power-target servo of
+:mod:`repro.cosim`, which implements the paper's future-work idea of
+feeding *measured power* back into the set-point ("measured power
+would need to be part of the feedback control system", §6).  The
+set-point can be retargeted between any two steps via
+:attr:`setpoint`.
+
+:func:`repro.core.adaptive_sssp.adaptive_sssp` is a thin wrapper that
+drives this stepper to completion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.core.controller import ControllerConfig, SetpointController
+from repro.core.partitions import FarQueuePartitions, FlatFarQueue
+from repro.graph.csr import CSRGraph
+from repro.instrument.trace import IterationRecord, RunTrace
+from repro.sssp.frontier import advance, bisect, filter_frontier
+from repro.sssp.nearfar import suggest_delta
+from repro.sssp.result import SSSPResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.adaptive_sssp import AdaptiveParams
+
+__all__ = ["AdaptiveNearFarStepper"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class AdaptiveNearFarStepper:
+    """One-iteration-at-a-time driver of the self-tuning algorithm."""
+
+    def __init__(self, graph: CSRGraph, source: int, params: "AdaptiveParams"):
+        n = graph.num_nodes
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range for {n} nodes")
+        if graph.has_negative_weights():
+            raise ValueError("near+far requires non-negative edge weights")
+
+        self.graph = graph
+        self.source = source
+        self.params = params
+        self.initial_delta = (
+            params.initial_delta
+            if params.initial_delta is not None
+            else suggest_delta(graph)
+        )
+        config = ControllerConfig(
+            setpoint=params.setpoint,
+            delta_min=params.delta_min,
+            delta_max=params.delta_max,
+            max_step_fraction=params.max_step_fraction,
+            gain=params.gain,
+            bootstrap_updates=params.bootstrap_updates,
+            use_bootstrap=params.use_bootstrap,
+            sgd_mode=params.sgd_mode,
+        )
+        self.controller = SetpointController(
+            config,
+            self.initial_delta,
+            initial_d=max(graph.average_degree, 1.0),
+        )
+        queue_cls = FarQueuePartitions if params.use_partitions else FlatFarQueue
+        self.partitions = queue_cls(initial_boundary=graph.average_weight)
+
+        self.dist = np.full(n, np.inf)
+        self.dist[source] = 0.0
+        # distance each vertex had when its out-edges were last relaxed;
+        # a queued copy is stale iff dist[v] >= advanced_at[v]
+        self.advanced_at = np.full(n, np.inf)
+
+        self.frontier = np.array([source], dtype=np.int64)
+        self.lower = 0.0
+        self.split = self.controller.delta
+
+        self.iterations = 0
+        self.relaxations = 0
+        self._controller_prev_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # outer-loop interface
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.frontier.size == 0
+
+    @property
+    def setpoint(self) -> float:
+        return self.controller.setpoint
+
+    @setpoint.setter
+    def setpoint(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("setpoint must be positive")
+        self.controller.setpoint = float(value)
+
+    def step(self) -> Optional[IterationRecord]:
+        """Run one outer iteration; ``None`` once the run has finished."""
+        if self.done:
+            return None
+        self.iterations += 1
+        controller, partitions, params = self.controller, self.partitions, self.params
+        dist, advanced_at = self.dist, self.advanced_at
+
+        x1 = int(self.frontier.size)
+        controller.begin_iteration(x1)
+
+        # stage 1: advance
+        advanced_at[self.frontier] = dist[self.frontier]
+        adv = advance(self.graph, self.frontier, dist)
+        self.relaxations += adv.relaxations
+        controller.observe_advance(x1, adv.x2)
+
+        # stage 2: filter
+        unique_improved = filter_frontier(adv.improved)
+        x3 = int(unique_improved.size)
+
+        # stage 3: bisect-frontier
+        near, far_add = bisect(unique_improved, dist, self.split)
+        if far_add.size:
+            partitions.insert(far_add, dist[far_add])
+        x4 = int(near.size)
+
+        # stage 4: rebalancer (replaces bisect-far-queue)
+        decision = controller.plan(
+            x4,
+            window_lower=self.lower,
+            window_split=self.split,
+            far_total=partitions.total(),
+            far_partition_size=partitions.current_partition_size(),
+            far_partition_upper=partitions.current_partition_upper(),
+        )
+        new_split = self.lower + decision.delta
+        moved_from_far = moved_to_far = 0
+        far_scanned = 0
+
+        if new_split > self.split:
+            # delta grew: pull far vertices that now fall inside the window
+            near, moved_from_far, scanned = _pull_from_far(
+                partitions, near, dist, advanced_at, new_split
+            )
+            far_scanned += scanned
+        elif new_split < self.split and near.size:
+            # delta shrank: postpone frontier vertices beyond the new split
+            keep_mask = dist[near] < new_split
+            postponed = near[~keep_mask]
+            if postponed.size:
+                partitions.insert(postponed, dist[postponed])
+                moved_to_far = int(postponed.size)
+            near = near[keep_mask]
+        self.split = new_split
+
+        if self.iterations % params.refresh_period == 0:
+            partitions.refresh_boundaries(controller.setpoint, decision.alpha_used)
+
+        self.frontier = near
+        drains = 0
+        if self.frontier.size == 0 and partitions.total():
+            self.frontier, self.lower, self.split, drains, scanned = _drain(
+                partitions,
+                dist,
+                advanced_at,
+                self.lower,
+                self.split,
+                controller.delta,
+                params.delta_min,
+            )
+            far_scanned += scanned
+            # the next X^(1) was produced by draining, not by delta_change:
+            # it would mislabel the BISECT-MODEL sample
+            controller.invalidate_pending()
+
+        now = controller.seconds
+        record = IterationRecord(
+            k=self.iterations - 1,
+            x1=x1,
+            x2=adv.x2,
+            x3=x3,
+            x4=x4,
+            delta=decision.delta,
+            split=self.split,
+            far_size=partitions.total(),
+            drains=drains,
+            moved_from_far=moved_from_far,
+            moved_to_far=moved_to_far,
+            far_scanned=far_scanned,
+            d_estimate=controller.d,
+            alpha_estimate=controller.alpha,
+            controller_seconds=now - self._controller_prev_seconds,
+        )
+        self._controller_prev_seconds = now
+        return record
+
+    def run(self, trace: RunTrace | None = None) -> SSSPResult:
+        """Drive to completion, appending records to ``trace`` if given."""
+        params = self.params
+        while not self.done:
+            record = self.step()
+            if trace is not None and record is not None:
+                trace.append(record)
+            if params.max_iterations and self.iterations >= params.max_iterations:
+                break
+        return self.result()
+
+    def result(self) -> SSSPResult:
+        """The (current) distances packaged as an :class:`SSSPResult`."""
+        return SSSPResult(
+            dist=self.dist,
+            source=self.source,
+            iterations=self.iterations,
+            relaxations=self.relaxations,
+            algorithm="adaptive-nearfar",
+            extra={
+                "setpoint": self.params.setpoint,
+                "final_setpoint": self.controller.setpoint,
+                "initial_delta": self.initial_delta,
+                "final_delta": self.controller.delta,
+                "d": self.controller.d,
+                "alpha": self.controller.alpha,
+                "controller_seconds": self.controller.seconds,
+            },
+        )
+
+
+def _pull_from_far(
+    partitions: FarQueuePartitions | FlatFarQueue,
+    near: np.ndarray,
+    dist: np.ndarray,
+    advanced_at: np.ndarray,
+    split: float,
+) -> Tuple[np.ndarray, int, int]:
+    """Move live far-queue vertices with dist < split into the frontier.
+
+    Pulled entries are re-validated: stale copies (already advanced at
+    their current distance) are discarded; entries still at or beyond
+    the split are re-inserted.  Returns ``(frontier, moved, scanned)``
+    where ``scanned`` is the number of entries the range query had to
+    touch (the cost the partitioned queue exists to minimise).
+    """
+    pulled = partitions.extract_below(split)
+    if pulled.size == 0:
+        return near, 0, 0
+    scanned = int(pulled.size)
+    pulled = np.unique(pulled)
+    live = pulled[dist[pulled] < advanced_at[pulled]]
+    inside = live[dist[live] < split]
+    outside = live[dist[live] >= split]
+    if outside.size:
+        partitions.insert(outside, dist[outside])
+    if inside.size == 0:
+        return near, 0, scanned
+    merged = np.union1d(near, inside) if near.size else inside
+    return merged, int(inside.size), scanned
+
+
+def _drain(
+    partitions: FarQueuePartitions | FlatFarQueue,
+    dist: np.ndarray,
+    advanced_at: np.ndarray,
+    lower: float,
+    split: float,
+    delta: float,
+    delta_min: float,
+) -> Tuple[np.ndarray, float, float, int, int]:
+    """Advance the window until the far queue yields a non-empty frontier.
+
+    Empty distance ranges are jumped over (probing from the first
+    occupied partition), so progress is O(live far entries) even when
+    the controller has driven delta very small.  Each loop round either
+    produces a frontier or permanently discards stale entries, so the
+    loop terminates.  Returns the scanned-entry count alongside the
+    window state for kernel-cost accounting.
+    """
+    step = max(delta, delta_min)
+    drains = 0
+    scanned = 0
+    frontier = _EMPTY
+    while partitions.total():
+        drains += 1
+        probe = max(split, partitions.min_occupied_lower()) + step
+        pulled = partitions.extract_below(probe)
+        if pulled.size == 0:  # defensive: cannot happen while total() > 0
+            break
+        scanned += int(pulled.size)
+        pulled = np.unique(pulled)
+        live = pulled[dist[pulled] < advanced_at[pulled]]
+        if live.size == 0:
+            continue  # only stale duplicates: dropped, total() shrank
+        d_live = dist[live]
+        new_split = max(probe, float(d_live.min()) + step)
+        inside_mask = d_live < new_split
+        outside = live[~inside_mask]
+        if outside.size:
+            partitions.insert(outside, dist[outside])
+        lower, split = split, new_split
+        frontier = live[inside_mask]
+        break
+    return frontier, lower, split, drains, scanned

@@ -1,0 +1,31 @@
+"""Algorithm/platform co-simulation.
+
+The paper's conclusion sketches the next step beyond a parallelism
+set-point: "a user might specify a power limit instead of P, and the
+controller could then adjust itself in response to direct power
+observations.  While that is not possible on the Jetson evaluation
+platforms…" — on this simulated substrate it *is* possible, so this
+package implements it:
+
+* :class:`~repro.cosim.power_target.PowerTargetServo` — an outer
+  control loop that watches the (simulated, PowerMon-style) measured
+  power while the self-tuning SSSP runs and retargets the inner
+  controller's set-point to hold a watt budget;
+* :func:`~repro.cosim.power_target.power_target_sssp` — one-call
+  entry point returning the SSSP result, the trace, the platform run
+  and the set-point trajectory.
+"""
+
+from repro.cosim.power_target import (
+    PowerTargetParams,
+    PowerTargetResult,
+    PowerTargetServo,
+    power_target_sssp,
+)
+
+__all__ = [
+    "PowerTargetParams",
+    "PowerTargetResult",
+    "PowerTargetServo",
+    "power_target_sssp",
+]

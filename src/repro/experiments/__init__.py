@@ -1,0 +1,48 @@
+"""Per-figure experiment harness.
+
+One module per artifact of the paper's evaluation:
+
+========  ====================================================  ==================
+Exp id    Paper artifact                                        Module
+========  ====================================================  ==================
+T1        Table 1 — dataset characteristics                     ``table1``
+F1        Fig. 1 — concurrency profiles + density               ``fig1``
+F2        Fig. 2 — delta vs parallelism                         ``fig2``
+F3        Fig. 3 — Cal performance vs delta                     ``fig3``
+F5        Fig. 5 — parallelism distributions at set-points      ``fig5``
+F6        Fig. 6 — TK1 speedup vs relative power                ``fig6``
+F7        Fig. 7 — TX1 speedup vs relative power                ``fig7``
+F8        Fig. 8 — average power vs set-point                   ``fig8``
+S5.2      controller overhead                                   ``overhead``
+A1        ablations of controller design choices (DESIGN §6)   ``ablations``
+A2        KLA constant-k comparison (related work)              ``kla_comparison``
+A3        controller transient dynamics                         ``dynamics``
+A4        source robustness (batched Fig. 5)                    ``robustness``
+P1        power-target control (the paper's §6 future work)     ``power_target``
+========  ====================================================  ==================
+
+Every module exposes a ``run_*`` function returning structured data and
+a ``main()`` that prints the same rows/series the paper reports.  The
+CLI (``python -m repro experiment <id>``) wraps them all.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import (
+    find_time_minimizing_delta,
+    frequency_settings,
+    pick_source,
+    run_adaptive,
+    run_baseline,
+    scaled_setpoints,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "find_time_minimizing_delta",
+    "frequency_settings",
+    "pick_source",
+    "run_adaptive",
+    "run_baseline",
+    "scaled_setpoints",
+]

@@ -1,0 +1,102 @@
+"""A1 — ablation study of the controller's design choices.
+
+Not a paper artifact: DESIGN.md calls for ablation benches on the
+design decisions the paper motivates but does not isolate.  Four
+variants run at the middle set-point on both datasets:
+
+* **full** — the paper's controller as described;
+* **no-bootstrap** — Eq. 8 disabled: the learned α is trusted from
+  iteration one (the paper warns this makes "the algorithm unstable
+  during initial iterations");
+* **flat-queue** — the Section-4.6 recursive partitioning replaced by
+  a flat far queue (every range query scans everything);
+* **fixed-sgd** — Algorithm 1's adaptive learning rate replaced by
+  damped-Newton steps with a constant rate.
+
+Reported per variant: set-point tracking quality (median distance of
+the steady-state parallelism from P, and CV), algorithmic work, far
+queue traffic, and simulated time/energy on the TK1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import pick_source, scaled_setpoints
+from repro.gpusim.device import JETSON_TK1
+from repro.gpusim.dvfs import FixedDVFS
+from repro.gpusim.executor import simulate_run
+
+__all__ = ["ABLATION_VARIANTS", "run_ablations", "main"]
+
+ABLATION_VARIANTS: Dict[str, dict] = {
+    "full": {},
+    "no-bootstrap": {"use_bootstrap": False},
+    "flat-queue": {"use_partitions": False},
+    "fixed-sgd": {"sgd_mode": "fixed"},
+}
+
+
+def _tracking_error(parallelism: np.ndarray, setpoint: float) -> float:
+    """Median relative distance of steady-state X^(2) from P."""
+    if parallelism.size == 0:
+        return float("nan")
+    steady = parallelism[parallelism.size // 5 :]
+    if steady.size == 0:
+        steady = parallelism
+    return float(np.median(np.abs(steady - setpoint)) / setpoint)
+
+
+def run_ablations(config: ExperimentConfig | None = None) -> Dict[str, List[dict]]:
+    config = config or default_config()
+    policy = FixedDVFS.max_performance(JETSON_TK1)
+    out: Dict[str, List[dict]] = {}
+    for name, graph in config.datasets().items():
+        source = pick_source(graph)
+        setpoint = scaled_setpoints(name, config.scale)[1]
+        rows: List[dict] = []
+        for variant, overrides in ABLATION_VARIANTS.items():
+            result, trace, controller = adaptive_sssp(
+                graph,
+                source,
+                AdaptiveParams(setpoint=setpoint, **overrides),
+            )
+            run = simulate_run(trace, JETSON_TK1, policy)
+            far_traffic = int(
+                trace.column("moved_from_far").sum()
+                + trace.column("moved_to_far").sum()
+            )
+            rows.append(
+                {
+                    "variant": variant,
+                    "P": round(setpoint, 0),
+                    "iterations": result.iterations,
+                    "tracking err": round(_tracking_error(trace.parallelism, setpoint), 3),
+                    "cv": round(trace.parallelism_cv, 3),
+                    "relaxations": result.relaxations,
+                    "far traffic": far_traffic,
+                    "sim time (ms)": round(run.total_seconds * 1e3, 3),
+                    "energy (J)": round(run.total_energy_j, 4),
+                }
+            )
+        out[name] = rows
+    return out
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    data = run_ablations(config)
+    chunks = [banner("Ablations: controller design choices")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

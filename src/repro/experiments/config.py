@@ -1,0 +1,46 @@
+"""Experiment configuration shared by all figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import bench_scale, cal_like, wiki_like
+
+__all__ = ["ExperimentConfig", "default_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for the harness.
+
+    ``scale`` shrinks the Table-1 datasets (1.0 ~= the paper's sizes;
+    the default keeps the full harness to minutes on a laptop).  Set
+    the ``REPRO_SCALE`` environment variable to override.
+    """
+
+    scale: float = field(default_factory=bench_scale)
+    seed: int = 7
+    # delta multipliers swept when searching the time-minimising delta
+    delta_multipliers: Tuple[float, ...] = (0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128)
+
+    def datasets(self) -> Dict[str, CSRGraph]:
+        """The two Table-1 stand-ins at this config's scale."""
+        return {
+            "cal": cal_like(self.scale, seed=self.seed),
+            "wiki": wiki_like(self.scale, seed=self.seed + 4),
+        }
+
+    def dataset(self, name: str) -> CSRGraph:
+        try:
+            return self.datasets()[name]
+        except KeyError:
+            raise ValueError(f"unknown dataset {name!r}; options: cal, wiki") from None
+
+
+def default_config(scale: float | None = None) -> ExperimentConfig:
+    """The config the benchmarks use (scale from REPRO_SCALE when unset)."""
+    if scale is None:
+        return ExperimentConfig()
+    return ExperimentConfig(scale=scale)

@@ -1,0 +1,51 @@
+"""A3 — controller transient dynamics.
+
+Supplementary to Figure 5: how *fast* does the controller converge?
+The paper claims α settles "after about 5 iterations"; this experiment
+measures the settling iteration of both learned parameters and of the
+parallelism band on each dataset, at each scaled set-point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import pick_source, scaled_setpoints
+from repro.instrument.convergence import analyze_controller
+
+__all__ = ["run_dynamics", "main"]
+
+
+def run_dynamics(config: ExperimentConfig | None = None) -> Dict[str, List[dict]]:
+    config = config or default_config()
+    out: Dict[str, List[dict]] = {}
+    for name, graph in config.datasets().items():
+        source = pick_source(graph)
+        rows: List[dict] = []
+        for setpoint in scaled_setpoints(name, config.scale):
+            _, trace, _ = adaptive_sssp(
+                graph, source, AdaptiveParams(setpoint=setpoint)
+            )
+            dyn = analyze_controller(trace, setpoint)
+            row = {"P": round(setpoint, 0)}
+            row.update(dyn.as_row())
+            rows.append(row)
+        out[name] = rows
+    return out
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    data = run_dynamics(config)
+    chunks = [banner("Controller transient dynamics (supplement to Fig. 5)")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,102 @@
+"""F1 — Figure 1: concurrency profiles, baseline vs self-tuning.
+
+The paper's Figure 1 shows, for a scale-free input, the per-iteration
+available parallelism of (a) the baseline Gunrock SSSP and (b) the
+proposed self-tuning algorithm, each with a rotated density inset.
+The claim: the controller produces "a higher and more consistent
+average over a smaller dynamic range".
+
+``run_fig1`` returns both profiles plus the three shape metrics the
+claim turns on (mean, coefficient of variation, dynamic range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_series, format_table
+from repro.experiments.runner import (
+    find_time_minimizing_delta,
+    pick_source,
+    run_adaptive,
+    run_baseline,
+    scaled_setpoints,
+)
+from repro.gpusim.device import JETSON_TK1
+from repro.instrument.profile import ParallelismProfile, profile_from_trace
+
+__all__ = ["Fig1Result", "run_fig1", "main"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    dataset: str
+    baseline: ParallelismProfile
+    selftuning: ParallelismProfile
+    setpoint: float
+    baseline_delta: float
+
+    def comparison_rows(self) -> list[dict]:
+        rows = []
+        for profile in (self.baseline, self.selftuning):
+            steady = profile.steady_state()
+            rows.append(
+                {
+                    "profile": profile.label,
+                    "iterations": profile.num_iterations,
+                    "mean par": round(profile.summary.mean, 1),
+                    "median par": round(profile.summary.median, 1),
+                    "cv": round(profile.summary.cv, 3),
+                    "steady cv": round(steady.summary.cv, 3),
+                    "dyn range": round(profile.dynamic_range, 1),
+                }
+            )
+        return rows
+
+
+def run_fig1(
+    config: ExperimentConfig | None = None, dataset: str = "wiki"
+) -> Fig1Result:
+    """Profiles for the baseline (time-minimising delta) vs self-tuning.
+
+    The paper's Figure 1 uses the scale-free network; ``dataset='cal'``
+    produces the road-network counterpart.
+    """
+    config = config or default_config()
+    graph = config.dataset(dataset)
+    source = pick_source(graph)
+
+    best_delta, _ = find_time_minimizing_delta(
+        graph, source, JETSON_TK1, config.delta_multipliers
+    )
+    _, base_trace = run_baseline(graph, source, best_delta)
+
+    setpoint = scaled_setpoints(dataset, config.scale)[1]  # the middle P
+    _, tuned_trace = run_adaptive(graph, source, setpoint)
+
+    return Fig1Result(
+        dataset=dataset,
+        baseline=profile_from_trace(base_trace, "baseline near+far"),
+        selftuning=profile_from_trace(tuned_trace, f"self-tuning P={setpoint:.0f}"),
+        setpoint=setpoint,
+        baseline_delta=best_delta,
+    )
+
+
+def main(config: ExperimentConfig | None = None, dataset: str = "wiki") -> str:
+    res = run_fig1(config, dataset)
+    out = [
+        banner(f"Figure 1: concurrency profiles ({res.dataset})"),
+        format_series("(a) baseline parallelism", res.baseline.series),
+        format_series("(b) self-tuning parallelism", res.selftuning.series),
+        "",
+        format_table(res.comparison_rows()),
+    ]
+    text = "\n".join(out)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

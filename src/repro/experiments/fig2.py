@@ -1,0 +1,59 @@
+"""F2 — Figure 2: delta versus parallelism.
+
+The paper sweeps the static delta of the baseline near+far algorithm
+and plots average parallelism (mean ``X^(2)`` over iterations) for both
+datasets.  Claim: "For small values of delta ... parallelism is small.
+As delta increases, the parallelism increases."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import pick_source, run_baseline
+from repro.sssp.nearfar import suggest_delta
+
+__all__ = ["run_fig2", "main"]
+
+
+def run_fig2(config: ExperimentConfig | None = None) -> Dict[str, List[dict]]:
+    """For each dataset: rows of (delta, average parallelism, iterations)."""
+    config = config or default_config()
+    out: Dict[str, List[dict]] = {}
+    for name, graph in config.datasets().items():
+        source = pick_source(graph)
+        base = suggest_delta(graph)
+        rows: List[dict] = []
+        for mult in config.delta_multipliers:
+            delta = base * mult
+            result, trace = run_baseline(graph, source, delta)
+            rows.append(
+                {
+                    "delta": round(delta, 4),
+                    "delta/avg_w": mult,
+                    "avg parallelism": round(trace.average_parallelism, 1),
+                    "median parallelism": round(float(np.median(trace.parallelism)), 1),
+                    "iterations": result.iterations,
+                }
+            )
+        out[name] = rows
+    return out
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    data = run_fig2(config)
+    chunks = [banner("Figure 2: delta versus parallelism")]
+    for name, rows in data.items():
+        chunks.append(f"-- {name} --")
+        chunks.append(format_table(rows))
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

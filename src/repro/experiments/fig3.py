@@ -1,0 +1,82 @@
+"""F3 — Figure 3: Cal (road network) performance versus delta.
+
+The paper shows, on Cal, how the static delta shapes the frontier-size
+series and the resulting runtime: "A small delta results in sub-par
+parallelism, and consequently, longer running time.  As delta
+increases, the peak parallelism ... grows proportionally, resulting in
+a reduced number of iterations."
+
+``run_fig3`` returns, per swept delta: iteration count, peak/mean
+frontier size, total (redundant) work, and simulated runtime on the
+TK1 — plus the raw frontier-size series for a small/medium/large delta
+triple (the three curves of the paper's plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_series, format_table
+from repro.experiments.runner import pick_source, run_baseline
+from repro.gpusim.device import JETSON_TK1
+from repro.gpusim.dvfs import FixedDVFS
+from repro.gpusim.executor import simulate_run
+from repro.sssp.nearfar import suggest_delta
+
+__all__ = ["Fig3Result", "run_fig3", "main"]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    rows: List[dict]
+    series: Dict[str, np.ndarray]  # label -> frontier-size (X^(2)) series
+
+
+def run_fig3(config: ExperimentConfig | None = None) -> Fig3Result:
+    config = config or default_config()
+    graph = config.dataset("cal")
+    source = pick_source(graph)
+    base = suggest_delta(graph)
+    policy = FixedDVFS.max_performance(JETSON_TK1)
+
+    rows: List[dict] = []
+    series: Dict[str, np.ndarray] = {}
+    mults = config.delta_multipliers
+    picked = {mults[0], mults[len(mults) // 2], mults[-1]}
+    for mult in mults:
+        delta = base * mult
+        result, trace = run_baseline(graph, source, delta)
+        run = simulate_run(trace, JETSON_TK1, policy)
+        par = trace.parallelism
+        rows.append(
+            {
+                "delta": round(delta, 4),
+                "iterations": result.iterations,
+                "peak frontier": int(par.max()) if par.size else 0,
+                "mean frontier": round(float(par.mean()), 1) if par.size else 0,
+                "relaxations": result.relaxations,
+                "sim time (ms)": round(run.total_seconds * 1e3, 3),
+                "energy (J)": round(run.total_energy_j, 4),
+            }
+        )
+        if mult in picked:
+            series[f"delta={delta:.3g}"] = par
+    return Fig3Result(rows=rows, series=series)
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    res = run_fig3(config)
+    chunks = [banner("Figure 3: Cal performance versus delta"), format_table(res.rows), ""]
+    for label, s in res.series.items():
+        chunks.append(format_series(f"frontier size {label}", s))
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

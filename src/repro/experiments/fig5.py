@@ -1,0 +1,98 @@
+"""F5 — Figure 5: efficacy of parallelism control.
+
+The paper, on the Cal road network, compares the distribution of
+available parallelism across iterations for the self-tuning algorithm
+at three set-points against the time-minimising baseline.  Claims:
+
+* at each set-point the controller keeps the *median* parallelism
+  close to ``P`` with most mass near the median;
+* the baseline has a much lower median and much higher variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import (
+    find_time_minimizing_delta,
+    pick_source,
+    run_adaptive,
+    run_baseline,
+    scaled_setpoints,
+)
+from repro.gpusim.device import JETSON_TK1
+from repro.instrument.stats import DistributionSummary, iqr_fraction_near, summarize
+
+__all__ = ["Fig5Row", "run_fig5", "main"]
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    label: str
+    setpoint: float | None  # None = baseline
+    summary: DistributionSummary
+    mass_near_target: float  # fraction of iterations within P*(1 +- 0.5)
+
+    def as_row(self) -> dict:
+        return {
+            "configuration": self.label,
+            "P": round(self.setpoint, 0) if self.setpoint else "-",
+            "median": round(self.summary.median, 1),
+            "p25": round(self.summary.p25, 1),
+            "p75": round(self.summary.p75, 1),
+            "mean": round(self.summary.mean, 1),
+            "cv": round(self.summary.cv, 3),
+            "mass near P": round(self.mass_near_target, 3) if self.setpoint else "-",
+        }
+
+
+def run_fig5(
+    config: ExperimentConfig | None = None, dataset: str = "cal"
+) -> List[Fig5Row]:
+    config = config or default_config()
+    graph = config.dataset(dataset)
+    source = pick_source(graph)
+
+    best_delta, _ = find_time_minimizing_delta(
+        graph, source, JETSON_TK1, config.delta_multipliers
+    )
+    _, base_trace = run_baseline(graph, source, best_delta)
+    rows = [
+        Fig5Row(
+            label=f"Near+Far (delta={best_delta:.3g})",
+            setpoint=None,
+            summary=summarize(base_trace.parallelism),
+            mass_near_target=0.0,
+        )
+    ]
+    for setpoint in scaled_setpoints(dataset, config.scale):
+        _, trace = run_adaptive(graph, source, setpoint)
+        par = trace.parallelism
+        rows.append(
+            Fig5Row(
+                label=f"self-tuning P={setpoint:.0f}",
+                setpoint=setpoint,
+                summary=summarize(par),
+                mass_near_target=iqr_fraction_near(par, setpoint, tolerance=0.5),
+            )
+        )
+    return rows
+
+
+def main(config: ExperimentConfig | None = None, dataset: str = "cal") -> str:
+    rows = run_fig5(config, dataset)
+    text = "\n".join(
+        [
+            banner(f"Figure 5: efficacy of parallelism control ({dataset})"),
+            format_table([r.as_row() for r in rows]),
+        ]
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

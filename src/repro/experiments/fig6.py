@@ -1,0 +1,172 @@
+"""F6/F7 — Figures 6-7: performance versus power trade-off.
+
+The paper's central result.  For each dataset and device, it compares:
+
+* the **baseline** near+far at its time-minimising delta under the
+  board's automatic DVFS — the (1, 1) reference point;
+* the baseline at explicit core/memory frequency settings ("c/m"
+  star markers);
+* the **self-tuning** algorithm at three set-points, under the
+  automatic policy and under each explicit frequency setting.
+
+Every configuration is reported as (speedup, relative power) against
+the reference, i.e. the exact axes of Figures 6 and 7.  Claims:
+
+* on Cal, self-tuning points exist that are simultaneously faster and
+  lower-power than the baseline (above the x = y diagonal);
+* DVFS alone trades performance for power along one curve; composing
+  it with the algorithmic knob reaches combinations DVFS cannot;
+* the middle set-point tends to peak speedup (too much parallelism
+  buys redundant work).
+
+:func:`run_tradeoff` is shared by fig6 (TK1) and fig7 (TX1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import (
+    find_time_minimizing_delta,
+    frequency_settings,
+    pick_source,
+    run_adaptive,
+    run_baseline,
+    scaled_setpoints,
+)
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.dvfs import FixedDVFS, default_governor
+from repro.gpusim.executor import simulate_run
+
+__all__ = ["TradeoffPoint", "run_tradeoff", "run_fig6", "main"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One marker of the paper's scatter plots."""
+
+    algorithm: str  # "baseline" | "self-tuning"
+    dvfs: str  # "auto" or "c/m"
+    setpoint: float | None
+    speedup: float  # baseline-auto time / this time
+    relative_power: float  # this avg power / baseline-auto avg power
+    time_ms: float
+    avg_power_w: float
+    energy_j: float
+
+    @property
+    def energy_win(self) -> bool:
+        """Above the x = y diagonal: speedup exceeds the power cost."""
+        return self.speedup > self.relative_power
+
+    def as_row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "dvfs": self.dvfs,
+            "P": round(self.setpoint, 0) if self.setpoint else "-",
+            "speedup": round(self.speedup, 3),
+            "rel power": round(self.relative_power, 3),
+            "time (ms)": round(self.time_ms, 3),
+            "power (W)": round(self.avg_power_w, 3),
+            "energy (J)": round(self.energy_j, 4),
+            "energy win": "yes" if self.energy_win else "no",
+        }
+
+
+def run_tradeoff(
+    device: DeviceSpec,
+    config: ExperimentConfig | None = None,
+) -> Dict[str, List[TradeoffPoint]]:
+    """The full Figure 6/7 matrix for one device: dataset -> points."""
+    config = config or default_config()
+    out: Dict[str, List[TradeoffPoint]] = {}
+
+    for name, graph in config.datasets().items():
+        source = pick_source(graph)
+        best_delta, _ = find_time_minimizing_delta(
+            graph, source, device, config.delta_multipliers
+        )
+        _, base_trace = run_baseline(graph, source, best_delta)
+
+        # reference: baseline under the board's automatic policy
+        ref = simulate_run(base_trace, device, default_governor(device))
+        ref_time, ref_power = ref.total_seconds, ref.average_power_w
+        points: List[TradeoffPoint] = [
+            TradeoffPoint(
+                algorithm="baseline",
+                dvfs="auto",
+                setpoint=None,
+                speedup=1.0,
+                relative_power=1.0,
+                time_ms=ref_time * 1e3,
+                avg_power_w=ref_power,
+                energy_j=ref.total_energy_j,
+            )
+        ]
+
+        settings = frequency_settings(device)
+
+        # baseline at explicit frequencies
+        for core, mem in settings:
+            run = simulate_run(base_trace, device, FixedDVFS(device, core, mem))
+            points.append(
+                TradeoffPoint(
+                    algorithm="baseline",
+                    dvfs=f"{core}/{mem}",
+                    setpoint=None,
+                    speedup=ref_time / run.total_seconds,
+                    relative_power=run.average_power_w / ref_power,
+                    time_ms=run.total_seconds * 1e3,
+                    avg_power_w=run.average_power_w,
+                    energy_j=run.total_energy_j,
+                )
+            )
+
+        # self-tuning at each set-point x {auto + explicit settings}
+        for setpoint in scaled_setpoints(name, config.scale):
+            _, trace = run_adaptive(graph, source, setpoint)
+            for dvfs_label, policy in [("auto", default_governor(device))] + [
+                (f"{c}/{m}", FixedDVFS(device, c, m)) for c, m in settings
+            ]:
+                run = simulate_run(trace, device, policy)
+                points.append(
+                    TradeoffPoint(
+                        algorithm="self-tuning",
+                        dvfs=dvfs_label,
+                        setpoint=setpoint,
+                        speedup=ref_time / run.total_seconds,
+                        relative_power=run.average_power_w / ref_power,
+                        time_ms=run.total_seconds * 1e3,
+                        avg_power_w=run.average_power_w,
+                        energy_j=run.total_energy_j,
+                    )
+                )
+        out[name] = points
+    return out
+
+
+def run_fig6(config: ExperimentConfig | None = None) -> Dict[str, List[TradeoffPoint]]:
+    """Figure 6: the trade-off matrix on the TK1."""
+    return run_tradeoff(get_device("tk1"), config)
+
+
+def main(
+    config: ExperimentConfig | None = None, device_name: str = "tk1"
+) -> str:
+    device = get_device(device_name)
+    data = run_tradeoff(device, config)
+    fig = "6" if "tk1" in device.name else "7"
+    chunks = [banner(f"Figure {fig}: performance versus power ({device.name})")]
+    for name, points in data.items():
+        chunks.append(f"-- {name} --")
+        chunks.append(format_table([p.as_row() for p in points]))
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,31 @@
+"""F7 — Figure 7: performance versus power on the TX1.
+
+Same matrix as Figure 6 (see :mod:`repro.experiments.fig6`) on the
+newer Maxwell board.  The paper's TX1-specific observations: points
+cluster more as P varies (better stock DVFS, lower overall GPU
+utilisation), and self-tuning does not always beat DVFS on power but
+still buys extra speedup at equal system power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig6 import TradeoffPoint, main as _main, run_tradeoff
+from repro.gpusim.device import get_device
+
+__all__ = ["run_fig7", "main"]
+
+
+def run_fig7(config: ExperimentConfig | None = None) -> Dict[str, List[TradeoffPoint]]:
+    """Figure 7: the trade-off matrix on the TX1."""
+    return run_tradeoff(get_device("tx1"), config)
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    return _main(config, device_name="tx1")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""F8 — Figure 8: variation in average power with the set-point P.
+
+The paper sweeps P under the board's default DVFS mode and shows that
+average power correlates with P — the basis for its claim that a
+future controller could servo on measured power directly.
+
+``run_fig8`` sweeps a geometric ladder of set-points on both datasets
+and reports the simulated average power (plus a PowerMon-sampled
+cross-check, since on this substrate we *can* attach the power meter
+the paper wished for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import pick_source, run_adaptive, scaled_setpoints
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.dvfs import default_governor
+from repro.gpusim.executor import simulate_run
+from repro.gpusim.powermon import sample_run
+
+__all__ = ["run_fig8", "main"]
+
+
+def _setpoint_ladder(dataset: str, scale: float, points: int = 6) -> List[float]:
+    """A geometric P ladder spanning below/above the paper's set-points."""
+    anchors = scaled_setpoints(dataset, scale)
+    lo, hi = anchors[0] / 2.0, anchors[-1] * 2.0
+    return list(np.geomspace(lo, hi, points))
+
+
+def run_fig8(
+    config: ExperimentConfig | None = None,
+    device: DeviceSpec | None = None,
+) -> Dict[str, List[dict]]:
+    config = config or default_config()
+    device = device or get_device("tk1")
+    out: Dict[str, List[dict]] = {}
+    for name, graph in config.datasets().items():
+        source = pick_source(graph)
+        rows: List[dict] = []
+        for setpoint in _setpoint_ladder(name, config.scale):
+            _, trace = run_adaptive(graph, source, setpoint)
+            run = simulate_run(trace, device, default_governor(device))
+            pm = sample_run(run, seed=config.seed)
+            rows.append(
+                {
+                    "P": round(setpoint, 0),
+                    "avg parallelism": round(trace.average_parallelism, 1),
+                    "avg power (W)": round(run.average_power_w, 3),
+                    "powermon avg (W)": round(pm.average_power_w, 3)
+                    if pm.num_samples
+                    else "-",
+                    "time (ms)": round(run.total_seconds * 1e3, 3),
+                    "energy (J)": round(run.total_energy_j, 4),
+                }
+            )
+        out[name] = rows
+    return out
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    data = run_fig8(config)
+    chunks = [banner("Figure 8: average power versus set-point P (default DVFS)")]
+    for name, rows in data.items():
+        chunks.append(f"-- {name} --")
+        chunks.append(format_table(rows))
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""P1 — power-target control (the paper's §6 future work).
+
+"In principle, a user might specify a power limit instead of P, and
+the controller could then adjust itself in response to direct power
+observations.  While that is not possible on the Jetson evaluation
+platforms, Figure 8 shows that there is some correlation between
+average power and P…"
+
+On the simulated substrate direct power observation *is* possible, so
+this experiment closes the loop: sweep watt budgets on both datasets
+and report how closely the measured steady-state power lands on each
+budget, plus the set-point the servo converged to and the run cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.cosim import PowerTargetParams, power_target_sssp
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.report import banner, format_table
+from repro.experiments.runner import pick_source
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.dvfs import default_governor
+from repro.gpusim.executor import simulate_run
+from repro.graph.csr import CSRGraph
+
+__all__ = ["run_power_target", "main"]
+
+
+def _achievable_ceiling(
+    graph: CSRGraph, source: int, device: DeviceSpec
+) -> float:
+    """Probe the workload's achievable average power on this device.
+
+    A watt budget above what the input can sustain is unreachable —
+    the servo would peg P at its cap.  Run the plain self-tuning
+    algorithm at an oversized set-point and take that run's average
+    power as the ceiling for budget placement.
+    """
+    _, trace, _ = adaptive_sssp(
+        graph, source, AdaptiveParams(setpoint=4.0 * device.saturation_items)
+    )
+    run = simulate_run(trace, device, default_governor(device))
+    return run.average_power_w
+
+
+def run_power_target(
+    config: ExperimentConfig | None = None,
+    device: DeviceSpec | None = None,
+) -> Dict[str, List[dict]]:
+    config = config or default_config()
+    device = device or get_device("tk1")
+    out: Dict[str, List[dict]] = {}
+    for name, graph in config.datasets().items():
+        source = pick_source(graph)
+        floor = device.static_power_w
+        ceiling = _achievable_ceiling(graph, source, device)
+        span = max(ceiling - floor, 0.1)
+        budgets = [floor + f * span for f in (0.3, 0.5, 0.7, 0.9)]
+        rows: List[dict] = []
+        for budget in budgets:
+            res = power_target_sssp(
+                graph,
+                source,
+                device,
+                PowerTargetParams(target_watts=budget, initial_setpoint=500.0),
+            )
+            steady = res.steady_state_power()
+            rows.append(
+                {
+                    "budget (W)": round(budget, 2),
+                    "steady power (W)": round(steady, 2),
+                    "error": round((steady - budget) / budget, 3),
+                    "final P": round(res.final_setpoint, 0),
+                    "iterations": res.result.iterations,
+                    "time (ms)": round(res.platform.total_seconds * 1e3, 2),
+                    "energy (J)": round(res.platform.total_energy_j, 4),
+                }
+            )
+        out[name] = rows
+    return out
+
+
+def main(config: ExperimentConfig | None = None) -> str:
+    data = run_power_target(config)
+    chunks = [banner("Power-target control (paper §6 future work)")]
+    for name, rows in data.items():
+        chunks += [f"-- {name} --", format_table(rows)]
+    text = "\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

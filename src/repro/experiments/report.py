@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows and series the paper's tables and
+figures report; these helpers keep the formatting uniform (fixed-width
+ASCII tables, sparkline-style series, section banners).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["banner", "format_table", "format_series", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def banner(title: str, width: int = 78) -> str:
+    """A section banner: ``=== title ===`` padded to ``width``."""
+    pad = max(width - len(title) - 8, 0)
+    return f"=== {title} ===" + "=" * pad
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render dict rows as an aligned ASCII table (keys of the first row
+    define the column order)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_cell(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in table) for i in range(len(columns))]
+    lines = []
+    header = "  ".join(t.ljust(w) for t, w in zip(table[0], widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table[1:]:
+        lines.append("  ".join(t.rjust(w) for t, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Iterable[float], width: int = 64) -> str:
+    """Compress a series into a unicode block sparkline of ``width`` chars."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # bucket-average down to width
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.asarray(
+            [arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _BLOCKS[1] * arr.size
+    levels = ((arr - lo) / (hi - lo) * (len(_BLOCKS) - 2) + 1).astype(int)
+    return "".join(_BLOCKS[i] for i in levels)
+
+
+def format_series(
+    label: str, values: Iterable[float], width: int = 64
+) -> str:
+    """One labelled sparkline row with min/max annotations."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return f"{label}: (empty)"
+    return (
+        f"{label:<28s} {sparkline(arr, width)}  "
+        f"[min {_cell(float(arr.min()))}, max {_cell(float(arr.max()))}, "
+        f"n={arr.size}]"
+    )

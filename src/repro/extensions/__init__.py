@@ -1,0 +1,28 @@
+"""Generalisations of the controller to other frontier primitives.
+
+The paper's conclusion: "we believe the same ideas are relevant to
+other graph implementations … many of the other graph computations
+have a similar structure to SSSP: they are expressed as sequences or
+banks of 'frontier filters' that manipulate a frontier work-queue."
+
+This package demonstrates that claim on a second primitive:
+single-source *widest path* (maximum bottleneck), whose frontier
+engine runs the same four stages with an inverted priority window —
+and whose parallelism the unchanged
+:class:`~repro.core.controller.SetpointController` steers just as it
+does for SSSP.
+"""
+
+from repro.extensions.widest_path import (
+    WidestPathParams,
+    adaptive_widest_path,
+    widest_path,
+    widest_path_reference,
+)
+
+__all__ = [
+    "WidestPathParams",
+    "adaptive_widest_path",
+    "widest_path",
+    "widest_path_reference",
+]

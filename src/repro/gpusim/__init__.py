@@ -1,0 +1,49 @@
+"""Simulated embedded CPU+GPU platform.
+
+Substitutes for the paper's experimental apparatus (NVIDIA Jetson
+TK1/TX1 + PowerMon board): an analytic SIMT device model with
+
+* :mod:`~repro.gpusim.device` — device specs with core/memory frequency
+  tables (TK1 Kepler and TX1 Maxwell presets);
+* :mod:`~repro.gpusim.kernels` — per-stage kernel cost models (roofline:
+  time = max(compute, memory) + launch overhead, with a fixed-latency
+  floor for under-filled launches);
+* :mod:`~repro.gpusim.power` — CMOS-style power model with a linear
+  V(f) curve and utilisation-dependent dynamic power;
+* :mod:`~repro.gpusim.dvfs` — fixed frequency settings (the paper's
+  "c/m" points) and a reactive hardware-managed governor;
+* :mod:`~repro.gpusim.executor` — replays an SSSP
+  :class:`~repro.instrument.trace.RunTrace` into time, energy and
+  power;
+* :mod:`~repro.gpusim.powermon` — a PowerMon-style sampled power trace
+  (1 kHz, system-level, with measurement noise).
+"""
+
+from repro.gpusim.device import JETSON_TK1, JETSON_TX1, DeviceSpec, get_device
+from repro.gpusim.dvfs import AutoGovernor, DVFSPolicy, FixedDVFS, FrequencySetting
+from repro.gpusim.executor import IterationCost, KernelCost, PlatformRun, simulate_run
+from repro.gpusim.kernels import KernelSpec, STAGE_SPECS, iteration_kernels
+from repro.gpusim.power import PowerModel
+from repro.gpusim.powermon import PowerMonChannel, PowerMonTrace, sample_run
+
+__all__ = [
+    "AutoGovernor",
+    "DVFSPolicy",
+    "DeviceSpec",
+    "FixedDVFS",
+    "FrequencySetting",
+    "IterationCost",
+    "JETSON_TK1",
+    "JETSON_TX1",
+    "KernelCost",
+    "KernelSpec",
+    "PlatformRun",
+    "PowerModel",
+    "PowerMonChannel",
+    "PowerMonTrace",
+    "STAGE_SPECS",
+    "get_device",
+    "iteration_kernels",
+    "sample_run",
+    "simulate_run",
+]

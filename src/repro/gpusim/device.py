@@ -1,0 +1,165 @@
+"""Device specifications and the Jetson TK1/TX1 presets.
+
+A :class:`DeviceSpec` captures everything the kernel-time and power
+models need: core count, supported core/memory frequencies, memory bus
+width, voltage range, calibrated power envelope, and launch/latency
+constants.
+
+The two presets mirror the paper's platforms:
+
+* **Jetson TK1** — Kepler GK20A GPU, 192 CUDA cores, core clock up to
+  852 MHz, LPDDR3 on a 64-bit bus up to 924 MHz (≈14.8 GB/s);
+  system power roughly 4 W idle to 12 W busy.
+* **Jetson TX1** — Maxwell GM20B GPU, 256 CUDA cores, core clock up to
+  998 MHz, LPDDR4 on a 64-bit bus up to 1600 MHz (≈25.6 GB/s);
+  faster and somewhat more efficient, with a better-behaved stock
+  DVFS policy (the paper's §5.2 observation).
+
+Frequency values are MHz and match the boards' published operating
+points (rounded to integers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["DeviceSpec", "JETSON_TK1", "JETSON_TX1", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """An analytic model of an embedded CPU+GPU board.
+
+    Power calibration fields give the *maximum* dynamic power of each
+    domain (at top frequency, top voltage, 100% utilisation); the
+    power model scales them down with frequency, voltage and
+    utilisation.  ``static_power_w`` is the whole-board floor (CPU,
+    rails, idle GPU) — the paper measures system-level power with
+    PowerMon, so we model the same scope.
+    """
+
+    name: str
+    num_cores: int
+    core_freqs_mhz: Tuple[int, ...]
+    mem_freqs_mhz: Tuple[int, ...]
+    # memory bandwidth: bytes/s per MHz of memory clock (bus width x DDR)
+    mem_bytes_per_mhz: float
+    # voltage endpoints of the linear V(f) curve over the core range
+    v_min: float
+    v_max: float
+    # calibrated power envelope (watts)
+    static_power_w: float
+    max_core_dynamic_w: float
+    max_mem_dynamic_w: float
+    # items in flight per core for full throughput (latency hiding)
+    saturation_occupancy: float
+    kernel_launch_overhead_s: float
+    # CPU-side controller cost per iteration for self-tuning runs (§5.2)
+    controller_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if not self.core_freqs_mhz or not self.mem_freqs_mhz:
+            raise ValueError("frequency tables must be non-empty")
+        if tuple(sorted(self.core_freqs_mhz)) != self.core_freqs_mhz:
+            raise ValueError("core_freqs_mhz must be sorted ascending")
+        if tuple(sorted(self.mem_freqs_mhz)) != self.mem_freqs_mhz:
+            raise ValueError("mem_freqs_mhz must be sorted ascending")
+        if min(self.core_freqs_mhz) <= 0 or min(self.mem_freqs_mhz) <= 0:
+            raise ValueError("frequencies must be positive")
+        if not 0 < self.v_min <= self.v_max:
+            raise ValueError("need 0 < v_min <= v_max")
+        if min(
+            self.static_power_w, self.max_core_dynamic_w, self.max_mem_dynamic_w
+        ) < 0:
+            raise ValueError("power figures must be non-negative")
+        if self.saturation_occupancy <= 0:
+            raise ValueError("saturation_occupancy must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def max_core_mhz(self) -> int:
+        return self.core_freqs_mhz[-1]
+
+    @property
+    def max_mem_mhz(self) -> int:
+        return self.mem_freqs_mhz[-1]
+
+    @property
+    def saturation_items(self) -> float:
+        """Work items needed in flight for full throughput."""
+        return self.num_cores * self.saturation_occupancy
+
+    def mem_bandwidth(self, mem_mhz: float) -> float:
+        """Bytes per second at the given memory clock."""
+        return self.mem_bytes_per_mhz * mem_mhz
+
+    def voltage(self, core_mhz: float) -> float:
+        """Linear V(f) over the supported core range (clamped)."""
+        lo, hi = self.core_freqs_mhz[0], self.core_freqs_mhz[-1]
+        if hi == lo:
+            return self.v_max
+        t = (core_mhz - lo) / (hi - lo)
+        t = min(max(t, 0.0), 1.0)
+        return self.v_min + t * (self.v_max - self.v_min)
+
+    def validate_setting(self, core_mhz: int, mem_mhz: int) -> None:
+        if core_mhz not in self.core_freqs_mhz:
+            raise ValueError(
+                f"{core_mhz} MHz is not a supported core frequency of "
+                f"{self.name}; options: {self.core_freqs_mhz}"
+            )
+        if mem_mhz not in self.mem_freqs_mhz:
+            raise ValueError(
+                f"{mem_mhz} MHz is not a supported memory frequency of "
+                f"{self.name}; options: {self.mem_freqs_mhz}"
+            )
+
+
+JETSON_TK1 = DeviceSpec(
+    name="jetson-tk1",
+    num_cores=192,
+    core_freqs_mhz=(72, 180, 252, 396, 540, 612, 696, 756, 804, 852),
+    mem_freqs_mhz=(204, 396, 600, 792, 924),
+    mem_bytes_per_mhz=16.0e6,  # 64-bit LPDDR3, DDR: 16 B per MHz -> 14.8 GB/s @ 924
+    v_min=0.85,
+    v_max=1.25,
+    static_power_w=4.0,
+    max_core_dynamic_w=6.0,
+    max_mem_dynamic_w=2.5,
+    saturation_occupancy=16.0,
+    kernel_launch_overhead_s=8e-6,
+    controller_overhead_s=5e-7,
+)
+
+JETSON_TX1 = DeviceSpec(
+    name="jetson-tx1",
+    num_cores=256,
+    core_freqs_mhz=(153, 230, 307, 460, 614, 768, 921, 998),
+    mem_freqs_mhz=(408, 665, 800, 1065, 1331, 1600),
+    mem_bytes_per_mhz=16.0e6,  # 64-bit LPDDR4 -> 25.6 GB/s @ 1600
+    v_min=0.82,
+    v_max=1.23,
+    static_power_w=4.5,
+    max_core_dynamic_w=8.0,
+    max_mem_dynamic_w=3.0,
+    saturation_occupancy=16.0,
+    kernel_launch_overhead_s=6e-6,
+    controller_overhead_s=4e-7,
+)
+
+_DEVICES = {d.name: d for d in (JETSON_TK1, JETSON_TX1)}
+_ALIASES = {"tk1": "jetson-tk1", "tx1": "jetson-tx1"}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a preset by name ('tk1', 'tx1', or the full name)."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        return _DEVICES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; options: {sorted(_DEVICES) + sorted(_ALIASES)}"
+        ) from None

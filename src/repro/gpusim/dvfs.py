@@ -1,0 +1,175 @@
+"""DVFS: frequency settings and governors.
+
+Mirrors the paper's two operating modes:
+
+* *explicit settings* — the "c/m" points of Figures 6-7 (e.g.
+  ``852/924`` = 852 MHz core, 924 MHz memory), via :class:`FixedDVFS`;
+* *hardware-managed* — "the hardware uses its own automatic policy",
+  via :class:`AutoGovernor`, a reactive utilisation-threshold governor
+  of the interactive-governor family that embedded NVIDIA boards ship.
+
+A crucial realism detail: hardware governors sample on a *fixed wall-
+clock period* (tens of milliseconds), not per kernel.  An SSSP
+iteration lasts tens of microseconds, so the stock governor reacts to
+utilisation averaged over hundreds of iterations and always lags
+bursts — it runs the baseline's brief high-parallelism spikes at
+whatever frequency the preceding lull chose, and keeps the clock up
+through lulls after a burst.  A *steady* load (what the self-tuning
+controller produces) is exactly what such a governor handles well;
+this interaction is half of the paper's Figures 6-7 story.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "FrequencySetting",
+    "DVFSPolicy",
+    "FixedDVFS",
+    "AutoGovernor",
+    "default_governor",
+]
+
+
+@dataclass(frozen=True)
+class FrequencySetting:
+    """A (core MHz, memory MHz) operating point."""
+
+    core_mhz: int
+    mem_mhz: int
+
+    @property
+    def label(self) -> str:
+        """The paper's "c/m" notation."""
+        return f"{self.core_mhz}/{self.mem_mhz}"
+
+
+class DVFSPolicy(ABC):
+    """Chooses the operating point; observes utilisation as time passes."""
+
+    @abstractmethod
+    def select(self, device: DeviceSpec) -> FrequencySetting:
+        """The setting for the upcoming iteration."""
+
+    def observe(self, utilization: float, seconds: float) -> None:
+        """Feed back one iteration's core utilisation and duration."""
+
+    def reset(self) -> None:
+        """Forget adaptation state (start of a new run)."""
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+
+class FixedDVFS(DVFSPolicy):
+    """Pin both clocks — the paper's explicit c/m settings."""
+
+    def __init__(self, device: DeviceSpec, core_mhz: int, mem_mhz: int):
+        device.validate_setting(core_mhz, mem_mhz)
+        self.setting = FrequencySetting(core_mhz, mem_mhz)
+
+    @classmethod
+    def max_performance(cls, device: DeviceSpec) -> "FixedDVFS":
+        return cls(device, device.max_core_mhz, device.max_mem_mhz)
+
+    @classmethod
+    def min_power(cls, device: DeviceSpec) -> "FixedDVFS":
+        return cls(device, device.core_freqs_mhz[0], device.mem_freqs_mhz[0])
+
+    def select(self, device: DeviceSpec) -> FrequencySetting:
+        return self.setting
+
+    @property
+    def label(self) -> str:
+        return self.setting.label
+
+
+class AutoGovernor(DVFSPolicy):
+    """Sampled reactive utilisation-threshold governor (stock policy).
+
+    Every ``period_s`` of simulated time it compares the time-weighted
+    mean utilisation since the last decision against two thresholds and
+    steps the core clock up or down (``responsiveness`` steps at a
+    time).  The memory clock follows the core clock's relative position
+    in its table.
+
+    The TX1's stock governor is better tuned than the TK1's — the paper
+    leans on that ("continued improvements in DVFS set points on the
+    TX1") — captured by :func:`default_governor`.
+    """
+
+    def __init__(
+        self,
+        up_threshold: float = 0.70,
+        down_threshold: float = 0.25,
+        responsiveness: int = 1,
+        start_fraction: float = 0.5,
+        period_s: float = 0.010,
+    ):
+        if not 0 <= down_threshold < up_threshold <= 1:
+            raise ValueError("need 0 <= down_threshold < up_threshold <= 1")
+        if responsiveness < 1:
+            raise ValueError("responsiveness must be >= 1")
+        if not 0 <= start_fraction <= 1:
+            raise ValueError("start_fraction must be in [0, 1]")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.responsiveness = responsiveness
+        self.start_fraction = start_fraction
+        self.period_s = period_s
+        self._index: int | None = None
+        self._acc_util_time = 0.0
+        self._acc_time = 0.0
+
+    def reset(self) -> None:
+        self._index = None
+        self._acc_util_time = 0.0
+        self._acc_time = 0.0
+
+    def observe(self, utilization: float, seconds: float) -> None:
+        self._acc_util_time += utilization * seconds
+        self._acc_time += seconds
+
+    def select(self, device: DeviceSpec) -> FrequencySetting:
+        table = device.core_freqs_mhz
+        if self._index is None:
+            self._index = int(round(self.start_fraction * (len(table) - 1)))
+        elif self._acc_time >= self.period_s:
+            mean_util = self._acc_util_time / self._acc_time
+            if mean_util > self.up_threshold:
+                self._index = min(self._index + self.responsiveness, len(table) - 1)
+            elif mean_util < self.down_threshold:
+                self._index = max(self._index - self.responsiveness, 0)
+            self._acc_util_time = 0.0
+            self._acc_time = 0.0
+        core = table[self._index]
+        mem_table = device.mem_freqs_mhz
+        mem_idx = int(round(self._index / max(len(table) - 1, 1) * (len(mem_table) - 1)))
+        return FrequencySetting(core, mem_table[mem_idx])
+
+    @property
+    def label(self) -> str:
+        return "auto"
+
+
+def default_governor(device: DeviceSpec) -> AutoGovernor:
+    """The stock governor tuning for a preset.
+
+    The TX1 governor samples faster and steps harder (its stock DVFS is
+    visibly better than the TK1's in the paper's results).
+    """
+    if "tx1" in device.name:
+        return AutoGovernor(
+            up_threshold=0.60,
+            down_threshold=0.30,
+            responsiveness=2,
+            period_s=0.004,
+        )
+    return AutoGovernor()

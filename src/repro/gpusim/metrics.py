@@ -1,0 +1,97 @@
+"""Efficiency metrics over simulated runs.
+
+The quantities the energy-efficiency literature the paper cites
+compares systems by:
+
+* **EDP / ED²P** — energy-delay products (Choi et al.'s roofline-of-
+  energy tradition): lower is better, with ED²P weighting latency
+  harder;
+* **relative points** — the (speedup, relative power) coordinates of
+  Figures 6-7;
+* **Pareto frontier** — which configurations are undominated in
+  (time, energy): the "frontier extension" claim of the paper is that
+  self-tuning points appear on the combined frontier that DVFS-only
+  configurations cannot reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.gpusim.executor import PlatformRun
+
+__all__ = [
+    "energy_delay_product",
+    "energy_delay_squared",
+    "RelativePoint",
+    "relative_point",
+    "pareto_front",
+]
+
+
+def energy_delay_product(run: PlatformRun) -> float:
+    """EDP = energy x time (J·s); lower is better."""
+    return run.total_energy_j * run.total_seconds
+
+
+def energy_delay_squared(run: PlatformRun) -> float:
+    """ED²P = energy x time² (J·s²); latency-weighted efficiency."""
+    return run.total_energy_j * run.total_seconds**2
+
+
+@dataclass(frozen=True)
+class RelativePoint:
+    """A configuration in Figure 6/7 coordinates."""
+
+    label: str
+    speedup: float
+    relative_power: float
+    relative_energy: float
+
+    @property
+    def energy_win(self) -> bool:
+        return self.relative_energy < 1.0
+
+
+def relative_point(
+    run: PlatformRun, reference: PlatformRun, label: str = ""
+) -> RelativePoint:
+    """Express ``run`` relative to ``reference`` (the (1, 1) baseline)."""
+    if reference.total_seconds <= 0 or reference.average_power_w <= 0:
+        raise ValueError("reference run must have positive time and power")
+    return RelativePoint(
+        label=label,
+        speedup=reference.total_seconds / run.total_seconds,
+        relative_power=run.average_power_w / reference.average_power_w,
+        relative_energy=run.total_energy_j / reference.total_energy_j,
+    )
+
+
+def pareto_front(
+    points: Iterable[Tuple[float, ...]],
+) -> List[int]:
+    """Indices of the minimising Pareto-optimal points.
+
+    A point dominates another if it is <= in every coordinate and < in
+    at least one.  Returns indices into the input order, sorted by the
+    first coordinate.  Duplicates of a frontier point are all kept.
+    """
+    pts: Sequence[Tuple[float, ...]] = list(points)
+    if not pts:
+        return []
+    dims = len(pts[0])
+    if any(len(p) != dims for p in pts):
+        raise ValueError("all points must share a dimensionality")
+
+    def dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    # identical points never dominate each other (no strict coordinate),
+    # so duplicates of a frontier point all survive
+    front = [
+        i for i, p in enumerate(pts) if not any(dominates(q, p) for q in pts)
+    ]
+    return sorted(front, key=lambda i: pts[i][0])

@@ -1,0 +1,73 @@
+"""CMOS-style board power model.
+
+System power (the scope PowerMon measures) is modelled as
+
+    P = P_static
+      + P_core_max * u_core * (f/f_max) * (V(f)/V_max)^2
+      + P_mem_max  * u_mem  * (f_m/f_m_max)
+
+i.e. dynamic power ``~ C V^2 f`` scaled by utilisation in each domain.
+``u_core`` is the fraction of the device's latency-hiding capacity the
+kernel fills (small frontiers leave cores idle but still burn
+``P_static`` — the paper's Section 1 inefficiency); ``u_mem`` is the
+achieved fraction of peak bandwidth.
+
+This is intentionally a *shape* model: calibrated to each preset's
+published idle/busy envelope, not to per-instruction measurements.
+DESIGN.md records why that is sufficient for the paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power evaluator bound to one device."""
+
+    device: DeviceSpec
+
+    def core_dynamic(self, utilization: float, core_mhz: float) -> float:
+        """Dynamic GPU-core power at the given utilisation and clock."""
+        u = min(max(utilization, 0.0), 1.0)
+        d = self.device
+        f_ratio = core_mhz / d.max_core_mhz
+        v_ratio = d.voltage(core_mhz) / d.v_max
+        return d.max_core_dynamic_w * u * f_ratio * v_ratio * v_ratio
+
+    def mem_dynamic(self, mem_utilization: float, mem_mhz: float) -> float:
+        """Dynamic memory-system power."""
+        u = min(max(mem_utilization, 0.0), 1.0)
+        d = self.device
+        return d.max_mem_dynamic_w * u * (mem_mhz / d.max_mem_mhz)
+
+    def total(
+        self,
+        utilization: float,
+        mem_utilization: float,
+        core_mhz: float,
+        mem_mhz: float,
+    ) -> float:
+        """Instantaneous board power in watts."""
+        return (
+            self.device.static_power_w
+            + self.core_dynamic(utilization, core_mhz)
+            + self.mem_dynamic(mem_utilization, mem_mhz)
+        )
+
+    @property
+    def idle_power(self) -> float:
+        return self.device.static_power_w
+
+    @property
+    def peak_power(self) -> float:
+        return (
+            self.device.static_power_w
+            + self.device.max_core_dynamic_w
+            + self.device.max_mem_dynamic_w
+        )

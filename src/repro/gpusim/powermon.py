@@ -1,0 +1,113 @@
+"""PowerMon-style sampled power traces.
+
+The paper measures system power with the PowerMon board (Bedard et
+al.): a DC current sensor in the 12 V input path streaming samples
+over USB at up to 1 kHz per channel.  :func:`sample_run` produces the
+equivalent measurement of a simulated :class:`~repro.gpusim.executor.PlatformRun`:
+a fixed-rate sample train of the (piecewise-constant) board power with
+optional sensor noise and quantisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.executor import PlatformRun
+
+__all__ = ["PowerMonChannel", "PowerMonTrace", "sample_run"]
+
+
+@dataclass(frozen=True)
+class PowerMonChannel:
+    """One measurement channel (rail voltage, sense resistor, ADC noise)."""
+
+    rail_volts: float = 12.0
+    sample_rate_hz: float = 1000.0
+    noise_w: float = 0.05  # ADC + sense-resistor noise, 1 sigma
+    quantum_w: float = 0.01  # ADC quantisation step
+
+    def __post_init__(self) -> None:
+        if self.rail_volts <= 0 or self.sample_rate_hz <= 0:
+            raise ValueError("rail voltage and sample rate must be positive")
+        if self.noise_w < 0 or self.quantum_w < 0:
+            raise ValueError("noise and quantum must be non-negative")
+
+
+@dataclass(frozen=True)
+class PowerMonTrace:
+    """A sampled power measurement."""
+
+    times_s: np.ndarray
+    watts: np.ndarray
+    channel: PowerMonChannel
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.times_s.size)
+
+    @property
+    def average_power_w(self) -> float:
+        if self.watts.size == 0:
+            return 0.0
+        return float(self.watts.mean())
+
+    @property
+    def peak_power_w(self) -> float:
+        if self.watts.size == 0:
+            return 0.0
+        return float(self.watts.max())
+
+    @property
+    def energy_j(self) -> float:
+        """Trapezoid-free energy estimate: mean power x duration."""
+        if self.times_s.size == 0:
+            return 0.0
+        duration = float(self.times_s[-1])
+        return self.average_power_w * duration
+
+    def current_a(self) -> np.ndarray:
+        """What the sense resistor actually sees: rail current."""
+        return self.watts / self.channel.rail_volts
+
+
+def sample_run(
+    run: PlatformRun,
+    channel: PowerMonChannel | None = None,
+    *,
+    seed: int = 0,
+) -> PowerMonTrace:
+    """Sample a simulated run's power waveform like a PowerMon would.
+
+    The run's per-iteration average power is treated as a
+    piecewise-constant waveform; samples land every
+    ``1/sample_rate_hz`` seconds, with Gaussian sensor noise and ADC
+    quantisation applied.  Runs shorter than one sample period yield a
+    single sample at the average power (PowerMon cannot resolve them —
+    the same limitation the real device has).
+    """
+    if channel is None:
+        channel = PowerMonChannel()
+    boundaries, power = run.power_series()
+    total = run.total_seconds
+    if total <= 0 or boundaries.size == 0:
+        return PowerMonTrace(
+            times_s=np.zeros(0), watts=np.zeros(0), channel=channel
+        )
+
+    period = 1.0 / channel.sample_rate_hz
+    times = np.arange(period, total, period)
+    if times.size == 0:
+        times = np.asarray([total])
+    idx = np.searchsorted(boundaries, times, side="left")
+    idx = np.minimum(idx, power.size - 1)
+    watts = power[idx].astype(np.float64)
+
+    rng = np.random.default_rng(seed)
+    if channel.noise_w > 0:
+        watts = watts + rng.normal(0.0, channel.noise_w, size=watts.size)
+    if channel.quantum_w > 0:
+        watts = np.round(watts / channel.quantum_w) * channel.quantum_w
+    watts = np.maximum(watts, 0.0)
+    return PowerMonTrace(times_s=times, watts=watts, channel=channel)

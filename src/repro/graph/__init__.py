@@ -1,0 +1,59 @@
+"""Graph substrate: CSR digraphs, generators, weights, I/O, datasets.
+
+This subpackage provides everything the SSSP algorithms consume:
+
+* :class:`~repro.graph.csr.CSRGraph` — the compressed-sparse-row digraph
+  all algorithms operate on.
+* :mod:`~repro.graph.generators` — synthetic graph families (grid road
+  networks, scale-free RMAT/preferential-attachment, Erdős–Rényi, and
+  pathological shapes for testing).
+* :mod:`~repro.graph.weights` — edge-weight assignment schemes.
+* :mod:`~repro.graph.io` — DIMACS ``.gr``, Matrix Market, and TSV
+  edge-list readers/writers.
+* :mod:`~repro.graph.properties` — degree statistics, components, and
+  diameter estimation used to validate the Table 1 stand-ins.
+* :mod:`~repro.graph.datasets` — the ``cal_like`` / ``wiki_like``
+  substitutes for the paper's Cal and Wiki inputs.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DatasetSummary, cal_like, wiki_like
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid_road_network,
+    path_graph,
+    rmat,
+    star_graph,
+)
+from repro.graph.properties import (
+    GraphStats,
+    degree_statistics,
+    estimate_diameter,
+    graph_stats,
+    is_connected_from,
+    reachable_count,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DatasetSummary",
+    "GraphStats",
+    "barabasi_albert",
+    "cal_like",
+    "complete_graph",
+    "degree_statistics",
+    "erdos_renyi",
+    "estimate_diameter",
+    "graph_stats",
+    "grid_road_network",
+    "is_connected_from",
+    "path_graph",
+    "reachable_count",
+    "rmat",
+    "star_graph",
+    "weakly_connected_components",
+    "wiki_like",
+]

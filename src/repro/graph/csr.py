@@ -1,0 +1,285 @@
+"""Compressed-sparse-row weighted digraph.
+
+All SSSP algorithms in this package operate on :class:`CSRGraph`: an
+immutable adjacency structure with ``int64`` row offsets, ``int32``
+column indices and ``float64`` edge weights.  The layout mirrors what a
+GPU graph library such as Gunrock uses, which matters here because the
+paper's parallelism counters (``X_k^(1..4)``) are defined in terms of
+CSR neighbour-list sizes.
+
+The class is deliberately small: construction, validation, neighbour
+slicing, degree queries, transpose and a handful of conversion helpers.
+Everything analytical lives in :mod:`repro.graph.properties`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A weighted directed graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; the out-neighbours of
+        vertex ``u`` occupy ``indices[indptr[u]:indptr[u + 1]]``.
+    indices:
+        ``int32`` array of length ``num_edges`` holding edge endpoints.
+    weights:
+        ``float64`` array of length ``num_edges`` holding edge weights.
+        Weights must be non-negative for every SSSP algorithm except
+        Bellman–Ford (which tolerates negative weights but not negative
+        cycles).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    name: str = field(default="graph", compare=False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int32)
+        weights = np.ascontiguousarray(self.weights, dtype=np.float64)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "weights", weights)
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the CSR arrays are inconsistent."""
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise ValueError("indptr must be a 1-D array of length >= 1")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if self.indices.ndim != 1 or self.weights.ndim != 1:
+            raise ValueError("indices and weights must be 1-D")
+        if self.indices.size != self.weights.size:
+            raise ValueError(
+                f"indices ({self.indices.size}) and weights "
+                f"({self.weights.size}) must have equal length"
+            )
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError(
+                f"indptr[-1]={self.indptr[-1]} must equal "
+                f"num_edges={self.indices.size}"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = self.num_nodes
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n
+        ):
+            raise ValueError("edge endpoint out of range")
+        if np.any(~np.isfinite(self.weights)):
+            raise ValueError("edge weights must be finite")
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        src: Iterable[int],
+        dst: Iterable[int],
+        weight: Iterable[float],
+        *,
+        name: str = "graph",
+        dedupe: bool = False,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel edge arrays.
+
+        Parameters
+        ----------
+        num_nodes:
+            Number of vertices; endpoints must lie in ``[0, num_nodes)``.
+        src, dst, weight:
+            Parallel arrays describing directed edges ``src -> dst``.
+        dedupe:
+            When true, parallel edges are collapsed keeping the minimum
+            weight (the SSSP-preserving reduction).
+        """
+        src_a = np.asarray(list(src) if not isinstance(src, np.ndarray) else src)
+        dst_a = np.asarray(list(dst) if not isinstance(dst, np.ndarray) else dst)
+        w_a = np.asarray(
+            list(weight) if not isinstance(weight, np.ndarray) else weight,
+            dtype=np.float64,
+        )
+        if not (src_a.shape == dst_a.shape == w_a.shape):
+            raise ValueError("src, dst and weight must have identical shapes")
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        if src_a.size:
+            if src_a.min() < 0 or src_a.max() >= num_nodes:
+                raise ValueError("source endpoint out of range")
+            if dst_a.min() < 0 or dst_a.max() >= num_nodes:
+                raise ValueError("destination endpoint out of range")
+
+        src_a = src_a.astype(np.int64, copy=False)
+        dst_a = dst_a.astype(np.int64, copy=False)
+
+        if dedupe and src_a.size:
+            key = src_a * np.int64(num_nodes) + dst_a
+            order = np.argsort(key, kind="stable")
+            key_s, w_s = key[order], w_a[order]
+            # minimum weight within each run of equal keys
+            boundaries = np.flatnonzero(np.diff(key_s)) + 1
+            starts = np.concatenate(([0], boundaries))
+            w_min = np.minimum.reduceat(w_s, starts)
+            key_u = key_s[starts]
+            src_a = (key_u // num_nodes).astype(np.int64)
+            dst_a = (key_u % num_nodes).astype(np.int64)
+            w_a = w_min
+
+        order = np.argsort(src_a, kind="stable")
+        src_s, dst_s, w_s = src_a[order], dst_a[order], w_a[order]
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, src_s + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(
+            indptr=indptr,
+            indices=dst_s.astype(np.int32),
+            weights=w_s,
+            name=name,
+        )
+
+    @classmethod
+    def empty(cls, num_nodes: int = 0, *, name: str = "empty") -> "CSRGraph":
+        """An edgeless graph with ``num_nodes`` vertices."""
+        return cls(
+            indptr=np.zeros(num_nodes + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int32),
+            weights=np.zeros(0, dtype=np.float64),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    def out_degree(self, u: int | np.ndarray | None = None) -> np.ndarray | int:
+        """Out-degree of ``u`` (scalar), of an array of vertices, or of all."""
+        degrees = np.diff(self.indptr)
+        if u is None:
+            return degrees
+        if np.isscalar(u):
+            return int(degrees[u])
+        return degrees[np.asarray(u)]
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Out-neighbour vertex ids of ``u`` (a CSR view, do not mutate)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """Weights parallel to :meth:`neighbors`."""
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(u, v, w)`` triples (slow; for tests and I/O only)."""
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        for u, v, w in zip(src, self.indices, self.weights):
+            yield int(u), int(v), float(w)
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(src, dst, weight)`` arrays (src is materialised)."""
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        return src, self.indices.astype(np.int64), self.weights.copy()
+
+    @property
+    def max_degree(self) -> int:
+        if self.num_nodes == 0:
+            return 0
+        return int(np.diff(self.indptr).max())
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    @property
+    def average_weight(self) -> float:
+        """Mean edge weight; 1.0 for edgeless graphs (a safe delta seed)."""
+        if self.num_edges == 0:
+            return 1.0
+        return float(self.weights.mean())
+
+    def has_negative_weights(self) -> bool:
+        return bool(self.num_edges and self.weights.min() < 0)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (every edge reversed)."""
+        src, dst, w = self.edge_arrays()
+        return CSRGraph.from_edges(
+            self.num_nodes, dst, src, w, name=f"{self.name}^T"
+        )
+
+    def to_undirected(self) -> "CSRGraph":
+        """Symmetrise: add the reverse of every edge, deduping by min weight."""
+        src, dst, w = self.edge_arrays()
+        return CSRGraph.from_edges(
+            self.num_nodes,
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            np.concatenate([w, w]),
+            name=f"{self.name}+sym",
+            dedupe=True,
+        )
+
+    def with_weights(self, weights: np.ndarray, *, name: str | None = None) -> "CSRGraph":
+        """Same topology, new weights."""
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            weights=np.asarray(weights, dtype=np.float64),
+            name=name or self.name,
+        )
+
+    def subgraph_mask(self, keep: np.ndarray, *, name: str | None = None) -> "CSRGraph":
+        """Induced subgraph on ``keep`` (bool mask over vertices).
+
+        Vertices are renumbered densely in original order.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.size != self.num_nodes:
+            raise ValueError("mask size must equal num_nodes")
+        new_id = np.full(self.num_nodes, -1, dtype=np.int64)
+        new_id[keep] = np.arange(int(keep.sum()), dtype=np.int64)
+        src, dst, w = self.edge_arrays()
+        m = keep[src] & keep[dst]
+        return CSRGraph.from_edges(
+            int(keep.sum()),
+            new_id[src[m]],
+            new_id[dst[m]],
+            w[m],
+            name=name or f"{self.name}[sub]",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, max_deg={self.max_degree})"
+        )

@@ -1,0 +1,379 @@
+"""Synthetic graph generators.
+
+Two families matter for the reproduction:
+
+* :func:`grid_road_network` — a planar-ish lattice with perturbed node
+  positions, randomly deleted edges and Euclidean weights.  High
+  diameter, degree <= 4: the structural stand-in for the Cal road
+  network (DIMACS Shortest Path Challenge).
+* :func:`rmat` / :func:`barabasi_albert` — scale-free networks with a
+  heavy-tailed degree distribution and small diameter: the stand-in for
+  the wikipedia-20051105 hyperlink graph.
+
+The remaining generators (Erdős–Rényi, path, star, complete) exist for
+tests and pathological-case benchmarks.
+
+All generators are deterministic given a seed and return
+:class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import euclidean_weights, uniform_int_weights
+
+__all__ = [
+    "grid_road_network",
+    "rmat",
+    "barabasi_albert",
+    "erdos_renyi",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "random_weighted_graph",
+    "watts_strogatz",
+]
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    seed: int = 0,
+    drop_fraction: float = 0.08,
+    diagonal_fraction: float = 0.05,
+    coordinate_jitter: float = 0.25,
+    weight_noise: float = 0.15,
+    regional_variation: float = 4.0,
+    regional_bumps: int = 6,
+    name: str | None = None,
+) -> CSRGraph:
+    """A road-network-like graph on a jittered ``rows x cols`` lattice.
+
+    Nodes sit at perturbed integer grid coordinates.  Each node connects
+    to its right and down neighbour (both directions), a fraction of
+    edges is deleted to create detours, and a small fraction of diagonal
+    "shortcut" roads is added.  Weights are Euclidean lengths with
+    multiplicative noise, matching travel-time semantics.
+
+    ``regional_variation`` models the urban/rural heterogeneity of a
+    real road network: a smooth spatial field (a few Gaussian bumps)
+    scales travel times by up to that factor between the slowest and
+    fastest regions.  This matters for the reproduction: a static
+    delta-stepping delta is tuned for one weight scale, so regionally
+    varying weights are precisely what the paper's per-iteration
+    adaptive delta exploits on Cal.  Set it to 1.0 for a homogeneous
+    lattice.
+
+    The result has maximum out-degree <= 8, average degree around 2-2.5
+    per direction, and diameter Theta(rows + cols) — the traits the
+    paper attributes to Cal (high diameter, low degree).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    if regional_variation < 1.0:
+        raise ValueError("regional_variation must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+
+    jj, ii = np.meshgrid(np.arange(cols), np.arange(rows))
+    xy = np.stack([jj.ravel(), ii.ravel()], axis=1).astype(np.float64)
+    if coordinate_jitter > 0:
+        xy += rng.uniform(-coordinate_jitter, coordinate_jitter, size=xy.shape)
+
+    node = np.arange(n).reshape(rows, cols)
+    # horizontal edges u -> u+1 and vertical u -> u+cols
+    h_src = node[:, :-1].ravel()
+    h_dst = node[:, 1:].ravel()
+    v_src = node[:-1, :].ravel()
+    v_dst = node[1:, :].ravel()
+    src = np.concatenate([h_src, v_src])
+    dst = np.concatenate([h_dst, v_dst])
+
+    keep = rng.random(src.size) >= drop_fraction
+    src, dst = src[keep], dst[keep]
+
+    if diagonal_fraction > 0 and rows > 1 and cols > 1:
+        d_src = node[:-1, :-1].ravel()
+        d_dst = node[1:, 1:].ravel()
+        pick = rng.random(d_src.size) < diagonal_fraction
+        src = np.concatenate([src, d_src[pick]])
+        dst = np.concatenate([dst, d_dst[pick]])
+
+    # roads are two-way
+    src2 = np.concatenate([src, dst])
+    dst2 = np.concatenate([dst, src])
+    w = euclidean_weights(xy[src2], xy[dst2], rng=rng, noise=weight_noise)
+
+    if regional_variation > 1.0 and regional_bumps > 0:
+        # smooth urban/rural speed field: Gaussian bumps over the map
+        centers = np.stack(
+            [
+                rng.uniform(0, cols, size=regional_bumps),
+                rng.uniform(0, rows, size=regional_bumps),
+            ],
+            axis=1,
+        )
+        sigma = 0.25 * max(rows, cols)
+        mid = 0.5 * (xy[src2] + xy[dst2])
+        field = np.zeros(src2.size)
+        for cx, cy in centers:
+            d2 = (mid[:, 0] - cx) ** 2 + (mid[:, 1] - cy) ** 2
+            field += np.exp(-d2 / (2 * sigma * sigma))
+        field /= field.max() if field.max() > 0 else 1.0
+        # field in [0, 1] -> multiplier in [1, regional_variation]
+        w = w * (1.0 + (regional_variation - 1.0) * field)
+
+    return CSRGraph.from_edges(
+        n, src2, dst2, w, name=name or f"road-{rows}x{cols}", dedupe=True
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 12,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weight_low: int = 1,
+    weight_high: int = 99,
+    name: str | None = None,
+) -> CSRGraph:
+    """Recursive-MATrix (Kronecker) scale-free graph, Graph500-style.
+
+    Generates ``edge_factor * 2**scale`` directed edges over
+    ``2**scale`` vertices by recursive quadrant sampling with
+    probabilities ``(a, b, c, d=1-a-b-c)``.  Duplicate edges are
+    collapsed (min weight).  Weights are uniform integers in
+    ``[weight_low, weight_high]`` as the paper uses for Wiki.
+    """
+    if scale < 0 or scale > 30:
+        raise ValueError("scale must be in [0, 30]")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # vectorised recursive quadrant choice: one random draw per bit level
+    for _ in range(scale):
+        r = rng.random(m)
+        go_right = (r >= a + b) & (r < a + b + c) | (r >= a + b + c)
+        # quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1)
+        src_bit = (r >= a + b).astype(np.int64)
+        dst_bit = (((r >= a) & (r < a + b)) | (r >= a + b + c)).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+        del go_right
+
+    # permute vertex ids so the heavy vertices are not clustered at 0
+    perm = rng.permutation(n)
+    src = perm[src]
+    dst = perm[dst]
+    # drop self-loops: they never change SSSP distances
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    w = uniform_int_weights(src.size, rng, weight_low, weight_high)
+    return CSRGraph.from_edges(
+        n, src, dst, w, name=name or f"rmat-s{scale}", dedupe=True
+    )
+
+
+def barabasi_albert(
+    n: int,
+    attach: int = 4,
+    *,
+    seed: int = 0,
+    weight_low: int = 1,
+    weight_high: int = 99,
+    name: str | None = None,
+) -> CSRGraph:
+    """Preferential-attachment scale-free graph (undirected, symmetrised).
+
+    Each new vertex attaches to ``attach`` existing vertices chosen
+    proportionally to degree (implemented with the repeated-endpoint
+    urn trick, fully vectorised per arrival batch).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    attach = max(1, min(attach, max(1, n - 1)))
+    rng = np.random.default_rng(seed)
+
+    # seed clique of (attach + 1) vertices
+    n0 = min(n, attach + 1)
+    seed_src, seed_dst = np.meshgrid(np.arange(n0), np.arange(n0))
+    mask = seed_src.ravel() != seed_dst.ravel()
+    src_list = [seed_src.ravel()[mask].astype(np.int64)]
+    dst_list = [seed_dst.ravel()[mask].astype(np.int64)]
+
+    # urn of endpoints; each undirected edge contributes both endpoints
+    urn = [np.repeat(np.arange(n0), n0 - 1).astype(np.int64)]
+    urn_size = n0 * (n0 - 1)
+
+    for v in range(n0, n):
+        flat = np.concatenate(urn) if len(urn) > 1 else urn[0]
+        urn = [flat]
+        targets = flat[rng.integers(0, urn_size, size=attach)]
+        targets = np.unique(targets)
+        s = np.full(targets.size, v, dtype=np.int64)
+        src_list.append(np.concatenate([s, targets]))
+        dst_list.append(np.concatenate([targets, s]))
+        urn.append(np.concatenate([s, targets]))
+        urn_size += 2 * targets.size
+
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+    w = uniform_int_weights(src.size, rng, weight_low, weight_high)
+    return CSRGraph.from_edges(
+        n, src, dst, w, name=name or f"ba-{n}", dedupe=True
+    )
+
+
+def erdos_renyi(
+    n: int,
+    avg_degree: float,
+    *,
+    seed: int = 0,
+    weight_low: int = 1,
+    weight_high: int = 99,
+    name: str | None = None,
+) -> CSRGraph:
+    """G(n, m)-style random digraph with ``round(n * avg_degree)`` edges."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if avg_degree < 0:
+        raise ValueError("avg_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    m = int(round(n * avg_degree))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    w = uniform_int_weights(src.size, rng, weight_low, weight_high)
+    return CSRGraph.from_edges(
+        n, src, dst, w, name=name or f"er-{n}", dedupe=True
+    )
+
+
+def path_graph(n: int, *, weight: float = 1.0, name: str | None = None) -> CSRGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1`` — zero parallelism worst case."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    w = np.full(n - 1, float(weight))
+    return CSRGraph.from_edges(n, src, dst, w, name=name or f"path-{n}")
+
+
+def star_graph(n: int, *, weight: float = 1.0, name: str | None = None) -> CSRGraph:
+    """Star: centre 0 points at all others — one-shot maximal parallelism."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    w = np.full(n - 1, float(weight))
+    return CSRGraph.from_edges(n, src, dst, w, name=name or f"star-{n}")
+
+
+def complete_graph(
+    n: int,
+    *,
+    seed: int = 0,
+    weight_low: int = 1,
+    weight_high: int = 99,
+    name: str | None = None,
+) -> CSRGraph:
+    """Complete digraph with random integer weights (dense stress case)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    s, d = np.meshgrid(np.arange(n), np.arange(n))
+    mask = s.ravel() != d.ravel()
+    src, dst = s.ravel()[mask], d.ravel()[mask]
+    w = uniform_int_weights(src.size, rng, weight_low, weight_high)
+    return CSRGraph.from_edges(n, src, dst, w, name=name or f"complete-{n}")
+
+
+def random_weighted_graph(
+    n: int,
+    m: int,
+    *,
+    seed: int = 0,
+    max_weight: float = 10.0,
+    integer: bool = False,
+) -> CSRGraph:
+    """Unstructured random digraph used heavily by the property tests."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    if integer:
+        w = rng.integers(1, max(2, int(max_weight)) + 1, size=m).astype(np.float64)
+    else:
+        w = rng.uniform(0.01, max_weight, size=m)
+    return CSRGraph.from_edges(n, src, dst, w, name=f"rand-{n}-{m}", dedupe=True)
+
+
+def watts_strogatz(
+    n: int,
+    neighbors: int = 4,
+    rewire: float = 0.1,
+    *,
+    seed: int = 0,
+    weight_low: int = 1,
+    weight_high: int = 99,
+    name: str | None = None,
+) -> CSRGraph:
+    """Watts-Strogatz small-world graph (symmetrised digraph).
+
+    A ring lattice where each vertex connects to its ``neighbors``
+    nearest ring neighbours (``neighbors`` must be even), with each
+    edge's far endpoint rewired uniformly at random with probability
+    ``rewire``.  Interpolates between the road-like regime
+    (``rewire=0``: high diameter, regular degree) and the random-graph
+    regime — a third structural family for controller stress tests.
+    """
+    if n < 3:
+        raise ValueError("n must be >= 3")
+    if neighbors < 2 or neighbors % 2 != 0 or neighbors >= n:
+        raise ValueError("neighbors must be even, >= 2 and < n")
+    if not 0.0 <= rewire <= 1.0:
+        raise ValueError("rewire must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    base = np.arange(n, dtype=np.int64)
+    src_list = []
+    dst_list = []
+    for hop in range(1, neighbors // 2 + 1):
+        src_list.append(base)
+        dst_list.append((base + hop) % n)
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+
+    flip = rng.random(src.size) < rewire
+    random_targets = rng.integers(0, n, size=int(flip.sum()))
+    dst = dst.copy()
+    dst[flip] = random_targets
+    keep = src != dst  # rewiring may create self-loops; drop them
+    src, dst = src[keep], dst[keep]
+
+    src2 = np.concatenate([src, dst])
+    dst2 = np.concatenate([dst, src])
+    w = uniform_int_weights(src2.size, rng, weight_low, weight_high)
+    return CSRGraph.from_edges(
+        n, src2, dst2, w, name=name or f"ws-{n}", dedupe=True
+    )

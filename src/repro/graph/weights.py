@@ -1,0 +1,129 @@
+"""Edge-weight assignment schemes.
+
+The paper assigns uniform random integer weights in ``[1, 99]`` to the
+Wiki hyperlink network (which is unweighted in the UF collection) and
+uses the DIMACS-provided travel-time weights for Cal.  This module
+provides those schemes plus a few more used in tests and ablations.
+
+All functions take an edge count (or a graph) and a seeded
+:class:`numpy.random.Generator`, and return a ``float64`` weight array.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "uniform_int_weights",
+    "uniform_float_weights",
+    "exponential_weights",
+    "unit_weights",
+    "euclidean_weights",
+    "assign_weights",
+]
+
+
+def uniform_int_weights(
+    num_edges: int,
+    rng: np.random.Generator,
+    low: int = 1,
+    high: int = 99,
+) -> np.ndarray:
+    """Uniform random integers in ``[low, high]`` (paper's Wiki scheme)."""
+    if low > high:
+        raise ValueError("low must be <= high")
+    if low <= 0:
+        raise ValueError("weights must stay positive for SSSP; low must be >= 1")
+    return rng.integers(low, high + 1, size=num_edges).astype(np.float64)
+
+
+def uniform_float_weights(
+    num_edges: int,
+    rng: np.random.Generator,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> np.ndarray:
+    """Uniform floats in ``[low, high)``."""
+    if low > high:
+        raise ValueError("low must be <= high")
+    return rng.uniform(low, high, size=num_edges)
+
+
+def exponential_weights(
+    num_edges: int,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Exponentially distributed weights (heavy-ish tail, all positive)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    # Shift away from 0 so delta-stepping buckets stay finite in count.
+    return rng.exponential(scale, size=num_edges) + 1e-6
+
+
+def unit_weights(num_edges: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-ones weights (turns SSSP into BFS level computation)."""
+    return np.ones(num_edges, dtype=np.float64)
+
+
+def euclidean_weights(
+    src_xy: np.ndarray,
+    dst_xy: np.ndarray,
+    rng: np.random.Generator | None = None,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Euclidean distance between embedded endpoints (road-network scheme).
+
+    Parameters
+    ----------
+    src_xy, dst_xy:
+        ``(E, 2)`` coordinate arrays for edge endpoints.
+    noise:
+        Optional multiplicative jitter, ``weight *= U[1, 1 + noise]``,
+        modelling that travel time is not exactly proportional to length.
+    """
+    src_xy = np.asarray(src_xy, dtype=np.float64)
+    dst_xy = np.asarray(dst_xy, dtype=np.float64)
+    if src_xy.shape != dst_xy.shape or src_xy.ndim != 2 or src_xy.shape[1] != 2:
+        raise ValueError("coordinate arrays must both be (E, 2)")
+    w = np.hypot(src_xy[:, 0] - dst_xy[:, 0], src_xy[:, 1] - dst_xy[:, 1])
+    if noise > 0:
+        if rng is None:
+            raise ValueError("rng required when noise > 0")
+        w = w * rng.uniform(1.0, 1.0 + noise, size=w.size)
+    # Guard against coincident points producing zero-weight edges, which
+    # make delta-stepping's bucket count unbounded in theory.
+    return np.maximum(w, 1e-9)
+
+
+def assign_weights(
+    graph: "CSRGraph",
+    scheme: str,
+    rng: np.random.Generator,
+    **kwargs,
+) -> "CSRGraph":
+    """Return a copy of ``graph`` with weights drawn from ``scheme``.
+
+    ``scheme`` is one of ``uniform_int``, ``uniform_float``,
+    ``exponential``, ``unit``.
+    """
+    dispatch = {
+        "uniform_int": uniform_int_weights,
+        "uniform_float": uniform_float_weights,
+        "exponential": exponential_weights,
+        "unit": unit_weights,
+    }
+    if scheme not in dispatch:
+        raise ValueError(
+            f"unknown weight scheme {scheme!r}; expected one of {sorted(dispatch)}"
+        )
+    if scheme == "unit":
+        w = unit_weights(graph.num_edges)
+    else:
+        w = dispatch[scheme](graph.num_edges, rng, **kwargs)
+    return graph.with_weights(w)

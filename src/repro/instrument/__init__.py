@@ -1,0 +1,15 @@
+"""Measurement: per-iteration traces, distribution stats, parallelism profiles."""
+
+from repro.instrument.profile import ParallelismProfile, profile_from_trace
+from repro.instrument.stats import DistributionSummary, density_histogram, summarize
+from repro.instrument.trace import IterationRecord, RunTrace
+
+__all__ = [
+    "DistributionSummary",
+    "IterationRecord",
+    "ParallelismProfile",
+    "RunTrace",
+    "density_histogram",
+    "profile_from_trace",
+    "summarize",
+]

@@ -1,0 +1,103 @@
+"""Controller convergence diagnostics.
+
+The paper states the BISECT-MODEL "converged to an acceptable value of
+α after about 5 iterations" and that the parallelism distribution
+tightens "especially after the initial convergence phase has passed".
+These helpers quantify both from a run trace: settling iterations for
+the learned parameters and for the parallelism band, plus overshoot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instrument.trace import RunTrace
+
+__all__ = ["settling_iteration", "ControllerDynamics", "analyze_controller"]
+
+
+def settling_iteration(
+    series: np.ndarray,
+    target: float | None = None,
+    band: float = 0.25,
+) -> int:
+    """First index from which the series stays inside the band forever.
+
+    The band is ``target * (1 ± band)``; ``target`` defaults to the
+    series' final value.  Returns ``len(series)`` if it never settles
+    (including when the target is ~0, where a relative band is
+    meaningless).
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.size == 0:
+        return 0
+    t = float(x[-1]) if target is None else float(target)
+    if not np.isfinite(t) or abs(t) < 1e-12:
+        return int(x.size)
+    lo, hi = sorted((t * (1 - band), t * (1 + band)))
+    inside = (x >= lo) & (x <= hi)
+    # last violation determines the settling point
+    violations = np.flatnonzero(~inside)
+    if violations.size == 0:
+        return 0
+    settle = int(violations[-1]) + 1
+    return settle if settle < x.size else int(x.size)
+
+
+@dataclass(frozen=True)
+class ControllerDynamics:
+    """Transient-response summary of one self-tuning run."""
+
+    iterations: int
+    d_settling: int  # iterations until d stays within ±25% of final
+    alpha_settling: int  # same for alpha
+    parallelism_entry: int  # first iteration inside the P ± 50% band
+    parallelism_overshoot: float  # max X^(2) / P
+    steady_tracking_error: float  # median |X^(2) − P| / P after entry
+
+    def as_row(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "d settle": self.d_settling,
+            "alpha settle": self.alpha_settling,
+            "par entry": self.parallelism_entry,
+            "overshoot": round(self.parallelism_overshoot, 2),
+            "steady err": round(self.steady_tracking_error, 3),
+        }
+
+
+def analyze_controller(trace: RunTrace, setpoint: float) -> ControllerDynamics:
+    """Transient response of the controller in ``trace`` against ``setpoint``."""
+    if setpoint <= 0:
+        raise ValueError("setpoint must be positive")
+    par = trace.parallelism
+    n = int(par.size)
+    if n == 0:
+        return ControllerDynamics(0, 0, 0, 0, 0.0, float("nan"))
+
+    d_series = trace.column("d_estimate")
+    a_series = trace.column("alpha_estimate")
+    d_settle = settling_iteration(d_series) if np.isfinite(d_series).all() else n
+    a_settle = settling_iteration(a_series) if np.isfinite(a_series).all() else n
+
+    inside = np.flatnonzero(
+        (par >= 0.5 * setpoint) & (par <= 1.5 * setpoint)
+    )
+    entry = int(inside[0]) if inside.size else n
+    overshoot = float(par.max() / setpoint) if n else 0.0
+    steady = par[entry:]
+    err = (
+        float(np.median(np.abs(steady - setpoint)) / setpoint)
+        if steady.size
+        else float("nan")
+    )
+    return ControllerDynamics(
+        iterations=n,
+        d_settling=d_settle,
+        alpha_settling=a_settle,
+        parallelism_entry=entry,
+        parallelism_overshoot=overshoot,
+        steady_tracking_error=err,
+    )

@@ -1,0 +1,88 @@
+"""Trace and result serialisation (JSON).
+
+Reproducibility plumbing: persist a run's per-iteration trace (the
+controller's entire observable world) and reload it later to re-replay
+on different simulated devices without re-running the algorithm —
+exactly how the harness separates the algorithm from the platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.instrument.trace import IterationRecord, RunTrace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def _clean(value: Any) -> Any:
+    """JSON-safe scalars (numpy ints/floats -> python; NaN kept as None)."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        v = float(value)
+        return None if np.isnan(v) else v
+    return value
+
+
+def trace_to_dict(trace: RunTrace) -> dict:
+    """A JSON-ready dict with every iteration record."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "algorithm": trace.algorithm,
+        "graph_name": trace.graph_name,
+        "source": int(trace.source),
+        "records": [
+            {k: _clean(v) for k, v in dataclasses.asdict(rec).items()}
+            for rec in trace.records
+        ],
+    }
+
+
+def trace_from_dict(payload: dict) -> RunTrace:
+    """Inverse of :func:`trace_to_dict` (validates the schema version)."""
+    schema = payload.get("schema")
+    if schema != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {schema!r} (expected {_SCHEMA_VERSION})"
+        )
+    trace = RunTrace(
+        algorithm=payload["algorithm"],
+        graph_name=payload["graph_name"],
+        source=int(payload["source"]),
+    )
+    field_names = {f.name for f in dataclasses.fields(IterationRecord)}
+    for raw in payload["records"]:
+        unknown = set(raw) - field_names
+        if unknown:
+            raise ValueError(f"unknown record fields: {sorted(unknown)}")
+        kwargs = dict(raw)
+        for key in ("d_estimate", "alpha_estimate"):
+            if kwargs.get(key) is None:
+                kwargs[key] = float("nan")
+        trace.append(IterationRecord(**kwargs))
+    return trace
+
+
+def save_trace(trace: RunTrace, path: str | Path) -> Path:
+    """Write a trace as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace)))
+    return path
+
+
+def load_trace(path: str | Path) -> RunTrace:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

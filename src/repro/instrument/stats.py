@@ -1,0 +1,109 @@
+"""Distribution summaries and density histograms.
+
+The paper characterises parallelism as a distribution (the rotated
+"Density" insets of Figure 1 and the box-plot-like Figure 5).  These
+helpers compute the numbers those plots are drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DistributionSummary", "summarize", "density_histogram", "iqr_fraction_near"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary + moments of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std/mean); 0 for a zero-mean sample."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.count,
+            "mean": round(self.mean, 1),
+            "std": round(self.std, 1),
+            "min": round(self.minimum, 1),
+            "p25": round(self.p25, 1),
+            "median": round(self.median, 1),
+            "p75": round(self.p75, 1),
+            "max": round(self.maximum, 1),
+            "cv": round(self.cv, 3),
+        }
+
+
+def summarize(sample: np.ndarray) -> DistributionSummary:
+    """Five-number summary of ``sample`` (empty samples give all-zero)."""
+    x = np.asarray(sample, dtype=np.float64)
+    if x.size == 0:
+        return DistributionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return DistributionSummary(
+        count=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std()),
+        minimum=float(x.min()),
+        p25=float(np.percentile(x, 25)),
+        median=float(np.percentile(x, 50)),
+        p75=float(np.percentile(x, 75)),
+        maximum=float(x.max()),
+    )
+
+
+def density_histogram(
+    sample: np.ndarray, bins: int = 32, log: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bin_edges, density) pair — the Figure 1 inset, as numbers.
+
+    With ``log=True`` the bins are log-spaced, which is how a
+    long-tailed parallelism distribution is best inspected.
+    """
+    x = np.asarray(sample, dtype=np.float64)
+    if x.size == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return edges, np.zeros(bins)
+    if log:
+        positive = x[x > 0]
+        if positive.size == 0:
+            edges = np.linspace(0.0, 1.0, bins + 1)
+            return edges, np.zeros(bins)
+        lo, hi = positive.min(), positive.max()
+        if lo == hi:
+            hi = lo * 1.0001 + 1e-12
+        edges = np.geomspace(lo, hi, bins + 1)
+        density, _ = np.histogram(positive, bins=edges, density=True)
+        return edges, density
+    density, edges = np.histogram(x, bins=bins, density=True)
+    return edges, density
+
+
+def iqr_fraction_near(
+    sample: np.ndarray, target: float, tolerance: float = 0.5
+) -> float:
+    """Fraction of the sample within ``target * (1 +- tolerance)``.
+
+    Quantifies Figure 5's claim that "most of the distribution's mass
+    [is] confined to a region near that median" at each set-point.
+    """
+    x = np.asarray(sample, dtype=np.float64)
+    if x.size == 0 or target <= 0:
+        return 0.0
+    lo, hi = target * (1 - tolerance), target * (1 + tolerance)
+    return float(((x >= lo) & (x <= hi)).mean())

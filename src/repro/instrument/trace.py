@@ -1,0 +1,119 @@
+"""Per-iteration execution traces.
+
+Every frontier-based SSSP run in this package emits one
+:class:`IterationRecord` per outer iteration ``k``, carrying the
+paper's four stage-workload counters:
+
+* ``x1`` — input frontier size (advance input),
+* ``x2`` — advance output size, i.e. the total neighbour-list length of
+  the frontier.  This is the paper's *available parallelism* metric
+  ("Average parallelism is defined as the average frontier size
+  (X_k^(2)) over all iterations").
+* ``x3`` — filter output size (unique improved vertices),
+* ``x4`` — frontier size entering bisect-far-queue / the rebalancer.
+
+The trace is the contract between the algorithms and both the
+controller (:mod:`repro.core`) and the platform simulator
+(:mod:`repro.gpusim.executor`), which replays traces into
+time/energy/power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+__all__ = ["IterationRecord", "RunTrace"]
+
+
+@dataclass
+class IterationRecord:
+    """Stage workloads and knob state for one outer SSSP iteration."""
+
+    k: int
+    x1: int
+    x2: int
+    x3: int
+    x4: int
+    delta: float
+    split: float
+    far_size: int
+    drains: int = 0
+    moved_from_far: int = 0
+    moved_to_far: int = 0
+    # far-queue entries touched by range queries this iteration (pulled
+    # and re-validated, whether or not they moved); the flat-queue
+    # ablation shows up here
+    far_scanned: int = 0
+    # controller internals (NaN when the baseline runs without a controller)
+    d_estimate: float = float("nan")
+    alpha_estimate: float = float("nan")
+    controller_seconds: float = 0.0
+
+    @property
+    def parallelism(self) -> int:
+        """The paper's available-parallelism metric for this iteration."""
+        return self.x2
+
+
+@dataclass
+class RunTrace:
+    """All iteration records of one SSSP run, plus run-level metadata."""
+
+    algorithm: str
+    graph_name: str
+    source: int
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def append(self, rec: IterationRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[IterationRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # column extraction
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """A column across iterations, e.g. ``trace.column('x2')``."""
+        return np.asarray([getattr(r, name) for r in self.records], dtype=np.float64)
+
+    @property
+    def parallelism(self) -> np.ndarray:
+        return self.column("x2")
+
+    @property
+    def deltas(self) -> np.ndarray:
+        return self.column("delta")
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_edges_expanded(self) -> int:
+        return int(self.column("x2").sum())
+
+    @property
+    def average_parallelism(self) -> float:
+        """Mean X^(2) over iterations — the paper's Figure 2 y-axis."""
+        if not self.records:
+            return 0.0
+        return float(self.parallelism.mean())
+
+    @property
+    def parallelism_cv(self) -> float:
+        """Coefficient of variation of X^(2): the variability Fig. 1 shows."""
+        p = self.parallelism
+        if p.size == 0 or p.mean() == 0:
+            return 0.0
+        return float(p.std() / p.mean())
+
+    @property
+    def controller_seconds(self) -> float:
+        return float(self.column("controller_seconds").sum())

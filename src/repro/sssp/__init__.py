@@ -1,0 +1,35 @@
+"""SSSP algorithm zoo.
+
+* :mod:`~repro.sssp.dijkstra` — binary-heap Dijkstra, the correctness
+  oracle for every other algorithm.
+* :mod:`~repro.sssp.bellman_ford` — vectorised Bellman–Ford, a second
+  oracle which also detects negative cycles.
+* :mod:`~repro.sssp.delta_stepping` — classic Meyer–Sanders
+  delta-stepping with a bucket array.
+* :mod:`~repro.sssp.nearfar` — the Gunrock-style near+far baseline
+  (Davidson et al.) with the paper's four stages and ``X^(1..4)``
+  workload counters; this is what the self-tuning algorithm in
+  :mod:`repro.core` extends.
+* :mod:`~repro.sssp.frontier` — shared vectorised stage primitives.
+"""
+
+from repro.sssp.bellman_ford import NegativeCycleError, bellman_ford
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.kla import kla_sssp
+from repro.sssp.nearfar import NearFarParams, nearfar_sssp, suggest_delta
+from repro.sssp.result import SSSPResult, assert_distances_close, extract_path
+
+__all__ = [
+    "NearFarParams",
+    "NegativeCycleError",
+    "SSSPResult",
+    "assert_distances_close",
+    "bellman_ford",
+    "delta_stepping",
+    "dijkstra",
+    "extract_path",
+    "kla_sssp",
+    "nearfar_sssp",
+    "suggest_delta",
+]

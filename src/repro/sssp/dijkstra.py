@@ -1,0 +1,60 @@
+"""Binary-heap Dijkstra — the correctness oracle.
+
+Deliberately simple and obviously-correct (lazy deletion heap); every
+parallel algorithm in the package is property-tested against it.  Not
+vectorised: its job is trust, not speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sssp.result import SSSPResult
+
+__all__ = ["dijkstra"]
+
+
+def dijkstra(graph: CSRGraph, source: int, *, with_pred: bool = False) -> SSSPResult:
+    """Exact single-source shortest paths for non-negative weights.
+
+    Raises ``ValueError`` on negative edge weights (use
+    :func:`repro.sssp.bellman_ford.bellman_ford` for those).
+    """
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} nodes")
+    if graph.has_negative_weights():
+        raise ValueError("Dijkstra requires non-negative edge weights")
+
+    dist = np.full(n, np.inf)
+    pred = np.full(n, -1, dtype=np.int64) if with_pred else None
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    relaxations = 0
+
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    while heap:
+        du, u = heapq.heappop(heap)
+        if du > dist[u]:
+            continue  # stale entry
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            relaxations += 1
+            cand = du + weights[e]
+            if cand < dist[v]:
+                dist[v] = cand
+                if pred is not None:
+                    pred[v] = u
+                heapq.heappush(heap, (cand, int(v)))
+
+    return SSSPResult(
+        dist=dist,
+        source=source,
+        pred=pred,
+        iterations=0,
+        relaxations=relaxations,
+        algorithm="dijkstra",
+    )

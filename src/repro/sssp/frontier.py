@@ -1,0 +1,145 @@
+"""Vectorised frontier-stage primitives shared by all frontier SSSP variants.
+
+These four functions are the Python analogues of the Gunrock kernels
+the paper instruments (Section 3.1):
+
+* :func:`advance` — explore all out-edges of the frontier, relax
+  distances (``np.minimum.at`` plays the role of ``atomicMin``), and
+  return the improved endpoints.  Its *output size* — the total
+  neighbour-list length — is the paper's ``X^(2)`` parallelism metric.
+* :func:`filter_frontier` — deduplicate improved endpoints (``X^(3)``).
+* :func:`bisect` — split vertices into near (< split) and far (>= split).
+* :func:`drain_far_queue` — the baseline bisect-far-queue stage: advance
+  the phase window until the frontier is non-empty, dropping stale
+  far-queue entries.
+
+Hot paths contain no per-vertex Python loops; everything is CSR slicing
+plus ufunc reductions, per the scientific-python optimisation guides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "AdvanceOutput",
+    "advance",
+    "filter_frontier",
+    "bisect",
+    "drain_far_queue",
+    "ragged_arange",
+]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``[arange(c) for c in counts]``, fully vectorised."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    ids = np.arange(total, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return ids - np.repeat(starts, counts)
+
+
+@dataclass
+class AdvanceOutput:
+    """What one advance stage produced."""
+
+    improved: np.ndarray  # improved endpoint per winning relaxation (with duplicates)
+    x2: int  # total neighbour-list length == advance output size == parallelism
+    relaxations: int  # edges whose relaxation was attempted (== x2)
+
+
+def advance(graph: CSRGraph, frontier: np.ndarray, dist: np.ndarray) -> AdvanceOutput:
+    """Relax every out-edge of ``frontier`` in place on ``dist``.
+
+    Semantics match a GPU advance kernel with ``atomicMin``: all
+    candidate distances are computed from the pre-stage ``dist`` values
+    of the frontier, then written with an atomic minimum.  The improved
+    array holds every endpoint whose candidate beat its pre-stage
+    distance (duplicates included, exactly what Gunrock's filter stage
+    receives).
+    """
+    if frontier.size == 0:
+        return AdvanceOutput(improved=_EMPTY, x2=0, relaxations=0)
+    starts = graph.indptr[frontier]
+    counts = graph.indptr[frontier + 1] - starts
+    x2 = int(counts.sum())
+    if x2 == 0:
+        return AdvanceOutput(improved=_EMPTY, x2=0, relaxations=0)
+
+    offsets = np.repeat(starts, counts) + ragged_arange(counts)
+    v = graph.indices[offsets].astype(np.int64)
+    w = graph.weights[offsets]
+    du = np.repeat(dist[frontier], counts)
+    cand = du + w
+
+    old = dist[v]  # pre-stage snapshot (atomic-read-before-write semantics)
+    np.minimum.at(dist, v, cand)
+    improved = v[cand < old]
+    return AdvanceOutput(improved=improved, x2=x2, relaxations=x2)
+
+
+def filter_frontier(improved: np.ndarray) -> np.ndarray:
+    """Deduplicate advance output: the filter stage (``X^(3)`` = result size)."""
+    if improved.size == 0:
+        return _EMPTY
+    return np.unique(improved)
+
+
+def bisect(
+    vertices: np.ndarray, dist: np.ndarray, split: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``vertices`` into (near, far) by ``dist < split``."""
+    if vertices.size == 0:
+        return _EMPTY, _EMPTY
+    mask = dist[vertices] < split
+    return vertices[mask], vertices[~mask]
+
+
+def drain_far_queue(
+    far: np.ndarray,
+    dist: np.ndarray,
+    lower: float,
+    split: float,
+    delta: float,
+) -> Tuple[np.ndarray, np.ndarray, float, float, int]:
+    """Baseline bisect-far-queue: pull the next non-empty distance band.
+
+    Starting from window ``[lower, split)``, advances the window in
+    ``delta``-wide bands until some far-queue vertices fall inside it
+    (or the queue empties).  Stale entries — vertices whose current
+    distance already dropped below the old split (they were
+    re-processed via the near queue) — are discarded, as in Davidson
+    et al.'s far-pile compaction.  Empty bands are skipped in one jump
+    (``drains`` still counts how many bands were crossed), so draining
+    is O(|far|) regardless of how small ``delta`` is.
+
+    Returns ``(frontier, far_remaining, lower, split, drains)``.
+    """
+    if far.size == 0:
+        return _EMPTY, _EMPTY, lower, split, 0
+    if delta <= 0:
+        raise ValueError("delta must be positive to drain the far queue")
+
+    far = np.unique(far)
+    d = dist[far]
+    live = d >= split  # entries below the split are stale duplicates
+    far, d = far[live], d[live]
+    if far.size == 0:
+        return _EMPTY, _EMPTY, lower, split, 1
+
+    lower = split
+    split = max(split + delta, float(d.min()) + delta)
+    drains = max(1, int(math.ceil((split - lower) / delta)))
+    near_mask = d < split
+    return far[near_mask], far[~near_mask], lower, split, drains

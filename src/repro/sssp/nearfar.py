@@ -1,0 +1,161 @@
+"""Baseline near+far SSSP (Davidson et al., as implemented in Gunrock).
+
+The four-stage iteration structure of the paper's Section 3.1 with a
+*fixed* delta, emitting the ``X^(1..4)`` workload counters into a
+:class:`~repro.instrument.trace.RunTrace`.  This is the algorithm the
+self-tuning controller of :mod:`repro.core` takes over.
+
+The frontier is partitioned by a moving split value ``split = (i+1)*delta``
+(``i`` = current phase): vertices whose tentative distance falls below
+the split are *near* (processed next iteration), the rest are postponed
+on the far queue.  When the near queue empties, bisect-far-queue
+advances the window and pulls the next band from the far queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.instrument.trace import IterationRecord, RunTrace
+from repro.sssp.frontier import advance, bisect, drain_far_queue, filter_frontier
+from repro.sssp.result import SSSPResult
+
+__all__ = ["NearFarParams", "nearfar_sssp", "suggest_delta"]
+
+
+@dataclass(frozen=True)
+class NearFarParams:
+    """Tuning parameters of the baseline near+far algorithm.
+
+    ``delta`` is the static knob the paper replaces with a dynamic,
+    controller-driven one.  ``max_iterations`` is a safety valve for
+    tests (0 = unlimited).
+    """
+
+    delta: float
+    max_iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.max_iterations < 0:
+            raise ValueError("max_iterations must be >= 0")
+
+
+def suggest_delta(graph: CSRGraph) -> float:
+    """The standard delta heuristic: average edge weight.
+
+    Meyer & Sanders suggest ``Theta(1/max_degree)`` scaling for random
+    weights; in practice Gunrock users hand-tune.  The average weight is
+    the neutral default this package uses when none is given — and the
+    difficulty of this manual choice is precisely the paper's
+    motivation for the self-tuning controller.
+    """
+    return max(graph.average_weight, 1e-12)
+
+
+def nearfar_sssp(
+    graph: CSRGraph,
+    source: int,
+    params: NearFarParams | None = None,
+    *,
+    delta: float | None = None,
+    collect_trace: bool = True,
+) -> Tuple[SSSPResult, RunTrace]:
+    """Run the fixed-delta near+far algorithm.
+
+    Parameters
+    ----------
+    graph, source:
+        Problem instance (non-negative weights required).
+    params / delta:
+        Either a full :class:`NearFarParams` or a bare ``delta``
+        (mutually exclusive); defaults to :func:`suggest_delta`.
+    collect_trace:
+        When false, the returned trace is empty (slightly faster runs
+        for pure-correctness tests).
+
+    Returns
+    -------
+    (result, trace):
+        Exact shortest-path distances plus the per-iteration workload
+        trace used for parallelism profiles and platform simulation.
+    """
+    if params is not None and delta is not None:
+        raise ValueError("pass either params or delta, not both")
+    if params is None:
+        params = NearFarParams(delta=delta if delta is not None else suggest_delta(graph))
+
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} nodes")
+    if graph.has_negative_weights():
+        raise ValueError("near+far requires non-negative edge weights")
+
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    far = np.zeros(0, dtype=np.int64)
+    lower, split = 0.0, params.delta
+
+    trace = RunTrace(algorithm="nearfar", graph_name=graph.name, source=source)
+    iterations = 0
+    relaxations = 0
+
+    while frontier.size:
+        iterations += 1
+        x1 = int(frontier.size)
+
+        # stage 1: advance
+        adv = advance(graph, frontier, dist)
+        relaxations += adv.relaxations
+
+        # stage 2: filter
+        unique_improved = filter_frontier(adv.improved)
+        x3 = int(unique_improved.size)
+
+        # stage 3: bisect-frontier
+        near, far_add = bisect(unique_improved, dist, split)
+        if far_add.size:
+            far = np.concatenate([far, far_add])
+        x4 = int(near.size)
+
+        # stage 4: bisect-far-queue
+        drains = 0
+        frontier = near
+        if frontier.size == 0 and far.size:
+            frontier, far, lower, split, drains = drain_far_queue(
+                far, dist, lower, split, params.delta
+            )
+
+        if collect_trace:
+            trace.append(
+                IterationRecord(
+                    k=iterations - 1,
+                    x1=x1,
+                    x2=adv.x2,
+                    x3=x3,
+                    x4=x4,
+                    delta=params.delta,
+                    split=split,
+                    far_size=int(far.size),
+                    drains=drains,
+                )
+            )
+
+        if params.max_iterations and iterations >= params.max_iterations:
+            break
+
+    result = SSSPResult(
+        dist=dist,
+        source=source,
+        iterations=iterations,
+        relaxations=relaxations,
+        algorithm="nearfar",
+        extra={"delta": params.delta},
+    )
+    return result, trace

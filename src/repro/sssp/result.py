@@ -1,0 +1,152 @@
+"""SSSP result container and validation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "SSSPResult",
+    "assert_distances_close",
+    "extract_path",
+    "verify_optimality",
+]
+
+
+@dataclass
+class SSSPResult:
+    """Distances (and optionally predecessors) from one source.
+
+    Attributes
+    ----------
+    dist:
+        ``float64`` array; ``inf`` marks unreachable vertices.
+    pred:
+        Optional predecessor array (``-1`` for source/unreachable).
+    source:
+        The source vertex.
+    iterations:
+        Outer-loop iterations the producing algorithm ran (0 for
+        non-iterative algorithms like heap Dijkstra).
+    relaxations:
+        Total edge relaxations attempted — the work metric used to
+        quantify the redundant work of large-delta configurations.
+    algorithm:
+        Name of the producing algorithm, for reports.
+    """
+
+    dist: np.ndarray
+    source: int
+    pred: Optional[np.ndarray] = None
+    iterations: int = 0
+    relaxations: int = 0
+    algorithm: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_reached(self) -> int:
+        return int(np.isfinite(self.dist).sum())
+
+    def finite_distances(self) -> np.ndarray:
+        return self.dist[np.isfinite(self.dist)]
+
+
+def assert_distances_close(
+    a: SSSPResult | np.ndarray,
+    b: SSSPResult | np.ndarray,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-6,
+) -> None:
+    """Raise ``AssertionError`` unless two distance arrays agree.
+
+    ``inf`` entries must match positionally; finite entries must agree
+    within tolerance.
+    """
+    da = a.dist if isinstance(a, SSSPResult) else np.asarray(a)
+    db = b.dist if isinstance(b, SSSPResult) else np.asarray(b)
+    if da.shape != db.shape:
+        raise AssertionError(f"shape mismatch: {da.shape} vs {db.shape}")
+    fin_a, fin_b = np.isfinite(da), np.isfinite(db)
+    if not np.array_equal(fin_a, fin_b):
+        bad = np.flatnonzero(fin_a != fin_b)
+        raise AssertionError(
+            f"reachability mismatch at {bad[:10].tolist()} "
+            f"({bad.size} vertices total)"
+        )
+    if not np.allclose(da[fin_a], db[fin_b], rtol=rtol, atol=atol):
+        diff = np.abs(da[fin_a] - db[fin_b])
+        raise AssertionError(
+            f"distance mismatch: max abs diff {diff.max():.3e} "
+            f"on {int((diff > atol).sum())} vertices"
+        )
+
+
+def extract_path(result: SSSPResult, target: int) -> List[int]:
+    """Reconstruct the shortest path ``source -> target`` from predecessors.
+
+    Returns ``[]`` if the target is unreachable.  Requires ``pred``.
+    """
+    if result.pred is None:
+        raise ValueError("result has no predecessor array; rerun with pred=True")
+    if not np.isfinite(result.dist[target]):
+        return []
+    path = [int(target)]
+    guard = result.dist.size + 1
+    v = int(target)
+    while v != result.source:
+        v = int(result.pred[v])
+        if v < 0:
+            raise ValueError(f"broken predecessor chain at vertex {path[-1]}")
+        path.append(v)
+        guard -= 1
+        if guard == 0:
+            raise ValueError("predecessor cycle detected")
+    path.reverse()
+    return path
+
+
+def verify_optimality(
+    graph: CSRGraph, result: SSSPResult, *, atol: float = 1e-6
+) -> None:
+    """Check the Bellman optimality conditions for ``result`` directly.
+
+    For every edge (u, v, w): dist[v] <= dist[u] + w (no violated edge),
+    and dist[source] == 0.  This validates a distance array without
+    trusting any reference implementation.  It proves the distances are
+    *feasible upper bounds that cannot be improved*; combined with
+    reachability agreement this pins down the unique SSSP solution for
+    non-negative weights.
+    """
+    d = result.dist
+    if d[result.source] != 0:
+        raise AssertionError(f"dist[source]={d[result.source]} (expected 0)")
+    src, dst, w = graph.edge_arrays()
+    lhs = d[dst]
+    rhs = d[src] + w
+    finite = np.isfinite(rhs)
+    if np.any(lhs[finite] > rhs[finite] + atol):
+        bad = np.flatnonzero(finite)[
+            np.flatnonzero(lhs[finite] > rhs[finite] + atol)
+        ]
+        raise AssertionError(
+            f"{bad.size} relaxable edges remain, e.g. edge #{int(bad[0])}"
+        )
+    # every finite-distance vertex other than the source must be *supported*
+    # by some incoming edge achieving its distance
+    support = np.zeros(d.size, dtype=bool)
+    achieved = np.zeros(rhs.size, dtype=bool)
+    both_finite = np.isfinite(rhs) & np.isfinite(lhs)
+    achieved[both_finite] = np.abs(lhs[both_finite] - rhs[both_finite]) <= atol
+    support[dst[achieved]] = True
+    need = np.isfinite(d)
+    need[result.source] = False
+    if np.any(need & ~support):
+        bad = np.flatnonzero(need & ~support)
+        raise AssertionError(
+            f"{bad.size} vertices have unsupported distances, e.g. {int(bad[0])}"
+        )

@@ -1,0 +1,95 @@
+"""Shared fixtures: small deterministic graphs every suite reuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi,
+    grid_road_network,
+    path_graph,
+    random_weighted_graph,
+    rmat,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    """3-cycle with asymmetric weights; shortest paths are non-trivial."""
+    return CSRGraph.from_edges(
+        3,
+        src=[0, 1, 2, 0],
+        dst=[1, 2, 0, 2],
+        weight=[1.0, 2.0, 4.0, 10.0],
+        name="triangle",
+    )
+
+
+@pytest.fixture
+def diamond() -> CSRGraph:
+    """Two parallel routes 0->3: direct-ish (0-1-3, cost 5) vs (0-2-3, cost 3)."""
+    return CSRGraph.from_edges(
+        4,
+        src=[0, 0, 1, 2],
+        dst=[1, 2, 3, 3],
+        weight=[4.0, 1.0, 1.0, 2.0],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def small_path() -> CSRGraph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def small_star() -> CSRGraph:
+    return star_graph(10)
+
+
+@pytest.fixture
+def small_grid() -> CSRGraph:
+    return grid_road_network(8, 8, seed=3)
+
+
+@pytest.fixture
+def small_rmat() -> CSRGraph:
+    return rmat(8, edge_factor=8, seed=5)
+
+
+@pytest.fixture
+def small_er() -> CSRGraph:
+    return erdos_renyi(200, 4.0, seed=9)
+
+
+@pytest.fixture
+def disconnected() -> CSRGraph:
+    """Two components: {0,1} and {2,3}; vertex 4 isolated."""
+    return CSRGraph.from_edges(
+        5, src=[0, 1, 2, 3], dst=[1, 0, 3, 2], weight=[1.0, 1.0, 2.0, 2.0]
+    )
+
+
+@pytest.fixture
+def random_graphs() -> list[CSRGraph]:
+    """A batch of assorted random digraphs for cross-validation sweeps."""
+    return [
+        random_weighted_graph(n, m, seed=seed, max_weight=mw, integer=integer)
+        for (n, m, seed, mw, integer) in [
+            (1, 0, 0, 1.0, False),
+            (2, 1, 1, 5.0, False),
+            (10, 30, 2, 10.0, False),
+            (50, 200, 3, 100.0, True),
+            (100, 50, 4, 10.0, False),  # sparse, mostly disconnected
+            (120, 1200, 5, 3.0, False),
+            (200, 800, 6, 50.0, True),
+        ]
+    ]

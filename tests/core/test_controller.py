@@ -1,0 +1,173 @@
+"""Unit tests for the set-point controller (Eq. 6 + Eq. 8 bootstrap)."""
+
+import math
+
+import pytest
+
+from repro.core.controller import ControllerConfig, SetpointController
+
+
+def _controller(setpoint=1000.0, initial_delta=1.0, **kw):
+    return SetpointController(
+        ControllerConfig(setpoint=setpoint, **kw), initial_delta=initial_delta
+    )
+
+
+def _plan(ctrl, x4, lower=0.0, split=None, far_total=10_000,
+          part_size=500, part_upper=100.0):
+    return ctrl.plan(
+        x4,
+        window_lower=lower,
+        window_split=split if split is not None else lower + ctrl.delta,
+        far_total=far_total,
+        far_partition_size=part_size,
+        far_partition_upper=part_upper,
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(setpoint=0.0),
+            dict(setpoint=10.0, delta_min=0.0),
+            dict(setpoint=10.0, delta_min=2.0, delta_max=1.0),
+            dict(setpoint=10.0, max_step_fraction=0.0),
+            dict(setpoint=10.0, gain=0.0),
+        ],
+    )
+    def test_rejected(self, kw):
+        with pytest.raises(ValueError):
+            ControllerConfig(**kw)
+
+    def test_bad_initial_delta(self):
+        with pytest.raises(ValueError):
+            SetpointController(ControllerConfig(setpoint=1.0), initial_delta=0.0)
+
+
+class TestDeltaDirection:
+    def test_grows_when_under_target(self):
+        ctrl = _controller(setpoint=1000.0, initial_delta=1.0)
+        # d starts near 1 -> target frontier ~1000; x4 = 10 is far below
+        decision = _plan(ctrl, x4=10)
+        assert decision.delta_change > 0
+        assert ctrl.delta > 1.0
+
+    def test_shrinks_when_over_target(self):
+        ctrl = _controller(setpoint=100.0, initial_delta=1.0)
+        decision = _plan(ctrl, x4=100_000)
+        assert decision.delta_change < 0
+        assert ctrl.delta < 1.0
+
+    def test_holds_when_far_queue_empty_and_under_target(self):
+        ctrl = _controller(setpoint=1000.0, initial_delta=1.0)
+        decision = _plan(ctrl, x4=10, far_total=0)
+        assert decision.delta_change == 0.0
+        assert ctrl.delta == 1.0
+
+    def test_still_shrinks_with_empty_far_queue(self):
+        # over target: postponing to far is always possible
+        ctrl = _controller(setpoint=100.0, initial_delta=1.0)
+        decision = _plan(ctrl, x4=100_000, far_total=0)
+        assert decision.delta_change < 0
+
+
+class TestSlewLimits:
+    def test_growth_bounded_multiplicatively(self):
+        ctrl = _controller(setpoint=1e9, initial_delta=1.0, max_step_fraction=4.0)
+        _plan(ctrl, x4=0, part_size=1, part_upper=1e12)
+        assert ctrl.delta <= 5.0 + 1e-9
+
+    def test_shrink_bounded_multiplicatively(self):
+        ctrl = _controller(setpoint=1.0, initial_delta=1.0, max_step_fraction=4.0)
+        _plan(ctrl, x4=10**9)
+        assert ctrl.delta >= 1.0 / 5.0 - 1e-9
+
+    def test_delta_never_nonpositive(self):
+        ctrl = _controller(setpoint=1.0, initial_delta=1.0)
+        for _ in range(200):
+            _plan(ctrl, x4=10**9)
+        assert ctrl.delta >= ctrl.config.delta_min > 0
+
+    def test_delta_max_respected(self):
+        ctrl = _controller(setpoint=1e9, initial_delta=1.0, delta_max=3.0)
+        for _ in range(50):
+            _plan(ctrl, x4=0, part_size=1, part_upper=1e12)
+        assert ctrl.delta <= 3.0
+
+
+class TestBootstrap:
+    def test_bootstrap_used_before_convergence(self):
+        ctrl = _controller(bootstrap_updates=5)
+        decision = _plan(ctrl, x4=10)
+        assert decision.bootstrapped
+
+    def test_learned_alpha_used_after_convergence(self):
+        ctrl = _controller(bootstrap_updates=2)
+        # feed the bisect model until converged
+        for i in range(3):
+            ctrl.begin_iteration(x1=100 + i)
+            _plan(ctrl, x4=100)
+        assert ctrl.bisect_model.converged
+        decision = _plan(ctrl, x4=10)
+        assert not decision.bootstrapped
+
+    def test_bootstrap_shrink_case_eq8(self):
+        """x4 >= target: alpha = x4 / window width."""
+        ctrl = _controller(setpoint=10.0, initial_delta=2.0)
+        decision = _plan(ctrl, x4=1000, lower=0.0, split=2.0)
+        assert decision.alpha_used == pytest.approx(1000 / 2.0)
+
+    def test_bootstrap_grow_case_eq8(self):
+        """x4 < target: alpha = S_i / (B_i - split)."""
+        ctrl = _controller(setpoint=100_000.0, initial_delta=2.0)
+        decision = _plan(
+            ctrl, x4=1, lower=0.0, split=2.0, part_size=60, part_upper=5.0
+        )
+        assert decision.alpha_used == pytest.approx(60 / 3.0)
+
+    def test_bootstrap_grow_case_infinite_partition(self):
+        ctrl = _controller(setpoint=100_000.0, initial_delta=2.0)
+        decision = _plan(
+            ctrl, x4=4, part_size=60, part_upper=math.inf
+        )
+        assert decision.alpha_used > 0  # falls back, never divides by inf
+
+
+class TestModelFeeding:
+    def test_pending_observation_flow(self):
+        ctrl = _controller()
+        _plan(ctrl, x4=100)  # creates a pending (x4, dchange) sample
+        before = ctrl.bisect_model.updates
+        ctrl.begin_iteration(x1=150)  # delivers the label
+        assert ctrl.bisect_model.updates == before + 1
+
+    def test_invalidate_pending(self):
+        ctrl = _controller()
+        _plan(ctrl, x4=100)
+        ctrl.invalidate_pending()
+        before = ctrl.bisect_model.updates
+        ctrl.begin_iteration(x1=150)
+        assert ctrl.bisect_model.updates == before
+
+    def test_advance_model_observes(self):
+        ctrl = _controller()
+        ctrl.observe_advance(10, 70)
+        assert ctrl.advance_model.updates == 1
+
+    def test_overhead_clock_increases(self):
+        ctrl = _controller()
+        ctrl.begin_iteration(1)
+        ctrl.observe_advance(1, 5)
+        _plan(ctrl, x4=1)
+        assert ctrl.seconds > 0
+        assert ctrl.decisions == 1
+
+
+class TestGain:
+    def test_higher_gain_bigger_steps(self):
+        lo = _controller(gain=0.5, setpoint=10_000.0)
+        hi = _controller(gain=1.0, setpoint=10_000.0)
+        d_lo = _plan(lo, x4=10, part_size=500, part_upper=100.0)
+        d_hi = _plan(hi, x4=10, part_size=500, part_upper=100.0)
+        assert d_hi.delta_change >= d_lo.delta_change

@@ -1,0 +1,170 @@
+"""Unit tests for the partitioned far queue (Section 4.6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import FarQueuePartitions
+
+
+def _fq(boundary: float = 10.0) -> FarQueuePartitions:
+    return FarQueuePartitions(initial_boundary=boundary)
+
+
+class TestInitialState:
+    def test_two_partitions_per_paper(self):
+        fq = _fq(5.0)
+        assert fq.num_partitions == 2
+        assert fq.boundaries == [5.0, math.inf]
+        assert fq.total() == 0
+
+    def test_rejects_bad_boundary(self):
+        with pytest.raises(ValueError):
+            FarQueuePartitions(0.0)
+        with pytest.raises(ValueError):
+            FarQueuePartitions(float("nan"))
+
+
+class TestInsertRouting:
+    def test_routes_by_distance(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1, 2, 3]), np.asarray([5.0, 10.0, 11.0]))
+        sizes = fq.partition_sizes()
+        # (0, 10] gets 5.0 and 10.0 (upper bound inclusive); (10, inf] gets 11.0
+        assert list(sizes) == [2, 1]
+
+    def test_empty_insert_noop(self):
+        fq = _fq()
+        fq.insert(np.zeros(0, dtype=np.int64), np.zeros(0))
+        assert fq.total() == 0
+
+    def test_rejects_mismatched_arrays(self):
+        fq = _fq()
+        with pytest.raises(ValueError):
+            fq.insert(np.asarray([1]), np.asarray([1.0, 2.0]))
+
+    def test_rejects_nonfinite_distance(self):
+        fq = _fq()
+        with pytest.raises(ValueError):
+            fq.insert(np.asarray([1]), np.asarray([np.inf]))
+
+    def test_total_accumulates(self):
+        fq = _fq()
+        for i in range(5):
+            fq.insert(np.asarray([i]), np.asarray([float(i)]))
+        assert fq.total() == 5
+
+
+class TestExtract:
+    def test_extract_below_pulls_overlapping_partitions(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1, 2]), np.asarray([5.0, 15.0]))
+        got = fq.extract_below(8.0)
+        # only partition (0, 10] starts below 8
+        assert list(got) == [1]
+        assert fq.total() == 1
+
+    def test_extract_below_everything(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1, 2, 3]), np.asarray([5.0, 15.0, 250.0]))
+        got = fq.extract_all()
+        assert sorted(got.tolist()) == [1, 2, 3]
+        assert fq.total() == 0
+
+    def test_extract_below_zero_is_empty(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1]), np.asarray([5.0]))
+        assert fq.extract_below(0.0).size == 0
+        assert fq.total() == 1
+
+    def test_reinsert_after_extract(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1]), np.asarray([5.0]))
+        got = fq.extract_below(20.0)
+        fq.insert(got, np.asarray([5.0]))
+        assert fq.total() == 1
+
+
+class TestBoundaries:
+    def test_eq7_update(self):
+        fq = _fq(100.0)
+        fq.insert(np.asarray([1]), np.asarray([50.0]))
+        fq.refresh_boundaries(setpoint=10.0, alpha=1.0)
+        # B_0 <- 0 + 10/1 = 10 (decrease from 100: allowed)
+        assert fq.boundaries[0] == pytest.approx(10.0)
+
+    def test_monotonic_decrease_only(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1]), np.asarray([5.0]))
+        fq.refresh_boundaries(setpoint=1000.0, alpha=1.0)  # candidate 1000 > 10
+        assert fq.boundaries[0] == 10.0  # unchanged
+
+    def test_last_partition_spawns_new_inf(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1]), np.asarray([50.0]))  # into the inf partition
+        before = fq.num_partitions
+        fq.refresh_boundaries(setpoint=5.0, alpha=1.0)
+        assert fq.num_partitions > before
+        assert math.isinf(fq.boundaries[-1])
+
+    def test_boundaries_stay_sorted(self):
+        fq = _fq(10.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            d = rng.uniform(0, 200, size=5)
+            fq.insert(rng.integers(0, 100, size=5), d)
+            fq.refresh_boundaries(setpoint=rng.uniform(1, 50), alpha=rng.uniform(0.1, 5))
+            b = fq.boundaries
+            assert all(x <= y for x, y in zip(b, b[1:]))
+
+    def test_rejects_bad_refresh_args(self):
+        fq = _fq()
+        with pytest.raises(ValueError):
+            fq.refresh_boundaries(0.0, 1.0)
+        with pytest.raises(ValueError):
+            fq.refresh_boundaries(1.0, 0.0)
+
+
+class TestCurrentPartition:
+    def test_current_tracks_first_nonempty(self):
+        fq = _fq(10.0)
+        fq.insert(np.asarray([1]), np.asarray([50.0]))
+        assert fq.current_partition_size() == 1
+        assert fq.current_partition_lower() == 10.0
+        assert math.isinf(fq.current_partition_upper())
+
+    def test_min_occupied_lower(self):
+        fq = _fq(10.0)
+        assert math.isinf(fq.min_occupied_lower())
+        fq.insert(np.asarray([1]), np.asarray([50.0]))
+        assert fq.min_occupied_lower() == 10.0
+        fq.insert(np.asarray([2]), np.asarray([5.0]))
+        assert fq.min_occupied_lower() == 0.0
+
+
+class TestConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.floats(min_value=0.001, max_value=1e6),
+            ),
+            min_size=0,
+            max_size=300,
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_vertex_lost_or_invented(self, entries, boundary):
+        """insert/extract conserves the multiset of staged vertices."""
+        fq = FarQueuePartitions(boundary)
+        verts = np.asarray([v for v, _ in entries], dtype=np.int64)
+        dists = np.asarray([d for _, d in entries])
+        fq.insert(verts, dists)
+        fq.refresh_boundaries(setpoint=10.0, alpha=1.0)
+        out = fq.extract_all()
+        assert sorted(out.tolist()) == sorted(verts.tolist())
+        assert fq.total() == 0

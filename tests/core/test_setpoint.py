@@ -1,0 +1,40 @@
+"""Unit tests for the set-point menus."""
+
+import pytest
+
+from repro.core.setpoint import (
+    PAPER_SETPOINTS,
+    setpoint_for_utilization,
+    setpoint_menu,
+)
+from repro.gpusim.device import JETSON_TK1, JETSON_TX1
+
+
+class TestSetpointForUtilization:
+    def test_scales_with_cores(self):
+        p_tk1 = setpoint_for_utilization(JETSON_TK1, 16.0)
+        p_tx1 = setpoint_for_utilization(JETSON_TX1, 16.0)
+        assert p_tk1 == 192 * 16
+        assert p_tx1 == 256 * 16
+
+    def test_rejects_bad_occupancy(self):
+        with pytest.raises(ValueError):
+            setpoint_for_utilization(JETSON_TK1, 0.0)
+
+
+class TestMenu:
+    def test_default_menu_sorted_positive(self):
+        menu = setpoint_menu(JETSON_TK1)
+        assert menu == sorted(menu)
+        assert all(p > 0 for p in menu)
+        assert len(menu) == 6
+
+    def test_custom_occupancies(self):
+        menu = setpoint_menu(JETSON_TK1, [64.0, 8.0])
+        assert menu == [192 * 8.0, 192 * 64.0]
+
+    def test_paper_setpoints_within_menu_range(self):
+        """The paper's Cal P values sit inside the TK1's natural menu."""
+        menu = setpoint_menu(JETSON_TK1)
+        for p in PAPER_SETPOINTS["cal"]:
+            assert menu[0] <= p <= menu[-1]

@@ -1,0 +1,153 @@
+"""Tests for the power-target servo (the paper's §6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cosim import PowerTargetParams, PowerTargetServo, power_target_sssp
+from repro.experiments.runner import pick_source
+from repro.gpusim.device import JETSON_TK1
+from repro.graph.generators import grid_road_network
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.result import assert_distances_close
+
+
+def _road():
+    return grid_road_network(100, 100, seed=4)
+
+
+class TestServoUnit:
+    def _servo(self, target=6.0, **kw):
+        kw.setdefault("initial_setpoint", 500.0)
+        return PowerTargetServo(
+            PowerTargetParams(target_watts=target, **kw), JETSON_TK1
+        )
+
+    def test_raises_setpoint_when_under_budget(self):
+        servo = self._servo(target=8.0, adjust_period=1)
+        p0 = servo.setpoint
+        servo.observe(5.0)  # well under budget
+        assert servo.setpoint > p0
+
+    def test_lowers_setpoint_when_over_budget(self):
+        servo = self._servo(target=5.0, adjust_period=1)
+        p0 = servo.setpoint
+        servo.observe(9.0)
+        assert servo.setpoint < p0
+
+    def test_holds_at_budget(self):
+        servo = self._servo(target=6.0, adjust_period=1)
+        p0 = servo.setpoint
+        servo.observe(6.0)
+        assert servo.setpoint == pytest.approx(p0, rel=1e-6)
+
+    def test_adjust_period_gates_retargeting(self):
+        servo = self._servo(target=8.0, adjust_period=3)
+        p0 = servo.setpoint
+        servo.observe(4.0)
+        servo.observe(4.0)
+        assert servo.setpoint == p0  # two observations: not yet
+        servo.observe(4.0)
+        assert servo.setpoint > p0  # third triggers
+
+    def test_ema_smoothing(self):
+        servo = self._servo(target=6.0, ema_halflife_iterations=4.0)
+        servo.observe(10.0)
+        servo.observe(0.0)
+        assert 0.0 < servo.measured_watts < 10.0
+
+    def test_clamps(self):
+        servo = self._servo(
+            target=12.0, adjust_period=1, setpoint_min=10.0, setpoint_max=1000.0
+        )
+        for _ in range(50):
+            servo.observe(4.01)  # forever under budget
+        assert servo.setpoint == 1000.0
+        servo2 = self._servo(
+            target=4.2, adjust_period=1, setpoint_min=10.0, setpoint_max=1000.0
+        )
+        for _ in range(50):
+            servo2.observe(12.0)
+        assert servo2.setpoint == 10.0
+
+    def test_rejects_unreachable_target(self):
+        with pytest.raises(ValueError, match="static floor"):
+            PowerTargetServo(
+                PowerTargetParams(target_watts=2.0), JETSON_TK1
+            )  # TK1 static floor is 4 W
+
+    def test_rejects_negative_watts(self):
+        servo = self._servo()
+        with pytest.raises(ValueError):
+            servo.observe(-1.0)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(target_watts=0.0),
+            dict(target_watts=6.0, initial_setpoint=0.0),
+            dict(target_watts=6.0, gain=0.0),
+            dict(target_watts=6.0, gain=3.0),
+            dict(target_watts=6.0, ema_halflife_iterations=0.0),
+            dict(target_watts=6.0, adjust_period=0),
+            dict(target_watts=6.0, setpoint_min=0.0),
+            dict(target_watts=6.0, setpoint_min=10.0, setpoint_max=5.0),
+        ],
+    )
+    def test_param_validation(self, kw):
+        with pytest.raises(ValueError):
+            PowerTargetParams(**kw)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def road(self):
+        return _road()
+
+    def test_distances_stay_exact(self, road):
+        src = pick_source(road)
+        res = power_target_sssp(
+            road, src, JETSON_TK1, PowerTargetParams(target_watts=5.5)
+        )
+        assert_distances_close(dijkstra(road, src), res.result)
+
+    def test_power_tracks_target_on_road(self, road):
+        src = pick_source(road)
+        res = power_target_sssp(
+            road, src, JETSON_TK1,
+            PowerTargetParams(target_watts=5.5, initial_setpoint=300.0),
+        )
+        assert res.steady_state_power() == pytest.approx(5.5, rel=0.15)
+
+    def test_higher_budget_more_power_and_speed(self, road):
+        src = pick_source(road)
+        lo = power_target_sssp(
+            road, src, JETSON_TK1, PowerTargetParams(target_watts=4.8)
+        )
+        hi = power_target_sssp(
+            road, src, JETSON_TK1, PowerTargetParams(target_watts=7.0)
+        )
+        assert hi.platform.average_power_w > lo.platform.average_power_w
+        assert hi.platform.total_seconds < lo.platform.total_seconds
+
+    def test_histories_aligned(self, road):
+        src = pick_source(road)
+        res = power_target_sssp(
+            road, src, JETSON_TK1,
+            PowerTargetParams(target_watts=5.5),
+            max_iterations=50,
+        )
+        assert res.setpoint_history.size == 50
+        assert res.power_history.size == 50
+        assert len(res.trace) == 50
+        assert len(res.platform.iterations) == 50
+        assert res.final_setpoint == res.setpoint_history[-1]
+
+    def test_algorithm_label(self, road):
+        src = pick_source(road)
+        res = power_target_sssp(
+            road, src, JETSON_TK1,
+            PowerTargetParams(target_watts=5.5),
+            max_iterations=5,
+        )
+        assert "powertarget" in res.trace.algorithm
+        assert res.platform.controller_seconds > 0  # inner controller charged

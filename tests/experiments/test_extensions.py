@@ -1,0 +1,102 @@
+"""Tests for the extension experiments (A1-A3, P1) at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, dynamics, kla_comparison, power_target
+from repro.experiments.config import ExperimentConfig
+
+CFG = ExperimentConfig(scale=0.01, delta_multipliers=(0.5, 2.0, 8.0))
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return ablations.run_ablations(CFG)
+
+    def test_all_variants_present(self, data):
+        for rows in data.values():
+            assert [r["variant"] for r in rows] == list(ablations.ABLATION_VARIANTS)
+
+    def test_all_terminate(self, data):
+        for rows in data.values():
+            for r in rows:
+                assert r["iterations"] > 0
+                assert r["sim time (ms)"] > 0
+
+    def test_bootstrap_matters_on_bursty_input(self, data):
+        wiki = {r["variant"]: r for r in data["wiki"]}
+        # the paper's instability warning: disabling Eq. 8 costs
+        # iterations during the unconverged phase
+        assert wiki["no-bootstrap"]["iterations"] > wiki["full"]["iterations"]
+
+    def test_main_prints(self, capsys):
+        ablations.main(CFG)
+        assert "Ablations" in capsys.readouterr().out
+
+
+class TestDynamics:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return dynamics.run_dynamics(CFG)
+
+    def test_rows_per_setpoint(self, data):
+        for rows in data.values():
+            assert len(rows) == 3
+
+    def test_cal_control_engages_early(self, data):
+        for row in data["cal"]:
+            assert row["par entry"] < 0.25 * row["iterations"]
+            assert row["d settle"] <= max(5, 0.1 * row["iterations"])
+
+    def test_main_prints(self, capsys):
+        dynamics.main(CFG)
+        assert "dynamics" in capsys.readouterr().out
+
+
+class TestKLA:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return kla_comparison.run_kla_comparison(CFG)
+
+    def test_all_algorithms_listed(self, data):
+        for rows in data.values():
+            labels = [r["algorithm"] for r in rows]
+            assert sum(l.startswith("KLA") for l in labels) == len(
+                kla_comparison.KLA_K_VALUES
+            )
+            assert any(l.startswith("near+far") for l in labels)
+            assert any(l.startswith("self-tuning") for l in labels)
+
+    def test_k_reduces_syncs_not_work(self, data):
+        for rows in data.values():
+            kla_rows = [r for r in rows if r["algorithm"].startswith("KLA")]
+            syncs = [r["syncs"] for r in kla_rows]
+            relax = {r["relaxations"] for r in kla_rows}
+            assert syncs == sorted(syncs, reverse=True)
+            assert len(relax) == 1
+
+    def test_selftuning_does_least_work(self, data):
+        for name, rows in data.items():
+            tuned = next(r for r in rows if r["algorithm"].startswith("self-tuning"))
+            assert tuned["relaxations"] == min(r["relaxations"] for r in rows), name
+
+
+class TestPowerTarget:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return power_target.run_power_target(CFG)
+
+    def test_budget_ladder(self, data):
+        for rows in data.values():
+            budgets = [r["budget (W)"] for r in rows]
+            assert budgets == sorted(budgets)
+            assert len(budgets) == 4
+
+    def test_cal_tracking(self, data):
+        for row in data["cal"]:
+            assert abs(row["error"]) < 0.2, row
+
+    def test_power_monotone_in_budget_on_cal(self, data):
+        powers = [r["steady power (W)"] for r in data["cal"]]
+        assert powers[-1] > powers[0]

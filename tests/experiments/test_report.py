@@ -1,0 +1,69 @@
+"""Unit tests for the report renderers."""
+
+import numpy as np
+
+from repro.experiments.report import banner, format_series, format_table, sparkline
+
+
+class TestBanner:
+    def test_contains_title(self):
+        assert "hello" in banner("hello")
+
+    def test_padded_to_width(self):
+        assert len(banner("x", width=40)) >= 40 - 8
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_from_first_row(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_large_and_small_floats(self):
+        out = format_table([{"x": 1234567.0, "y": 0.00001, "z": 0.0}])
+        assert "1.23e+06" in out
+        assert "1e-05" in out
+
+    def test_thousands_separator_for_ints(self):
+        out = format_table([{"n": 1234567}])
+        assert "1,234,567" in out
+
+    def test_missing_key_blank(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out  # renders without raising
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        s = sparkline(np.arange(1000), width=32)
+        assert len(s) <= 32
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3], width=64)) == 3
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramps_up(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert s[0] != s[-1]
+
+
+class TestFormatSeries:
+    def test_annotations(self):
+        out = format_series("label", [1.0, 5.0])
+        assert "label" in out
+        assert "min 1" in out
+        assert "max 5" in out
+        assert "n=2" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_series("x", [])

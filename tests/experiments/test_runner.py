@@ -1,0 +1,112 @@
+"""Unit tests for the experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import (
+    find_time_minimizing_delta,
+    frequency_settings,
+    pick_source,
+    run_adaptive,
+    run_baseline,
+    scaled_setpoints,
+)
+from repro.gpusim.device import JETSON_TK1, JETSON_TX1
+from repro.graph.generators import star_graph
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.result import assert_distances_close
+
+TINY = ExperimentConfig(scale=0.003, delta_multipliers=(0.5, 2.0, 8.0))
+
+
+class TestConfig:
+    def test_datasets(self):
+        ds = TINY.datasets()
+        assert set(ds) == {"cal", "wiki"}
+        assert all(g.num_nodes > 0 for g in ds.values())
+
+    def test_dataset_lookup(self):
+        assert TINY.dataset("cal").name.startswith("cal")
+        with pytest.raises(ValueError):
+            TINY.dataset("orkut")
+
+    def test_default_config_scale_override(self):
+        assert default_config(0.5).scale == 0.5
+
+
+class TestPickSource:
+    def test_max_degree_vertex(self):
+        g = star_graph(10)
+        assert pick_source(g) == 0
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        with pytest.raises(ValueError):
+            pick_source(CSRGraph.empty(0))
+
+
+class TestRunHelpers:
+    def test_baseline_and_adaptive_agree(self):
+        g = TINY.dataset("cal")
+        src = pick_source(g)
+        rb, tb = run_baseline(g, src, 2.0)
+        ra, ta = run_adaptive(g, src, 300.0)
+        assert_distances_close(rb, ra)
+        assert_distances_close(rb, dijkstra(g, src))
+        assert tb.num_iterations > 0 and ta.num_iterations > 0
+
+
+class TestDeltaSearch:
+    def test_returns_swept_delta(self):
+        g = TINY.dataset("wiki")
+        src = pick_source(g)
+        best, sweep = find_time_minimizing_delta(
+            g, src, JETSON_TK1, TINY.delta_multipliers
+        )
+        base = g.average_weight
+        swept = {base * m for m in TINY.delta_multipliers}
+        assert any(abs(best - d) < 1e-9 for d in swept)
+        assert len(sweep) == len(TINY.delta_multipliers)
+
+    def test_best_is_minimum(self):
+        g = TINY.dataset("wiki")
+        src = pick_source(g)
+        best, sweep = find_time_minimizing_delta(
+            g, src, JETSON_TK1, TINY.delta_multipliers
+        )
+        assert sweep[best].total_seconds == min(
+            r.total_seconds for r in sweep.values()
+        )
+
+
+class TestFrequencySettings:
+    @pytest.mark.parametrize("device", [JETSON_TK1, JETSON_TX1])
+    def test_three_valid_settings(self, device):
+        settings = frequency_settings(device)
+        assert len(settings) == 3
+        for core, mem in settings:
+            device.validate_setting(core, mem)
+
+    def test_tk1_high_point_matches_paper(self):
+        assert frequency_settings(JETSON_TK1)[0] == (852, 924)
+
+
+class TestScaledSetpoints:
+    def test_three_ascending(self):
+        for ds in ("cal", "wiki"):
+            pts = scaled_setpoints(ds, 0.02)
+            assert len(pts) == 3
+            assert pts == sorted(pts)
+
+    def test_full_scale_wiki_matches_paper(self):
+        assert scaled_setpoints("wiki", 1.0) == [150_000, 300_000, 600_000]
+
+    def test_minimum_clamp(self):
+        pts = scaled_setpoints("cal", 1e-6, minimum=100.0)
+        assert all(p >= 100.0 for p in pts)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            scaled_setpoints("orkut", 1.0)

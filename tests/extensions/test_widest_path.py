@@ -1,0 +1,130 @@
+"""Tests for the widest-path generalisation of the controller."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.widest_path import (
+    WidestPathParams,
+    adaptive_widest_path,
+    widest_path,
+    widest_path_reference,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_road_network, path_graph
+
+
+def _assert_widths_equal(a: np.ndarray, b: np.ndarray) -> None:
+    # +inf (source) and -inf (unreachable) must match positionally
+    assert np.array_equal(np.isposinf(a), np.isposinf(b))
+    assert np.array_equal(np.isneginf(a), np.isneginf(b))
+    finite = np.isfinite(a)
+    assert np.allclose(a[finite], b[finite])
+
+
+class TestReference:
+    def test_path_bottleneck(self):
+        g = CSRGraph.from_edges(4, [0, 1, 2], [1, 2, 3], [5.0, 2.0, 9.0])
+        w = widest_path_reference(g, 0)
+        assert w[1] == 5.0
+        assert w[2] == 2.0
+        assert w[3] == 2.0  # bottleneck carried through
+
+    def test_prefers_wider_route(self):
+        # 0->3 direct width 1; 0->1->3 width 4
+        g = CSRGraph.from_edges(4, [0, 0, 1], [3, 1, 3], [1.0, 9.0, 4.0])
+        w = widest_path_reference(g, 0)
+        assert w[3] == 4.0
+
+    def test_unreachable(self):
+        g = path_graph(3)
+        w = widest_path_reference(g, 2)
+        assert np.isneginf(w[:2]).all()
+        assert np.isposinf(w[2])
+
+
+class TestNearFarWidest:
+    @pytest.mark.parametrize("delta", [0.05, 0.3, 2.0, 100.0])
+    def test_exact_for_any_delta(self, small_grid, delta):
+        result, _ = widest_path(small_grid, 0, delta)
+        _assert_widths_equal(widest_path_reference(small_grid, 0), result.dist)
+
+    def test_exact_on_rmat(self, small_rmat):
+        result, _ = widest_path(small_rmat, 0)
+        _assert_widths_equal(widest_path_reference(small_rmat, 0), result.dist)
+
+    def test_trace_counters(self, small_grid):
+        result, trace = widest_path(small_grid, 0)
+        assert len(trace) == result.iterations
+        for rec in trace:
+            assert rec.x3 <= rec.x2
+
+    def test_rejects_nonpositive_weights(self):
+        g = CSRGraph.from_edges(2, [0], [1], [0.0])
+        with pytest.raises(ValueError, match="positive"):
+            widest_path(g, 0)
+
+    def test_rejects_bad_delta(self, small_grid):
+        with pytest.raises(ValueError):
+            widest_path(small_grid, 0, 0.0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_graphs_match_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        m = int(rng.integers(0, 120))
+        g = CSRGraph.from_edges(
+            n,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.uniform(0.1, 10.0, size=m),
+        )
+        s = int(rng.integers(0, n))
+        result, _ = widest_path(g, s)
+        _assert_widths_equal(widest_path_reference(g, s), result.dist)
+
+
+class TestAdaptiveWidest:
+    @pytest.mark.parametrize("setpoint", [10.0, 200.0, 1e6])
+    def test_exact_for_any_setpoint(self, small_grid, setpoint):
+        result, _, _ = adaptive_widest_path(
+            small_grid, 0, WidestPathParams(setpoint=setpoint)
+        )
+        _assert_widths_equal(widest_path_reference(small_grid, 0), result.dist)
+
+    def test_exact_on_rmat(self, small_rmat):
+        result, _, _ = adaptive_widest_path(
+            small_rmat, 0, WidestPathParams(setpoint=500.0)
+        )
+        _assert_widths_equal(widest_path_reference(small_rmat, 0), result.dist)
+
+    def test_controller_steers_parallelism(self):
+        """The SSSP controller, unchanged, raises widest-path
+        parallelism toward a higher set-point."""
+        g = grid_road_network(60, 60, seed=6)
+        _, t_low, _ = adaptive_widest_path(g, 0, WidestPathParams(setpoint=100.0))
+        _, t_high, _ = adaptive_widest_path(g, 0, WidestPathParams(setpoint=1200.0))
+        assert t_high.average_parallelism > 1.5 * t_low.average_parallelism
+        assert t_high.num_iterations < t_low.num_iterations
+
+    def test_controller_learns(self, small_grid):
+        _, _, ctrl = adaptive_widest_path(
+            small_grid, 0, WidestPathParams(setpoint=100.0)
+        )
+        assert ctrl.advance_model.updates > 0
+        assert ctrl.d > 0
+
+    def test_max_iterations(self, small_grid):
+        result, _, _ = adaptive_widest_path(
+            small_grid, 0, WidestPathParams(setpoint=100.0, max_iterations=2)
+        )
+        assert result.iterations == 2
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            WidestPathParams(setpoint=0.0)
+        with pytest.raises(ValueError):
+            WidestPathParams(setpoint=1.0, initial_delta=-1.0)

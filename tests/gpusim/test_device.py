@@ -1,0 +1,98 @@
+"""Unit tests for device specs and presets."""
+
+import pytest
+
+from repro.gpusim.device import JETSON_TK1, JETSON_TX1, DeviceSpec, get_device
+
+
+class TestPresets:
+    def test_tk1_matches_paper(self):
+        assert JETSON_TK1.num_cores == 192  # Kepler GK20A
+        assert JETSON_TK1.max_core_mhz == 852  # the paper's "852/924" setting
+        assert JETSON_TK1.max_mem_mhz == 924
+
+    def test_tx1_matches_paper(self):
+        assert JETSON_TX1.num_cores == 256  # Maxwell GM20B
+        assert JETSON_TX1.max_mem_mhz == 1600
+
+    def test_bandwidth_tk1(self):
+        # 64-bit LPDDR3 at 924 MHz: ~14.8 GB/s
+        assert JETSON_TK1.mem_bandwidth(924) == pytest.approx(14.78e9, rel=0.01)
+
+    def test_bandwidth_tx1(self):
+        assert JETSON_TX1.mem_bandwidth(1600) == pytest.approx(25.6e9, rel=0.01)
+
+    def test_lookup_aliases(self):
+        assert get_device("tk1") is JETSON_TK1
+        assert get_device("TX1") is JETSON_TX1
+        assert get_device("jetson-tk1") is JETSON_TK1
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("rtx4090")
+
+
+class TestVoltageCurve:
+    def test_endpoints(self):
+        d = JETSON_TK1
+        assert d.voltage(d.core_freqs_mhz[0]) == pytest.approx(d.v_min)
+        assert d.voltage(d.core_freqs_mhz[-1]) == pytest.approx(d.v_max)
+
+    def test_monotone(self):
+        d = JETSON_TK1
+        volts = [d.voltage(f) for f in d.core_freqs_mhz]
+        assert volts == sorted(volts)
+
+    def test_clamped_outside_range(self):
+        d = JETSON_TK1
+        assert d.voltage(1) == d.v_min
+        assert d.voltage(10_000) == d.v_max
+
+
+class TestValidation:
+    def test_validate_setting(self):
+        JETSON_TK1.validate_setting(852, 924)
+        with pytest.raises(ValueError, match="core frequency"):
+            JETSON_TK1.validate_setting(853, 924)
+        with pytest.raises(ValueError, match="memory frequency"):
+            JETSON_TK1.validate_setting(852, 925)
+
+    def _spec(self, **overrides):
+        base = dict(
+            name="test",
+            num_cores=4,
+            core_freqs_mhz=(100, 200),
+            mem_freqs_mhz=(100,),
+            mem_bytes_per_mhz=1e6,
+            v_min=0.8,
+            v_max=1.2,
+            static_power_w=1.0,
+            max_core_dynamic_w=2.0,
+            max_mem_dynamic_w=1.0,
+            saturation_occupancy=4.0,
+            kernel_launch_overhead_s=1e-6,
+            controller_overhead_s=1e-7,
+        )
+        base.update(overrides)
+        return DeviceSpec(**base)
+
+    def test_constructs(self):
+        d = self._spec()
+        assert d.saturation_items == 16
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(num_cores=0),
+            dict(core_freqs_mhz=()),
+            dict(core_freqs_mhz=(200, 100)),
+            dict(mem_freqs_mhz=(0,)),
+            dict(v_min=0.0),
+            dict(v_min=1.5, v_max=1.2),
+            dict(static_power_w=-1.0),
+            dict(saturation_occupancy=0.0),
+        ],
+    )
+    def test_rejects_bad_spec(self, overrides):
+        with pytest.raises(ValueError):
+            self._spec(**overrides)

@@ -1,0 +1,116 @@
+"""Unit tests for DVFS settings and governors."""
+
+import pytest
+
+from repro.gpusim.device import JETSON_TK1, JETSON_TX1
+from repro.gpusim.dvfs import (
+    AutoGovernor,
+    FixedDVFS,
+    FrequencySetting,
+    default_governor,
+)
+
+
+class TestFrequencySetting:
+    def test_label_matches_paper_notation(self):
+        assert FrequencySetting(852, 924).label == "852/924"
+
+
+class TestFixedDVFS:
+    def test_pins_clocks(self):
+        policy = FixedDVFS(JETSON_TK1, 612, 600)
+        for _ in range(5):
+            s = policy.select(JETSON_TK1)
+            assert (s.core_mhz, s.mem_mhz) == (612, 600)
+            policy.observe(1.0, 0.01)
+
+    def test_max_performance(self):
+        s = FixedDVFS.max_performance(JETSON_TK1).select(JETSON_TK1)
+        assert (s.core_mhz, s.mem_mhz) == (852, 924)
+
+    def test_min_power(self):
+        s = FixedDVFS.min_power(JETSON_TK1).select(JETSON_TK1)
+        assert (s.core_mhz, s.mem_mhz) == (72, 204)
+
+    def test_rejects_unsupported_frequency(self):
+        with pytest.raises(ValueError):
+            FixedDVFS(JETSON_TK1, 500, 924)
+
+    def test_label(self):
+        assert FixedDVFS(JETSON_TK1, 852, 924).label == "852/924"
+
+
+class TestAutoGovernor:
+    def test_starts_mid_table(self):
+        gov = AutoGovernor(start_fraction=0.5)
+        s = gov.select(JETSON_TK1)
+        table = JETSON_TK1.core_freqs_mhz
+        assert s.core_mhz == table[int(round(0.5 * (len(table) - 1)))]
+
+    def test_steps_up_under_load(self):
+        gov = AutoGovernor(period_s=0.001)
+        first = gov.select(JETSON_TK1)
+        for _ in range(100):
+            gov.observe(1.0, 0.001)  # saturated for >= one period
+            s = gov.select(JETSON_TK1)
+        assert s.core_mhz == JETSON_TK1.max_core_mhz
+        assert s.core_mhz > first.core_mhz
+
+    def test_steps_down_when_idle(self):
+        gov = AutoGovernor(period_s=0.001)
+        gov.select(JETSON_TK1)
+        for _ in range(100):
+            gov.observe(0.0, 0.001)
+            s = gov.select(JETSON_TK1)
+        assert s.core_mhz == JETSON_TK1.core_freqs_mhz[0]
+
+    def test_sampling_period_lags_bursts(self):
+        """A burst shorter than the period cannot move the clock."""
+        gov = AutoGovernor(period_s=0.010)
+        first = gov.select(JETSON_TK1)
+        gov.observe(1.0, 0.001)  # 1 ms burst into a 10 ms window
+        assert gov.select(JETSON_TK1).core_mhz == first.core_mhz
+
+    def test_mixed_load_holds_frequency(self):
+        gov = AutoGovernor(period_s=0.001, up_threshold=0.7, down_threshold=0.25)
+        first = gov.select(JETSON_TK1)
+        for _ in range(50):
+            gov.observe(0.5, 0.001)  # mid utilisation: inside the dead band
+            s = gov.select(JETSON_TK1)
+        assert s.core_mhz == first.core_mhz
+
+    def test_memory_clock_follows(self):
+        gov = AutoGovernor(period_s=0.001)
+        for _ in range(100):
+            gov.observe(1.0, 0.001)
+            s = gov.select(JETSON_TK1)
+        assert s.mem_mhz == JETSON_TK1.max_mem_mhz
+
+    def test_reset(self):
+        gov = AutoGovernor(period_s=0.001)
+        for _ in range(100):
+            gov.observe(1.0, 0.001)
+            gov.select(JETSON_TK1)
+        gov.reset()
+        s = gov.select(JETSON_TK1)
+        table = JETSON_TK1.core_freqs_mhz
+        assert s.core_mhz == table[int(round(0.5 * (len(table) - 1)))]
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(up_threshold=0.2, down_threshold=0.5),
+            dict(responsiveness=0),
+            dict(start_fraction=2.0),
+            dict(period_s=0.0),
+        ],
+    )
+    def test_rejects_bad_params(self, kw):
+        with pytest.raises(ValueError):
+            AutoGovernor(**kw)
+
+    def test_default_governor_device_specific(self):
+        tk1 = default_governor(JETSON_TK1)
+        tx1 = default_governor(JETSON_TX1)
+        assert tx1.period_s < tk1.period_s  # TX1 governor is snappier
+        assert tx1.responsiveness > tk1.responsiveness

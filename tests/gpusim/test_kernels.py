@@ -1,0 +1,71 @@
+"""Unit tests for the kernel cost mapping."""
+
+import pytest
+
+from repro.gpusim.kernels import KernelSpec, STAGE_SPECS, iteration_kernels
+from repro.instrument.trace import IterationRecord
+
+
+def _rec(**kw):
+    base = dict(
+        k=0, x1=10, x2=100, x3=50, x4=40, delta=1.0, split=1.0, far_size=200
+    )
+    base.update(kw)
+    return IterationRecord(**base)
+
+
+class TestSpecs:
+    def test_four_stages_defined(self):
+        assert set(STAGE_SPECS) == {"advance", "filter", "bisect", "farqueue"}
+
+    def test_advance_is_heaviest_per_item(self):
+        adv = STAGE_SPECS["advance"]
+        for name, spec in STAGE_SPECS.items():
+            assert adv.cycles_per_item >= spec.cycles_per_item
+            assert adv.bytes_per_item >= spec.bytes_per_item
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", cycles_per_item=0.0, bytes_per_item=1.0)
+        with pytest.raises(ValueError):
+            KernelSpec("x", cycles_per_item=1.0, bytes_per_item=-1.0)
+
+
+class TestIterationKernels:
+    def test_four_kernels_per_iteration(self):
+        kernels = iteration_kernels(_rec())
+        assert [spec.name for spec, _ in kernels] == [
+            "advance",
+            "filter",
+            "bisect",
+            "farqueue",
+        ]
+
+    def test_items_map_to_counters(self):
+        kernels = dict((s.name, items) for s, items in iteration_kernels(_rec()))
+        assert kernels["advance"] == 100  # X^(2)
+        assert kernels["filter"] == 100  # X^(2)
+        assert kernels["bisect"] == 50  # X^(3)
+        assert kernels["farqueue"] == 40  # X^(4), no drain, no moves
+
+    def test_rebalancer_traffic_counted(self):
+        kernels = dict(
+            (s.name, items)
+            for s, items in iteration_kernels(
+                _rec(moved_from_far=7, moved_to_far=3)
+            )
+        )
+        assert kernels["farqueue"] == 40 + 7 + 3
+
+    def test_drain_adds_far_scan(self):
+        kernels = dict(
+            (s.name, items)
+            for s, items in iteration_kernels(
+                _rec(drains=2, far_size=200, moved_from_far=5)
+            )
+        )
+        assert kernels["farqueue"] == 40 + 5 + 200 + 5
+
+    def test_empty_iteration_still_launches(self):
+        kernels = iteration_kernels(_rec(x1=1, x2=0, x3=0, x4=0))
+        assert len(kernels) == 4  # launch overhead is paid regardless

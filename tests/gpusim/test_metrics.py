@@ -1,0 +1,112 @@
+"""Unit tests for efficiency metrics."""
+
+import pytest
+
+from repro.gpusim.device import JETSON_TK1
+from repro.gpusim.dvfs import FixedDVFS
+from repro.gpusim.executor import simulate_run
+from repro.gpusim.metrics import (
+    energy_delay_product,
+    energy_delay_squared,
+    pareto_front,
+    relative_point,
+)
+from repro.instrument.trace import IterationRecord, RunTrace
+
+
+def _run(parallelism=5000, n=20, core=852, mem=924):
+    trace = RunTrace(algorithm="nearfar", graph_name="g", source=0)
+    for k in range(n):
+        trace.append(
+            IterationRecord(
+                k=k, x1=parallelism // 8, x2=parallelism, x3=parallelism // 2,
+                x4=parallelism // 3, delta=1.0, split=1.0, far_size=0,
+            )
+        )
+    return simulate_run(trace, JETSON_TK1, FixedDVFS(JETSON_TK1, core, mem))
+
+
+class TestEDP:
+    def test_edp_positive_and_consistent(self):
+        run = _run()
+        assert energy_delay_product(run) == pytest.approx(
+            run.total_energy_j * run.total_seconds
+        )
+        assert energy_delay_squared(run) == pytest.approx(
+            run.total_energy_j * run.total_seconds**2
+        )
+
+    def test_slower_run_higher_edp(self):
+        fast = _run(core=852)
+        slow = _run(core=72, mem=204)
+        # same work, much longer time dominates the smaller power
+        assert energy_delay_product(slow) > energy_delay_product(fast)
+
+    def test_ed2p_penalises_latency_harder(self):
+        fast, slow = _run(core=852), _run(core=252, mem=396)
+        edp_ratio = energy_delay_product(slow) / energy_delay_product(fast)
+        ed2p_ratio = energy_delay_squared(slow) / energy_delay_squared(fast)
+        assert ed2p_ratio > edp_ratio
+
+
+class TestRelativePoint:
+    def test_self_reference_is_unity(self):
+        run = _run()
+        p = relative_point(run, run, "self")
+        assert p.speedup == 1.0
+        assert p.relative_power == 1.0
+        assert p.relative_energy == 1.0
+        assert not p.energy_win
+
+    def test_low_frequency_point(self):
+        ref = _run(core=852, mem=924)
+        low = _run(core=252, mem=396)
+        p = relative_point(low, ref, "252/396")
+        assert p.speedup < 1.0
+        assert p.relative_power < 1.0
+
+    def test_rejects_degenerate_reference(self):
+        run = _run()
+        empty = simulate_run(
+            RunTrace(algorithm="x", graph_name="g", source=0), JETSON_TK1
+        )
+        with pytest.raises(ValueError):
+            relative_point(run, empty)
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        assert pareto_front([(1.0, 1.0), (2.0, 2.0)]) == [0]
+
+    def test_tradeoff_points_all_kept(self):
+        pts = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert pareto_front(pts) == [0, 1, 2]
+
+    def test_mixed(self):
+        pts = [(1.0, 3.0), (2.0, 4.0), (3.0, 1.0), (2.5, 2.5)]
+        # (2, 4) is dominated by (1, 3); the rest trade off
+        assert pareto_front(pts) == [0, 3, 2]
+
+    def test_duplicates_kept(self):
+        pts = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_front(pts) == [0, 1]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_front([(1.0,), (1.0, 2.0)])
+
+    def test_three_dimensional(self):
+        pts = [(1, 1, 1), (2, 2, 2), (0.5, 3, 3)]
+        front = pareto_front(pts)
+        assert 0 in front and 2 in front and 1 not in front
+
+    def test_sorted_by_first_coordinate(self):
+        pts = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)]
+        front = pareto_front(pts)
+        assert [pts[i][0] for i in front] == sorted(pts[i][0] for i in front)

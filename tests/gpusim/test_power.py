@@ -1,0 +1,54 @@
+"""Unit tests for the CMOS power model."""
+
+import pytest
+
+from repro.gpusim.device import JETSON_TK1
+from repro.gpusim.power import PowerModel
+
+
+@pytest.fixture
+def pm() -> PowerModel:
+    return PowerModel(JETSON_TK1)
+
+
+class TestEnvelope:
+    def test_idle_is_static(self, pm):
+        assert pm.total(0.0, 0.0, 852, 924) == pytest.approx(
+            JETSON_TK1.static_power_w
+        )
+
+    def test_peak_envelope(self, pm):
+        assert pm.total(1.0, 1.0, 852, 924) == pytest.approx(pm.peak_power)
+
+    def test_peak_exceeds_idle(self, pm):
+        assert pm.peak_power > pm.idle_power
+
+
+class TestMonotonicity:
+    def test_power_rises_with_utilization(self, pm):
+        powers = [pm.total(u, 0.5, 852, 924) for u in (0.0, 0.25, 0.5, 1.0)]
+        assert powers == sorted(powers)
+        assert powers[-1] > powers[0]
+
+    def test_power_rises_with_core_frequency(self, pm):
+        powers = [pm.total(1.0, 0.5, f, 924) for f in JETSON_TK1.core_freqs_mhz]
+        assert powers == sorted(powers)
+
+    def test_power_rises_with_mem_frequency(self, pm):
+        powers = [pm.total(0.5, 1.0, 852, f) for f in JETSON_TK1.mem_freqs_mhz]
+        assert powers == sorted(powers)
+
+    def test_voltage_squared_superlinear(self, pm):
+        """Halving frequency more than halves dynamic core power (V drops too)."""
+        full = pm.core_dynamic(1.0, 852)
+        half = pm.core_dynamic(1.0, 426)
+        assert half < 0.5 * full
+
+
+class TestClamping:
+    def test_utilization_clamped(self, pm):
+        assert pm.total(2.0, 0.0, 852, 924) == pm.total(1.0, 0.0, 852, 924)
+        assert pm.total(-1.0, 0.0, 852, 924) == pm.total(0.0, 0.0, 852, 924)
+
+    def test_mem_utilization_clamped(self, pm):
+        assert pm.mem_dynamic(5.0, 924) == pm.mem_dynamic(1.0, 924)

@@ -1,0 +1,96 @@
+"""Unit tests for the PowerMon-style sampler."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import JETSON_TK1
+from repro.gpusim.dvfs import FixedDVFS
+from repro.gpusim.executor import simulate_run
+from repro.gpusim.powermon import PowerMonChannel, sample_run
+from repro.instrument.trace import IterationRecord, RunTrace
+
+
+def _long_trace(n=4000, p=5000) -> RunTrace:
+    trace = RunTrace(algorithm="nearfar", graph_name="synthetic", source=0)
+    for k in range(n):
+        trace.append(
+            IterationRecord(
+                k=k, x1=p // 8, x2=p, x3=p // 2, x4=p // 3,
+                delta=1.0, split=1.0, far_size=0,
+            )
+        )
+    return trace
+
+
+@pytest.fixture
+def run():
+    return simulate_run(
+        _long_trace(), JETSON_TK1, FixedDVFS.max_performance(JETSON_TK1)
+    )
+
+
+class TestSampling:
+    def test_sample_rate_respected(self, run):
+        pm = sample_run(run, PowerMonChannel(sample_rate_hz=1000.0, noise_w=0.0))
+        expected = int(run.total_seconds * 1000.0)
+        assert abs(pm.num_samples - expected) <= 1
+
+    def test_average_power_close_to_model(self, run):
+        pm = sample_run(run, PowerMonChannel(noise_w=0.0, quantum_w=0.0))
+        assert pm.average_power_w == pytest.approx(run.average_power_w, rel=0.02)
+
+    def test_energy_close_to_model(self, run):
+        pm = sample_run(run, PowerMonChannel(noise_w=0.0, quantum_w=0.0))
+        assert pm.energy_j == pytest.approx(run.total_energy_j, rel=0.02)
+
+    def test_noise_deterministic_per_seed(self, run):
+        a = sample_run(run, seed=1)
+        b = sample_run(run, seed=1)
+        c = sample_run(run, seed=2)
+        assert np.array_equal(a.watts, b.watts)
+        assert not np.array_equal(a.watts, c.watts)
+
+    def test_quantisation(self, run):
+        pm = sample_run(run, PowerMonChannel(noise_w=0.0, quantum_w=0.5))
+        assert np.allclose(pm.watts % 0.5, 0.0)
+
+    def test_nonnegative(self, run):
+        pm = sample_run(run, PowerMonChannel(noise_w=50.0))  # absurd noise
+        assert pm.watts.min() >= 0.0
+
+    def test_current_channel(self, run):
+        pm = sample_run(run, PowerMonChannel(rail_volts=12.0, noise_w=0.0))
+        assert np.allclose(pm.current_a() * 12.0, pm.watts)
+
+    def test_too_short_run_single_sample(self):
+        trace = _long_trace(n=1, p=10)
+        run = simulate_run(trace, JETSON_TK1, FixedDVFS.max_performance(JETSON_TK1))
+        pm = sample_run(run)
+        assert pm.num_samples == 1
+
+    def test_empty_run(self):
+        trace = RunTrace(algorithm="nearfar", graph_name="x", source=0)
+        run = simulate_run(trace, JETSON_TK1)
+        pm = sample_run(run)
+        assert pm.num_samples == 0
+        assert pm.average_power_w == 0.0
+        assert pm.energy_j == 0.0
+
+    def test_peak_at_least_average(self, run):
+        pm = sample_run(run)
+        assert pm.peak_power_w >= pm.average_power_w
+
+
+class TestChannelValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(rail_volts=0.0),
+            dict(sample_rate_hz=0.0),
+            dict(noise_w=-1.0),
+            dict(quantum_w=-1.0),
+        ],
+    )
+    def test_rejects(self, kw):
+        with pytest.raises(ValueError):
+            PowerMonChannel(**kw)

@@ -1,0 +1,197 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(3, [0, 0, 1], [1, 2, 2], [1.0, 2.0, 3.0])
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [2]
+        assert list(g.neighbors(2)) == []
+
+    def test_from_edges_unsorted_sources(self):
+        g = CSRGraph.from_edges(4, [3, 0, 2, 0], [0, 1, 1, 3], [1, 2, 3, 4])
+        assert g.out_degree(0) == 2
+        assert g.out_degree(3) == 1
+        # weights follow their edges through the sort
+        assert g.neighbor_weights(3)[0] == 1.0
+
+    def test_from_edges_preserves_parallel_edges_by_default(self):
+        g = CSRGraph.from_edges(2, [0, 0], [1, 1], [5.0, 3.0])
+        assert g.num_edges == 2
+
+    def test_dedupe_keeps_min_weight(self):
+        g = CSRGraph.from_edges(2, [0, 0, 0], [1, 1, 1], [5.0, 3.0, 7.0], dedupe=True)
+        assert g.num_edges == 1
+        assert g.weights[0] == 3.0
+
+    def test_dedupe_distinct_edges_survive(self):
+        g = CSRGraph.from_edges(
+            3, [0, 0, 1, 1], [1, 2, 0, 2], [1, 2, 3, 4], dedupe=True
+        )
+        assert g.num_edges == 4
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+        assert g.average_degree == 0.0
+
+    def test_zero_node_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.num_nodes == 0
+        assert g.average_degree == 0.0
+
+    def test_single_vertex_self_loop(self):
+        g = CSRGraph.from_edges(1, [0], [0], [2.5])
+        assert g.num_edges == 1
+        assert list(g.neighbors(0)) == [0]
+
+    def test_dtype_normalisation(self):
+        g = CSRGraph.from_edges(
+            2,
+            np.asarray([0], dtype=np.uint8),
+            np.asarray([1], dtype=np.int16),
+            np.asarray([1], dtype=np.float32),
+        )
+        assert g.indptr.dtype == np.int64
+        assert g.indices.dtype == np.int32
+        assert g.weights.dtype == np.float64
+
+
+class TestValidation:
+    def test_rejects_out_of_range_source(self):
+        with pytest.raises(ValueError, match="endpoint out of range"):
+            CSRGraph.from_edges(2, [2], [0], [1.0])
+
+    def test_rejects_out_of_range_destination(self):
+        with pytest.raises(ValueError, match="endpoint out of range"):
+            CSRGraph.from_edges(2, [0], [5], [1.0])
+
+    def test_rejects_negative_vertex(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [-1], [0], [1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            CSRGraph.from_edges(2, [0], [1, 0], [1.0])
+
+    def test_rejects_nonfinite_weights(self):
+        with pytest.raises(ValueError, match="finite"):
+            CSRGraph.from_edges(2, [0], [1], [np.inf])
+        with pytest.raises(ValueError, match="finite"):
+            CSRGraph.from_edges(2, [0], [1], [np.nan])
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                indptr=np.asarray([1, 2]),
+                indices=np.asarray([0, 0]),
+                weights=np.asarray([1.0, 1.0]),
+            )
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(
+                indptr=np.asarray([0, 2, 1, 2]),
+                indices=np.asarray([0, 1]),
+                weights=np.asarray([1.0, 1.0]),
+            )
+
+    def test_rejects_indptr_tail_mismatch(self):
+        with pytest.raises(ValueError, match="num_edges"):
+            CSRGraph(
+                indptr=np.asarray([0, 1, 3]),
+                indices=np.asarray([0]),
+                weights=np.asarray([1.0]),
+            )
+
+    def test_rejects_negative_num_nodes(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(-1, [], [], [])
+
+
+class TestQueries:
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 2
+        assert list(triangle.out_degree()) == [2, 1, 1]
+        assert list(triangle.out_degree(np.asarray([1, 2]))) == [1, 1]
+        assert triangle.max_degree == 2
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree == pytest.approx(4 / 3)
+
+    def test_average_weight(self, triangle):
+        assert triangle.average_weight == pytest.approx((1 + 2 + 4 + 10) / 4)
+
+    def test_average_weight_empty_graph_is_one(self):
+        assert CSRGraph.empty(3).average_weight == 1.0
+
+    def test_edges_iteration(self, diamond):
+        edges = sorted(diamond.edges())
+        assert edges == [(0, 1, 4.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 2.0)]
+
+    def test_edge_arrays_roundtrip(self, small_grid):
+        src, dst, w = small_grid.edge_arrays()
+        g2 = CSRGraph.from_edges(small_grid.num_nodes, src, dst, w)
+        assert np.array_equal(g2.indptr, small_grid.indptr)
+        assert np.array_equal(g2.indices, small_grid.indices)
+        assert np.allclose(g2.weights, small_grid.weights)
+
+    def test_has_negative_weights(self):
+        g = CSRGraph.from_edges(2, [0], [1], [-1.0])
+        assert g.has_negative_weights()
+        g2 = CSRGraph.from_edges(2, [0], [1], [1.0])
+        assert not g2.has_negative_weights()
+
+
+class TestTransforms:
+    def test_reverse(self, diamond):
+        r = diamond.reverse()
+        assert r.num_edges == diamond.num_edges
+        assert sorted(r.edges()) == sorted(
+            (v, u, w) for u, v, w in diamond.edges()
+        )
+
+    def test_reverse_twice_is_identity(self, small_rmat):
+        rr = small_rmat.reverse().reverse()
+        assert sorted(rr.edges()) == sorted(small_rmat.edges())
+
+    def test_to_undirected_symmetric(self, diamond):
+        u = diamond.to_undirected()
+        edge_set = {(a, b) for a, b, _ in u.edges()}
+        assert all((b, a) in edge_set for a, b in edge_set)
+
+    def test_to_undirected_min_weight_wins(self):
+        g = CSRGraph.from_edges(2, [0, 1], [1, 0], [5.0, 2.0])
+        u = g.to_undirected()
+        assert u.num_edges == 2
+        assert set(u.weights) == {2.0}
+
+    def test_with_weights(self, triangle):
+        w = np.ones(triangle.num_edges)
+        g2 = triangle.with_weights(w)
+        assert np.array_equal(g2.indices, triangle.indices)
+        assert np.all(g2.weights == 1.0)
+
+    def test_with_weights_wrong_size_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.with_weights(np.ones(triangle.num_edges + 1))
+
+    def test_subgraph_mask(self, diamond):
+        keep = np.asarray([True, False, True, True])
+        sub = diamond.subgraph_mask(keep)
+        assert sub.num_nodes == 3
+        # surviving edges: 0->2 (now 0->1) and 2->3 (now 1->2)
+        assert sorted(sub.edges()) == [(0, 1, 1.0), (1, 2, 2.0)]
+
+    def test_subgraph_mask_size_check(self, diamond):
+        with pytest.raises(ValueError, match="mask size"):
+            diamond.subgraph_mask(np.asarray([True, False]))

@@ -1,0 +1,92 @@
+"""Tests for the Table-1 dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    PAPER_TABLE1,
+    bench_scale,
+    cal_like,
+    summarize,
+    wiki_like,
+)
+from repro.graph.properties import estimate_diameter
+
+
+class TestCalLike:
+    def test_size_tracks_scale(self):
+        small = cal_like(0.002)
+        big = cal_like(0.008)
+        assert 3 < big.num_nodes / small.num_nodes < 5
+
+    def test_road_traits(self):
+        g = cal_like(0.004)
+        # low degree, like the real Cal
+        assert g.max_degree <= 8
+        assert g.average_degree < 5
+        # high diameter relative to a scale-free graph of this size
+        assert estimate_diameter(g, samples=2) > 50
+
+    def test_deterministic(self):
+        a, b = cal_like(0.002), cal_like(0.002)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_scale_one_approximates_paper(self):
+        # don't build it (too big for a unit test); check the arithmetic
+        import math
+
+        target = PAPER_TABLE1["Cal"]["nodes"]
+        cols = max(4, int(math.sqrt(target / 2.0)))
+        rows = max(4, target // cols)
+        assert abs(rows * cols - target) / target < 0.01
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            cal_like(0.0)
+
+
+class TestWikiLike:
+    def test_scale_free_traits(self):
+        g = wiki_like(0.004)
+        degrees = np.diff(g.indptr)
+        assert degrees.max() > 10 * degrees.mean()  # heavy tail
+        assert estimate_diameter(g, samples=2) < 20  # small world
+
+    def test_weights_match_paper_scheme(self):
+        g = wiki_like(0.004)
+        assert g.weights.min() >= 1
+        assert g.weights.max() <= 99
+
+    def test_edge_factor_near_paper(self):
+        g = wiki_like(0.01)
+        # paper: ~12 edges per node; dedupe trims a little
+        assert 6 <= g.average_degree <= 12
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            wiki_like(-1)
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_scale() == 0.02
+        assert bench_scale(0.1) == 0.1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_env_out_of_range(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "9.0")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestSummarize:
+    def test_summary(self):
+        g = cal_like(0.002)
+        s = summarize(g, 0.002)
+        assert s.num_nodes == g.num_nodes
+        assert s.scale == 0.002
+        assert s.max_degree == g.max_degree

@@ -1,0 +1,251 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid_road_network,
+    path_graph,
+    random_weighted_graph,
+    rmat,
+    star_graph,
+)
+from repro.graph.properties import estimate_diameter, reachable_count
+
+
+class TestGridRoadNetwork:
+    def test_size(self):
+        g = grid_road_network(10, 12, seed=1)
+        assert g.num_nodes == 120
+
+    def test_deterministic(self):
+        a = grid_road_network(6, 6, seed=42)
+        b = grid_road_network(6, 6, seed=42)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_seed_changes_graph(self):
+        a = grid_road_network(6, 6, seed=1)
+        b = grid_road_network(6, 6, seed=2)
+        assert not np.allclose(a.weights[: min(a.num_edges, b.num_edges)],
+                               b.weights[: min(a.num_edges, b.num_edges)])
+
+    def test_low_degree(self):
+        g = grid_road_network(20, 20, seed=0)
+        assert g.max_degree <= 8
+
+    def test_roads_are_bidirectional(self):
+        g = grid_road_network(5, 5, seed=0)
+        edge_set = {(u, v) for u, v, _ in g.edges()}
+        assert all((v, u) in edge_set for u, v in edge_set)
+
+    def test_positive_weights(self):
+        g = grid_road_network(8, 8, seed=0)
+        assert g.weights.min() > 0
+
+    def test_high_diameter(self):
+        g = grid_road_network(30, 4, seed=0, drop_fraction=0.0)
+        # a 30x4 strip must have diameter at least ~rows
+        assert estimate_diameter(g, samples=4) >= 25
+
+    def test_no_drop_keeps_full_lattice(self):
+        g = grid_road_network(
+            5, 5, seed=0, drop_fraction=0.0, diagonal_fraction=0.0
+        )
+        # 2 * (rows*(cols-1) + (rows-1)*cols) directed edges
+        assert g.num_edges == 2 * (5 * 4 + 4 * 5)
+
+    def test_regional_variation_spreads_weights(self):
+        flat = grid_road_network(20, 20, seed=0, regional_variation=1.0)
+        varied = grid_road_network(20, 20, seed=0, regional_variation=8.0)
+        spread_flat = flat.weights.max() / flat.weights.min()
+        spread_varied = varied.weights.max() / varied.weights.min()
+        assert spread_varied > 2 * spread_flat
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            grid_road_network(0, 5)
+        with pytest.raises(ValueError):
+            grid_road_network(5, 5, drop_fraction=1.0)
+        with pytest.raises(ValueError):
+            grid_road_network(5, 5, regional_variation=0.5)
+
+    def test_single_row(self):
+        g = grid_road_network(1, 10, seed=0, drop_fraction=0.0)
+        assert g.num_nodes == 10
+        assert g.num_edges == 18  # 9 horizontal roads, both ways
+
+
+class TestRMAT:
+    def test_size(self):
+        g = rmat(8, edge_factor=8, seed=0)
+        assert g.num_nodes == 256
+        # dedupe + self-loop removal shrink the edge count somewhat
+        assert 0.5 * 8 * 256 < g.num_edges <= 8 * 256
+
+    def test_deterministic(self):
+        a = rmat(7, seed=3)
+        b = rmat(7, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_heavy_tail(self):
+        g = rmat(11, edge_factor=12, seed=1)
+        degrees = np.diff(g.indptr)
+        # scale-free: max degree far above average
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_weights_in_paper_range(self):
+        g = rmat(7, seed=0, weight_low=1, weight_high=99)
+        assert g.weights.min() >= 1
+        assert g.weights.max() <= 99
+        assert np.allclose(g.weights, np.round(g.weights))
+
+    def test_no_self_loops(self):
+        g = rmat(8, seed=2)
+        src, dst, _ = g.edge_arrays()
+        assert np.all(src != dst)
+
+    def test_scale_zero(self):
+        g = rmat(0, edge_factor=4, seed=0)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0  # all edges are self-loops on one vertex
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, a=0.9, b=0.2, c=0.2)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat(-1)
+        with pytest.raises(ValueError):
+            rmat(31)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert(300, attach=3, seed=0)
+        assert g.num_nodes == 300
+        assert reachable_count(g, 0) == 300  # symmetrised, single component
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(2000, attach=4, seed=1)
+        degrees = np.diff(g.indptr)
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_symmetric(self):
+        g = barabasi_albert(50, attach=2, seed=2)
+        edge_set = {(u, v) for u, v, _ in g.edges()}
+        assert all((v, u) in edge_set for u, v in edge_set)
+
+    def test_tiny(self):
+        g = barabasi_albert(1, seed=0)
+        assert g.num_nodes == 1
+        g2 = barabasi_albert(2, attach=5, seed=0)
+        assert g2.num_nodes == 2
+        assert g2.num_edges == 2  # the 0-1 pair, both directions
+
+
+class TestErdosRenyi:
+    def test_edge_count_close_to_target(self):
+        g = erdos_renyi(500, 6.0, seed=0)
+        # self-loop removal and deduping lose a few percent
+        assert 0.9 * 3000 <= g.num_edges <= 3000
+
+    def test_zero_degree(self):
+        g = erdos_renyi(10, 0.0, seed=0)
+        assert g.num_edges == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 1.0)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, -1.0)
+
+
+class TestDeterministicShapes:
+    def test_path(self):
+        g = path_graph(5, weight=2.0)
+        assert g.num_edges == 4
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(4)) == []
+        assert np.all(g.weights == 2.0)
+
+    def test_path_single(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.out_degree(0) == 5
+        assert all(g.out_degree(i) == 0 for i in range(1, 6))
+
+    def test_complete(self):
+        g = complete_graph(5, seed=0)
+        assert g.num_edges == 20
+        assert g.max_degree == 4
+
+    def test_random_weighted_graph_integer_weights(self):
+        g = random_weighted_graph(20, 60, seed=0, max_weight=5, integer=True)
+        assert np.allclose(g.weights, np.round(g.weights))
+        assert g.weights.min() >= 1
+
+    def test_random_weighted_graph_rejects_bad(self):
+        with pytest.raises(ValueError):
+            random_weighted_graph(0, 5)
+        with pytest.raises(ValueError):
+            random_weighted_graph(5, -1)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        from repro.graph.generators import watts_strogatz
+
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        degrees = np.diff(g.indptr)
+        assert np.all(degrees == 4)  # regular
+        assert estimate_diameter(g, samples=6) >= 4  # ring-like
+
+    def test_rewiring_shrinks_diameter(self):
+        from repro.graph.generators import watts_strogatz
+
+        regular = watts_strogatz(400, 4, 0.0, seed=1)
+        small_world = watts_strogatz(400, 4, 0.3, seed=1)
+        assert estimate_diameter(small_world, samples=6) < estimate_diameter(
+            regular, samples=6
+        )
+
+    def test_symmetric(self):
+        from repro.graph.generators import watts_strogatz
+
+        g = watts_strogatz(30, 4, 0.2, seed=2)
+        edges = {(u, v) for u, v, _ in g.edges()}
+        assert all((v, u) in edges for u, v in edges)
+
+    def test_deterministic(self):
+        from repro.graph.generators import watts_strogatz
+
+        a = watts_strogatz(50, 4, 0.2, seed=3)
+        b = watts_strogatz(50, 4, 0.2, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_bad_params(self):
+        from repro.graph.generators import watts_strogatz
+
+        with pytest.raises(ValueError):
+            watts_strogatz(2, 2)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3)  # odd neighbours
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, rewire=1.5)
+
+    def test_sssp_correct_on_small_world(self):
+        from repro.graph.generators import watts_strogatz
+        from repro.sssp.dijkstra import dijkstra
+        from repro.sssp.nearfar import nearfar_sssp
+        from repro.sssp.result import assert_distances_close
+
+        g = watts_strogatz(100, 6, 0.2, seed=4)
+        result, _ = nearfar_sssp(g, 0)
+        assert_distances_close(dijkstra(g, 0), result)

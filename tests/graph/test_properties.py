@@ -1,0 +1,115 @@
+"""Unit tests for structural graph properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_road_network, path_graph, star_graph
+from repro.graph.properties import (
+    bfs_levels,
+    degree_statistics,
+    estimate_diameter,
+    graph_stats,
+    is_connected_from,
+    reachable_count,
+    weakly_connected_components,
+)
+
+
+class TestBFS:
+    def test_path_levels(self):
+        g = path_graph(5)
+        lv = bfs_levels(g, 0)
+        assert list(lv) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = path_graph(5)
+        lv = bfs_levels(g, 2)
+        assert list(lv) == [-1, -1, 0, 1, 2]
+
+    def test_star(self):
+        g = star_graph(6)
+        lv = bfs_levels(g, 0)
+        assert lv[0] == 0
+        assert np.all(lv[1:] == 1)
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph(3), 5)
+
+    def test_cycle_ignores_weights(self, triangle):
+        # triangle has a direct 0->2 edge (weight 10); BFS counts hops,
+        # not weights, so 2 sits at level 1 despite the heavy edge
+        lv = bfs_levels(triangle, 0)
+        assert list(lv) == [0, 1, 1]
+
+
+class TestReachability:
+    def test_reachable_count(self, disconnected):
+        assert reachable_count(disconnected, 0) == 2
+        assert reachable_count(disconnected, 4) == 1
+
+    def test_is_connected_from(self, small_star):
+        assert is_connected_from(small_star, 0)
+        assert not is_connected_from(small_star, 1)
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        g = path_graph(20)
+        # directed path: from vertex 0 the eccentricity is 19
+        assert estimate_diameter(g, samples=20, seed=0) == 19
+
+    def test_empty(self):
+        assert estimate_diameter(CSRGraph.empty(0)) == 0
+
+    def test_grid_diameter_scales(self):
+        small = grid_road_network(6, 6, seed=0, drop_fraction=0.0)
+        large = grid_road_network(18, 18, seed=0, drop_fraction=0.0)
+        assert estimate_diameter(large, samples=6) > estimate_diameter(
+            small, samples=6
+        )
+
+
+class TestComponents:
+    def test_disconnected(self, disconnected):
+        labels = weakly_connected_components(disconnected)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len({labels[0], labels[2], labels[4]}) == 3
+
+    def test_connected_grid(self, small_grid):
+        labels = weakly_connected_components(small_grid)
+        # the 8x8 road grid with default drop stays (almost surely) connected
+        assert len(np.unique(labels)) <= 3
+
+    def test_direction_ignored(self):
+        g = path_graph(4)  # weakly connected although directed
+        labels = weakly_connected_components(g)
+        assert len(np.unique(labels)) == 1
+
+    def test_empty(self):
+        assert weakly_connected_components(CSRGraph.empty(0)).size == 0
+
+    def test_labels_dense(self, disconnected):
+        labels = weakly_connected_components(disconnected)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+
+class TestStats:
+    def test_degree_statistics(self, small_star):
+        d = degree_statistics(small_star)
+        assert d["max"] == 9
+        assert d["zeros"] == 9
+
+    def test_degree_statistics_empty(self):
+        d = degree_statistics(CSRGraph.empty(0))
+        assert d["max"] == 0
+
+    def test_graph_stats_row(self, small_grid):
+        s = graph_stats(small_grid, diameter_samples=2)
+        assert s.num_nodes == 64
+        assert s.max_degree <= 8
+        row = s.as_row()
+        assert row["Nodes"] == 64
+        assert "Max degree" in row

@@ -1,0 +1,113 @@
+"""Unit tests for weight assignment schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import path_graph
+from repro.graph.weights import (
+    assign_weights,
+    euclidean_weights,
+    exponential_weights,
+    uniform_float_weights,
+    uniform_int_weights,
+    unit_weights,
+)
+
+
+class TestUniformInt:
+    def test_range_matches_paper(self, rng):
+        w = uniform_int_weights(10_000, rng)  # defaults: [1, 99]
+        assert w.min() >= 1
+        assert w.max() <= 99
+        assert np.allclose(w, np.round(w))
+
+    def test_covers_endpoints(self, rng):
+        w = uniform_int_weights(20_000, rng, 1, 5)
+        assert set(np.unique(w)) == {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_rejects_nonpositive_low(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            uniform_int_weights(5, rng, low=0)
+
+    def test_rejects_inverted_range(self, rng):
+        with pytest.raises(ValueError):
+            uniform_int_weights(5, rng, low=5, high=2)
+
+    def test_zero_edges(self, rng):
+        assert uniform_int_weights(0, rng).size == 0
+
+
+class TestUniformFloat:
+    def test_range(self, rng):
+        w = uniform_float_weights(1000, rng, 2.0, 3.0)
+        assert w.min() >= 2.0
+        assert w.max() < 3.0
+
+    def test_rejects_inverted(self, rng):
+        with pytest.raises(ValueError):
+            uniform_float_weights(5, rng, 3.0, 2.0)
+
+
+class TestExponential:
+    def test_positive(self, rng):
+        w = exponential_weights(1000, rng, scale=2.0)
+        assert w.min() > 0
+
+    def test_mean_near_scale(self, rng):
+        w = exponential_weights(50_000, rng, scale=3.0)
+        assert w.mean() == pytest.approx(3.0, rel=0.1)
+
+    def test_rejects_bad_scale(self, rng):
+        with pytest.raises(ValueError):
+            exponential_weights(5, rng, scale=0.0)
+
+
+class TestUnit:
+    def test_all_ones(self):
+        w = unit_weights(7)
+        assert np.all(w == 1.0)
+
+
+class TestEuclidean:
+    def test_distance(self):
+        src = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        dst = np.asarray([[3.0, 4.0], [1.0, 1.0]])
+        w = euclidean_weights(src, dst)
+        assert w[0] == pytest.approx(5.0)
+        assert w[1] == pytest.approx(1e-9)  # coincident points get the floor
+
+    def test_noise_requires_rng(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="rng required"):
+            euclidean_weights(pts, pts + 1, noise=0.1)
+
+    def test_noise_bounded(self, rng):
+        src = np.zeros((1000, 2))
+        dst = np.ones((1000, 2))
+        w = euclidean_weights(src, dst, rng=rng, noise=0.5)
+        base = np.sqrt(2.0)
+        assert np.all(w >= base * 0.999)
+        assert np.all(w <= base * 1.5 * 1.001)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            euclidean_weights(np.zeros((3, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            euclidean_weights(np.zeros(3), np.zeros(3))
+
+
+class TestAssignWeights:
+    def test_dispatch(self, rng):
+        g = path_graph(10)
+        for scheme in ("uniform_int", "uniform_float", "exponential", "unit"):
+            g2 = assign_weights(g, scheme, rng)
+            assert g2.num_edges == g.num_edges
+            assert np.array_equal(g2.indices, g.indices)
+
+    def test_unknown_scheme(self, rng):
+        with pytest.raises(ValueError, match="unknown weight scheme"):
+            assign_weights(path_graph(3), "bogus", rng)
+
+    def test_kwargs_forwarded(self, rng):
+        g2 = assign_weights(path_graph(100), "uniform_int", rng, low=7, high=7)
+        assert np.all(g2.weights == 7.0)

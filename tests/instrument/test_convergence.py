@@ -1,0 +1,93 @@
+"""Unit tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.graph.generators import grid_road_network
+from repro.instrument.convergence import (
+    ControllerDynamics,
+    analyze_controller,
+    settling_iteration,
+)
+from repro.instrument.trace import RunTrace
+
+
+class TestSettlingIteration:
+    def test_settled_from_start(self):
+        assert settling_iteration(np.asarray([10.0, 10.1, 9.9])) == 0
+
+    def test_settles_mid_series(self):
+        x = np.asarray([100.0, 50.0, 10.0, 10.2, 9.9, 10.0])
+        assert settling_iteration(x) == 2
+
+    def test_never_settles(self):
+        x = np.asarray([1.0, 100.0, 1.0, 100.0, 1.0])
+        assert settling_iteration(x, target=50.0, band=0.1) == 5
+
+    def test_explicit_target(self):
+        x = np.asarray([1.0, 5.0, 5.1])
+        assert settling_iteration(x, target=5.0, band=0.25) == 1
+
+    def test_band_width_matters(self):
+        x = np.asarray([8.0, 10.0])
+        assert settling_iteration(x, target=10.0, band=0.3) == 0
+        assert settling_iteration(x, target=10.0, band=0.1) == 1
+
+    def test_empty(self):
+        assert settling_iteration(np.zeros(0)) == 0
+
+    def test_zero_target_never_settles(self):
+        assert settling_iteration(np.asarray([0.0, 0.0]), target=0.0) == 2
+
+
+class TestAnalyzeController:
+    @pytest.fixture(scope="class")
+    def run(self):
+        g = grid_road_network(60, 60, seed=2)
+        setpoint = 400.0
+        _, trace, _ = adaptive_sssp(g, 0, AdaptiveParams(setpoint=setpoint))
+        return trace, setpoint
+
+    def test_dynamics_populated(self, run):
+        trace, setpoint = run
+        dyn = analyze_controller(trace, setpoint)
+        assert dyn.iterations == len(trace)
+        assert 0 <= dyn.parallelism_entry <= dyn.iterations
+        assert dyn.parallelism_overshoot > 0
+        assert np.isfinite(dyn.steady_tracking_error)
+
+    def test_control_becomes_effective_quickly(self, run):
+        """The paper's "about 5 iterations" claim, measured by effect:
+        the parallelism band is entered within a few percent of the
+        run.  (alpha itself keeps *tracking* local graph density for
+        the whole run — settling-vs-final is the wrong yardstick for
+        it, which is why ControllerDynamics reports but does not
+        assert on it.)"""
+        trace, setpoint = run
+        dyn = analyze_controller(trace, setpoint)
+        # band entry includes the physical frontier ramp-up (a road
+        # network's wavefront takes ~sqrt(P) iterations to reach P
+        # vertices no matter what the controller does)
+        assert dyn.parallelism_entry <= dyn.iterations // 3
+        assert dyn.d_settling <= max(10, dyn.iterations // 10)
+
+    def test_band_entry_before_end(self, run):
+        trace, setpoint = run
+        dyn = analyze_controller(trace, setpoint)
+        assert dyn.parallelism_entry < dyn.iterations
+
+    def test_as_row(self, run):
+        trace, setpoint = run
+        row = analyze_controller(trace, setpoint).as_row()
+        assert set(row) >= {"iterations", "d settle", "alpha settle"}
+
+    def test_empty_trace(self):
+        trace = RunTrace(algorithm="x", graph_name="g", source=0)
+        dyn = analyze_controller(trace, 10.0)
+        assert dyn.iterations == 0
+
+    def test_rejects_bad_setpoint(self, run):
+        trace, _ = run
+        with pytest.raises(ValueError):
+            analyze_controller(trace, 0.0)

@@ -1,0 +1,54 @@
+"""Unit tests for parallelism profiles."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.profile import make_profile, profile_from_trace
+from repro.instrument.trace import IterationRecord, RunTrace
+
+
+def _trace(parallelisms):
+    t = RunTrace(algorithm="nearfar", graph_name="g", source=0)
+    for k, p in enumerate(parallelisms):
+        t.append(
+            IterationRecord(
+                k=k, x1=1, x2=p, x3=p, x4=p, delta=1.0, split=1.0, far_size=0
+            )
+        )
+    return t
+
+
+class TestProfile:
+    def test_from_trace(self):
+        prof = profile_from_trace(_trace([10, 20, 30]))
+        assert prof.label == "nearfar"
+        assert prof.num_iterations == 3
+        assert prof.summary.mean == pytest.approx(20.0)
+
+    def test_custom_label(self):
+        prof = profile_from_trace(_trace([1]), label="custom")
+        assert prof.label == "custom"
+
+    def test_dynamic_range(self):
+        prof = make_profile("x", np.asarray([10.0, 1000.0]))
+        assert prof.dynamic_range == pytest.approx(100.0)
+
+    def test_dynamic_range_small_values_floored(self):
+        prof = make_profile("x", np.asarray([0.5, 8.0]))
+        # min positive below 1 is floored at 1
+        assert prof.dynamic_range == pytest.approx(8.0)
+
+    def test_dynamic_range_empty(self):
+        prof = make_profile("x", np.zeros(0))
+        assert prof.dynamic_range == 0.0
+
+    def test_steady_state_trims_warmup(self):
+        series = np.concatenate([np.full(10, 1000.0), np.full(90, 10.0)])
+        prof = make_profile("x", series)
+        steady = prof.steady_state(skip_fraction=0.1)
+        assert steady.num_iterations == 90
+        assert steady.summary.maximum == 10.0
+
+    def test_density_fields_consistent(self):
+        prof = make_profile("x", np.asarray([1.0, 2.0, 4.0, 8.0] * 10))
+        assert prof.density_edges.size == prof.density.size + 1

@@ -1,0 +1,79 @@
+"""Tests for trace serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.gpusim.device import JETSON_TK1
+from repro.gpusim.dvfs import FixedDVFS
+from repro.gpusim.executor import simulate_run
+from repro.instrument.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.instrument.trace import IterationRecord, RunTrace
+from repro.sssp.nearfar import nearfar_sssp
+
+
+class TestRoundTrip:
+    def test_baseline_trace(self, small_grid, tmp_path):
+        _, trace = nearfar_sssp(small_grid, 0)
+        path = save_trace(trace, tmp_path / "t.json")
+        back = load_trace(path)
+        assert back.algorithm == trace.algorithm
+        assert back.graph_name == trace.graph_name
+        assert len(back) == len(trace)
+        assert np.array_equal(back.parallelism, trace.parallelism)
+        assert np.array_equal(back.deltas, trace.deltas)
+
+    def test_adaptive_trace_with_controller_columns(self, small_grid, tmp_path):
+        _, trace, _ = adaptive_sssp(small_grid, 0, AdaptiveParams(setpoint=200.0))
+        back = load_trace(save_trace(trace, tmp_path / "t.json"))
+        assert np.allclose(back.column("d_estimate"), trace.column("d_estimate"))
+        assert np.allclose(
+            back.column("alpha_estimate"), trace.column("alpha_estimate")
+        )
+
+    def test_nan_columns_survive(self, tmp_path):
+        trace = RunTrace(algorithm="x", graph_name="g", source=0)
+        trace.append(
+            IterationRecord(
+                k=0, x1=1, x2=2, x3=1, x4=1, delta=1.0, split=1.0, far_size=0
+            )
+        )
+        back = load_trace(save_trace(trace, tmp_path / "t.json"))
+        assert np.isnan(back.records[0].d_estimate)
+
+    def test_replay_identical_simulation(self, small_grid, tmp_path):
+        """The whole point: a reloaded trace costs identically."""
+        _, trace = nearfar_sssp(small_grid, 0)
+        back = load_trace(save_trace(trace, tmp_path / "t.json"))
+        policy = FixedDVFS.max_performance(JETSON_TK1)
+        a = simulate_run(trace, JETSON_TK1, policy)
+        b = simulate_run(back, JETSON_TK1, policy)
+        assert a.total_seconds == pytest.approx(b.total_seconds)
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+
+    def test_file_is_plain_json(self, small_grid, tmp_path):
+        _, trace = nearfar_sssp(small_grid, 0)
+        path = save_trace(trace, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert isinstance(payload["records"], list)
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_dict({"schema": 99})
+
+    def test_unknown_fields_rejected(self, small_grid):
+        _, trace = nearfar_sssp(small_grid, 0)
+        payload = trace_to_dict(trace)
+        payload["records"][0]["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown record fields"):
+            trace_from_dict(payload)

@@ -1,0 +1,99 @@
+"""Unit tests for distribution statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument.stats import (
+    density_histogram,
+    iqr_fraction_near,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_five_number_summary(self):
+        s = summarize(np.asarray([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.p25 == 2.0
+        assert s.p75 == 4.0
+        assert s.iqr == 2.0
+
+    def test_empty(self):
+        s = summarize(np.zeros(0))
+        assert s.count == 0
+        assert s.cv == 0.0
+
+    def test_cv(self):
+        s = summarize(np.asarray([10.0, 10.0]))
+        assert s.cv == 0.0
+
+    def test_as_row(self):
+        row = summarize(np.asarray([1.0, 2.0])).as_row()
+        assert row["n"] == 2
+        assert "median" in row
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ordering_invariants(self, xs):
+        s = summarize(np.asarray(xs))
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.maximum
+        # the mean can land 1 ULP outside [min, max] through accumulation
+        slack = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+
+
+class TestDensityHistogram:
+    def test_density_normalised(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=10_000)
+        edges, density = density_histogram(x, bins=20)
+        widths = np.diff(edges)
+        assert (density * widths).sum() == pytest.approx(1.0)
+
+    def test_log_bins_positive_only(self):
+        x = np.asarray([0.0, 1.0, 10.0, 100.0, 1000.0])
+        edges, density = density_histogram(x, bins=8, log=True)
+        assert edges[0] == pytest.approx(1.0)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_log_constant_sample(self):
+        edges, density = density_histogram(np.asarray([5.0, 5.0]), bins=4, log=True)
+        assert edges.size == 5
+
+    def test_empty(self):
+        edges, density = density_histogram(np.zeros(0), bins=4)
+        assert np.all(density == 0)
+
+    def test_all_zero_log(self):
+        edges, density = density_histogram(np.zeros(5), bins=4, log=True)
+        assert np.all(density == 0)
+
+
+class TestIqrFraction:
+    def test_all_near(self):
+        x = np.asarray([95.0, 100.0, 105.0])
+        assert iqr_fraction_near(x, 100.0, tolerance=0.1) == 1.0
+
+    def test_none_near(self):
+        x = np.asarray([1.0, 2.0])
+        assert iqr_fraction_near(x, 100.0, tolerance=0.1) == 0.0
+
+    def test_partial(self):
+        x = np.asarray([100.0, 500.0])
+        assert iqr_fraction_near(x, 100.0, tolerance=0.5) == 0.5
+
+    def test_degenerate_inputs(self):
+        assert iqr_fraction_near(np.zeros(0), 10.0) == 0.0
+        assert iqr_fraction_near(np.asarray([1.0]), 0.0) == 0.0

@@ -1,0 +1,64 @@
+"""Unit tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.trace import IterationRecord, RunTrace
+
+
+def _trace(parallelisms):
+    t = RunTrace(algorithm="test", graph_name="g", source=0)
+    for k, p in enumerate(parallelisms):
+        t.append(
+            IterationRecord(
+                k=k, x1=1, x2=p, x3=p, x4=p, delta=float(k + 1),
+                split=1.0, far_size=0, controller_seconds=0.001,
+            )
+        )
+    return t
+
+
+class TestRunTrace:
+    def test_len_and_iter(self):
+        t = _trace([1, 2, 3])
+        assert len(t) == 3
+        assert [r.x2 for r in t] == [1, 2, 3]
+
+    def test_column(self):
+        t = _trace([5, 10])
+        assert list(t.column("x2")) == [5.0, 10.0]
+        assert list(t.deltas) == [1.0, 2.0]
+
+    def test_parallelism_is_x2(self):
+        t = _trace([7])
+        assert t.records[0].parallelism == 7
+        assert list(t.parallelism) == [7.0]
+
+    def test_average_parallelism(self):
+        t = _trace([10, 20, 30])
+        assert t.average_parallelism == pytest.approx(20.0)
+
+    def test_average_parallelism_empty(self):
+        assert _trace([]).average_parallelism == 0.0
+
+    def test_cv(self):
+        constant = _trace([10, 10, 10])
+        assert constant.parallelism_cv == 0.0
+        varied = _trace([1, 100])
+        assert varied.parallelism_cv > 0.5
+
+    def test_cv_zero_mean(self):
+        assert _trace([0, 0]).parallelism_cv == 0.0
+
+    def test_total_edges(self):
+        assert _trace([5, 6]).total_edges_expanded == 11
+
+    def test_controller_seconds_sum(self):
+        assert _trace([1, 2, 3]).controller_seconds == pytest.approx(0.003)
+
+    def test_controller_defaults_nan(self):
+        rec = IterationRecord(
+            k=0, x1=1, x2=1, x3=1, x4=1, delta=1.0, split=1.0, far_size=0
+        )
+        assert np.isnan(rec.d_estimate)
+        assert np.isnan(rec.alpha_estimate)

@@ -1,0 +1,89 @@
+"""Unit tests for multi-source batches."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.graph.generators import grid_road_network, star_graph
+from repro.sssp.batch import (
+    BatchRun,
+    batch_run,
+    pooled_parallelism,
+    sample_sources,
+)
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.nearfar import nearfar_sssp
+from repro.sssp.result import assert_distances_close
+
+
+class TestSampleSources:
+    def test_count_and_uniqueness(self, small_grid):
+        src = sample_sources(small_grid, 10, seed=1)
+        assert src.size == 10
+        assert np.unique(src).size == 10
+
+    def test_deterministic(self, small_grid):
+        a = sample_sources(small_grid, 5, seed=2)
+        b = sample_sources(small_grid, 5, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_degree_filter(self):
+        g = star_graph(10)  # only vertex 0 has out-edges
+        src = sample_sources(g, 1, min_out_degree=1)
+        assert list(src) == [0]
+
+    def test_insufficient_candidates(self):
+        g = star_graph(10)
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_sources(g, 2, min_out_degree=1)
+
+    def test_rejects_zero_count(self, small_grid):
+        with pytest.raises(ValueError):
+            sample_sources(small_grid, 0)
+
+
+class TestBatchRun:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return grid_road_network(20, 20, seed=3)
+
+    def test_baseline_batch(self, grid):
+        sources = sample_sources(grid, 4, seed=0)
+        batch = batch_run(
+            grid, sources, lambda g, s: nearfar_sssp(g, s), label="nearfar"
+        )
+        assert batch.count == 4
+        assert batch.iterations().min() > 0
+        for s, result in zip(batch.sources, batch.results):
+            assert_distances_close(dijkstra(grid, int(s)), result)
+
+    def test_adaptive_batch(self, grid):
+        def runner(g, s):
+            result, trace, _ = adaptive_sssp(g, s, AdaptiveParams(setpoint=100.0))
+            return result, trace
+
+        sources = sample_sources(grid, 3, seed=1)
+        batch = batch_run(grid, sources, runner, label="adaptive")
+        row = batch.as_row()
+        assert row["sources"] == 3
+        assert row["pooled median par"] > 0
+
+    def test_empty_sources_rejected(self, grid):
+        with pytest.raises(ValueError):
+            batch_run(grid, [], lambda g, s: nearfar_sssp(g, s))
+
+    def test_pooled_parallelism_length(self, grid):
+        sources = sample_sources(grid, 3, seed=2)
+        batch = batch_run(grid, sources, lambda g, s: nearfar_sssp(g, s))
+        pooled = pooled_parallelism(batch.traces)
+        assert pooled.size == sum(len(t) for t in batch.traces)
+
+    def test_pooled_parallelism_empty(self):
+        assert pooled_parallelism([]).size == 0
+
+    def test_summary_statistics(self, grid):
+        sources = sample_sources(grid, 3, seed=4)
+        batch = batch_run(grid, sources, lambda g, s: nearfar_sssp(g, s))
+        s = batch.parallelism_summary()
+        assert s.count == pooled_parallelism(batch.traces).size
+        assert s.minimum <= s.median <= s.maximum

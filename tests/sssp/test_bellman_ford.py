@@ -1,0 +1,73 @@
+"""Unit tests for vectorised Bellman-Ford."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import path_graph
+from repro.sssp.bellman_ford import NegativeCycleError, bellman_ford
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.result import assert_distances_close
+
+
+class TestAgainstDijkstra:
+    def test_small_graphs(self, triangle, diamond, small_grid, small_rmat):
+        for g in (triangle, diamond, small_grid, small_rmat):
+            assert_distances_close(dijkstra(g, 0), bellman_ford(g, 0))
+
+    def test_random_batch(self, random_graphs):
+        for g in random_graphs:
+            assert_distances_close(dijkstra(g, 0), bellman_ford(g, 0))
+
+
+class TestNegativeWeights:
+    def test_negative_edge_handled(self):
+        # 0->1 (4), 0->2 (2), 2->1 (-1): best 0->1 is 1
+        g = CSRGraph.from_edges(3, [0, 0, 2], [1, 2, 1], [4.0, 2.0, -1.0])
+        r = bellman_ford(g, 0)
+        assert r.dist[1] == 1.0
+
+    def test_negative_cycle_detected(self):
+        g = CSRGraph.from_edges(3, [0, 1, 2], [1, 2, 1], [1.0, -2.0, 1.0])
+        with pytest.raises(NegativeCycleError):
+            bellman_ford(g, 0)
+
+    def test_unreachable_negative_cycle_ok(self):
+        # negative cycle on {2, 3} but the source component is {0, 1}
+        g = CSRGraph.from_edges(
+            4, [0, 2, 3], [1, 3, 2], [1.0, -2.0, 1.0]
+        )
+        r = bellman_ford(g, 0)
+        assert r.dist[1] == 1.0
+        assert np.isinf(r.dist[2])
+
+    def test_zero_cycle_ok(self):
+        g = CSRGraph.from_edges(2, [0, 1], [1, 0], [0.0, 0.0])
+        r = bellman_ford(g, 0)
+        assert list(r.dist) == [0.0, 0.0]
+
+
+class TestMechanics:
+    def test_early_exit(self):
+        g = path_graph(100)
+        r = bellman_ford(g, 99)  # nothing reachable: converges immediately
+        assert r.iterations <= 2
+
+    def test_path_iterations_linear(self):
+        g = path_graph(30)
+        r = bellman_ford(g, 0)
+        # one round per hop plus one to observe the fixed point
+        assert 30 <= r.iterations + 2 <= 33
+
+    def test_source_out_of_range(self, triangle):
+        with pytest.raises(ValueError):
+            bellman_ford(triangle, 99)
+
+    def test_edgeless_graph(self):
+        r = bellman_ford(CSRGraph.empty(4), 2)
+        assert r.dist[2] == 0.0
+        assert np.isinf(r.dist[0])
+
+    def test_relaxation_accounting(self, small_grid):
+        r = bellman_ford(small_grid, 0)
+        assert r.relaxations == r.iterations * small_grid.num_edges

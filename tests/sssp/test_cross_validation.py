@@ -1,0 +1,147 @@
+"""Property-based cross-validation of every SSSP implementation.
+
+The central correctness invariant of the whole reproduction: *no delta
+schedule can change the answer*.  Near+far (and its self-tuning
+variant) are label-correcting, so for any graph, any source and any
+delta/set-point, the distances must equal Dijkstra's exactly.  These
+tests let hypothesis hunt for counterexamples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.graph.csr import CSRGraph
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.nearfar import nearfar_sssp
+from repro.sssp.result import assert_distances_close, verify_optimality
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 40, max_edges: int = 160):
+    """Random weighted digraphs, including degenerate shapes."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    integer_weights = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    if integer_weights:
+        w = rng.integers(1, 100, size=m).astype(float)
+    else:
+        # include near-zero weights to stress bucket boundaries
+        w = rng.uniform(0.0, 10.0, size=m)
+    g = CSRGraph.from_edges(n, src, dst, w)
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    return g, source
+
+
+_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ----------------------------------------------------------------------
+# pairwise agreement
+# ----------------------------------------------------------------------
+
+
+@given(graphs())
+@_settings
+def test_bellman_ford_matches_dijkstra(case):
+    g, s = case
+    assert_distances_close(dijkstra(g, s), bellman_ford(g, s))
+
+
+@given(graphs(), st.floats(min_value=0.05, max_value=500.0))
+@_settings
+def test_delta_stepping_matches_dijkstra_any_delta(case, delta):
+    g, s = case
+    assert_distances_close(dijkstra(g, s), delta_stepping(g, s, delta))
+
+
+@given(graphs(), st.floats(min_value=0.05, max_value=500.0))
+@_settings
+def test_nearfar_matches_dijkstra_any_delta(case, delta):
+    g, s = case
+    result, _ = nearfar_sssp(g, s, delta=delta)
+    assert_distances_close(dijkstra(g, s), result)
+
+
+@given(
+    graphs(),
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=0.05, max_value=100.0),
+)
+@_settings
+def test_adaptive_matches_dijkstra_any_setpoint(case, setpoint, initial_delta):
+    g, s = case
+    result, _, _ = adaptive_sssp(
+        g, s, AdaptiveParams(setpoint=setpoint, initial_delta=initial_delta)
+    )
+    assert_distances_close(dijkstra(g, s), result)
+
+
+# ----------------------------------------------------------------------
+# Bellman optimality conditions, checked against the graph directly
+# (no trust in any reference implementation)
+# ----------------------------------------------------------------------
+
+
+@given(graphs())
+@_settings
+def test_nearfar_satisfies_bellman_conditions(case):
+    g, s = case
+    result, _ = nearfar_sssp(g, s)
+    verify_optimality(g, result)
+
+
+@given(graphs(), st.floats(min_value=1.0, max_value=1e4))
+@_settings
+def test_adaptive_satisfies_bellman_conditions(case, setpoint):
+    g, s = case
+    result, _, _ = adaptive_sssp(g, s, AdaptiveParams(setpoint=setpoint))
+    verify_optimality(g, result)
+
+
+# ----------------------------------------------------------------------
+# structural invariants
+# ----------------------------------------------------------------------
+
+
+@given(graphs())
+@_settings
+def test_reachability_equals_bfs_closure(case):
+    """A vertex has finite distance iff it is reachable."""
+    from repro.graph.properties import bfs_levels
+
+    g, s = case
+    result, _ = nearfar_sssp(g, s)
+    reachable = bfs_levels(g, s) >= 0
+    assert np.array_equal(np.isfinite(result.dist), reachable)
+
+
+@given(graphs())
+@_settings
+def test_adaptive_trace_counter_sanity(case):
+    """X counters respect the pipeline's can-only-shrink structure."""
+    g, s = case
+    _, trace, _ = adaptive_sssp(g, s, AdaptiveParams(setpoint=64.0))
+    for rec in trace:
+        assert rec.x1 >= 1
+        assert 0 <= rec.x3 <= rec.x2
+        assert 0 <= rec.x4
+        assert rec.delta > 0
+        assert rec.far_size >= 0

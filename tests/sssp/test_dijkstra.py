@@ -1,0 +1,128 @@
+"""Unit tests for the Dijkstra oracle."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import path_graph, star_graph
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.result import extract_path, verify_optimality
+
+
+class TestBasics:
+    def test_path(self):
+        g = path_graph(5, weight=2.0)
+        r = dijkstra(g, 0)
+        assert list(r.dist) == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_star(self):
+        g = star_graph(4, weight=3.0)
+        r = dijkstra(g, 0)
+        assert list(r.dist) == [0.0, 3.0, 3.0, 3.0]
+
+    def test_triangle_prefers_cheap_route(self, triangle):
+        r = dijkstra(triangle, 0)
+        # 0->2 direct is 10; 0->1->2 is 3
+        assert r.dist[2] == 3.0
+
+    def test_diamond(self, diamond):
+        r = dijkstra(diamond, 0)
+        assert r.dist[3] == 3.0  # via 2
+
+    def test_unreachable_is_inf(self, disconnected):
+        r = dijkstra(disconnected, 0)
+        assert np.isinf(r.dist[2])
+        assert np.isinf(r.dist[4])
+        assert r.num_reached == 2
+
+    def test_source_distance_zero(self, small_grid):
+        r = dijkstra(small_grid, 7)
+        assert r.dist[7] == 0.0
+
+    def test_zero_weight_edges(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 2], [0.0, 0.0])
+        r = dijkstra(g, 0)
+        assert list(r.dist) == [0.0, 0.0, 0.0]
+
+    def test_self_loop_ignored_in_distances(self):
+        g = CSRGraph.from_edges(2, [0, 0], [0, 1], [5.0, 1.0])
+        r = dijkstra(g, 0)
+        assert r.dist[0] == 0.0
+        assert r.dist[1] == 1.0
+
+    def test_parallel_edges_min_wins(self):
+        g = CSRGraph.from_edges(2, [0, 0], [1, 1], [5.0, 2.0])
+        r = dijkstra(g, 0)
+        assert r.dist[1] == 2.0
+
+    def test_single_vertex(self):
+        r = dijkstra(CSRGraph.empty(1), 0)
+        assert list(r.dist) == [0.0]
+
+
+class TestValidationErrors:
+    def test_source_out_of_range(self, triangle):
+        with pytest.raises(ValueError, match="out of range"):
+            dijkstra(triangle, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            dijkstra(triangle, -1)
+
+    def test_negative_weights_rejected(self):
+        g = CSRGraph.from_edges(2, [0], [1], [-1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            dijkstra(g, 0)
+
+
+class TestPredecessors:
+    def test_path_extraction(self, diamond):
+        r = dijkstra(diamond, 0, with_pred=True)
+        assert extract_path(r, 3) == [0, 2, 3]
+
+    def test_path_to_source(self, diamond):
+        r = dijkstra(diamond, 0, with_pred=True)
+        assert extract_path(r, 0) == [0]
+
+    def test_unreachable_path_empty(self, disconnected):
+        r = dijkstra(disconnected, 0, with_pred=True)
+        assert extract_path(r, 3) == []
+
+    def test_no_pred_raises(self, diamond):
+        r = dijkstra(diamond, 0)
+        with pytest.raises(ValueError, match="predecessor"):
+            extract_path(r, 3)
+
+    def test_path_distances_consistent(self, small_grid):
+        r = dijkstra(small_grid, 0, with_pred=True)
+        for target in range(0, small_grid.num_nodes, 7):
+            if not np.isfinite(r.dist[target]):
+                continue
+            path = extract_path(r, target)
+            total = 0.0
+            for u, v in zip(path, path[1:]):
+                nbrs = list(small_grid.neighbors(u))
+                w = small_grid.neighbor_weights(u)[nbrs.index(v)]
+                total += w
+            assert total == pytest.approx(r.dist[target])
+
+
+class TestOptimality:
+    def test_verify_optimality_passes(self, small_grid):
+        r = dijkstra(small_grid, 0)
+        verify_optimality(small_grid, r)
+
+    def test_verify_optimality_catches_wrong_distance(self, small_grid):
+        r = dijkstra(small_grid, 0)
+        r.dist[5] += 100.0
+        with pytest.raises(AssertionError):
+            verify_optimality(small_grid, r)
+
+    def test_verify_optimality_catches_too_small(self, small_grid):
+        r = dijkstra(small_grid, 0)
+        finite = np.flatnonzero(np.isfinite(r.dist) & (r.dist > 0))
+        r.dist[finite[0]] *= 0.5
+        with pytest.raises(AssertionError):
+            verify_optimality(small_grid, r)
+
+    def test_relaxation_count_positive(self, small_grid):
+        r = dijkstra(small_grid, 0)
+        assert r.relaxations >= small_grid.num_edges // 2

@@ -1,0 +1,165 @@
+"""Unit tests for the shared frontier-stage primitives."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import star_graph
+from repro.sssp.frontier import (
+    advance,
+    bisect,
+    drain_far_queue,
+    filter_frontier,
+    ragged_arange,
+)
+
+EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class TestRaggedArange:
+    def test_basic(self):
+        assert list(ragged_arange(np.asarray([3, 1, 2]))) == [0, 1, 2, 0, 0, 1]
+
+    def test_zeros_inside(self):
+        assert list(ragged_arange(np.asarray([0, 2, 0, 1]))) == [0, 1, 0]
+
+    def test_empty(self):
+        assert ragged_arange(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_all_zero(self):
+        assert ragged_arange(np.asarray([0, 0])).size == 0
+
+
+class TestAdvance:
+    def test_relaxes_and_reports(self, diamond):
+        dist = np.full(4, np.inf)
+        dist[0] = 0.0
+        out = advance(diamond, np.asarray([0]), dist)
+        assert out.x2 == 2  # both out-edges of 0 explored
+        assert sorted(out.improved.tolist()) == [1, 2]
+        assert dist[1] == 4.0 and dist[2] == 1.0
+
+    def test_no_improvement_no_output(self, diamond):
+        dist = np.zeros(4)  # everything already optimal at 0
+        out = advance(diamond, np.asarray([0]), dist)
+        assert out.x2 == 2
+        assert out.improved.size == 0
+
+    def test_empty_frontier(self, diamond):
+        dist = np.full(4, np.inf)
+        out = advance(diamond, EMPTY, dist)
+        assert out.x2 == 0
+        assert out.improved.size == 0
+
+    def test_frontier_of_sinks(self):
+        g = star_graph(4)
+        dist = np.full(4, np.inf)
+        dist[1] = 1.0
+        out = advance(g, np.asarray([1]), dist)  # leaf: no out-edges
+        assert out.x2 == 0
+
+    def test_duplicates_preserved_for_filter(self):
+        # two frontier vertices both improve vertex 2
+        g = CSRGraph.from_edges(3, [0, 1], [2, 2], [1.0, 1.0])
+        dist = np.asarray([0.0, 0.0, np.inf])
+        out = advance(g, np.asarray([0, 1]), dist)
+        assert sorted(out.improved.tolist()) == [2, 2]
+        assert dist[2] == 1.0
+
+    def test_atomic_min_semantics(self):
+        # both writers race on vertex 2 with different candidates: min wins
+        g = CSRGraph.from_edges(3, [0, 1], [2, 2], [5.0, 1.0])
+        dist = np.asarray([0.0, 0.0, np.inf])
+        advance(g, np.asarray([0, 1]), dist)
+        assert dist[2] == 1.0
+
+    def test_x2_equals_neighbour_list_length(self, small_rmat):
+        dist = np.full(small_rmat.num_nodes, np.inf)
+        dist[0] = 0.0
+        frontier = np.asarray([0])
+        out = advance(small_rmat, frontier, dist)
+        assert out.x2 == small_rmat.out_degree(0)
+        assert out.relaxations == out.x2
+
+
+class TestFilter:
+    def test_dedupes(self):
+        out = filter_frontier(np.asarray([3, 1, 3, 2, 1]))
+        assert list(out) == [1, 2, 3]
+
+    def test_empty(self):
+        assert filter_frontier(EMPTY).size == 0
+
+
+class TestBisect:
+    def test_split(self):
+        dist = np.asarray([0.0, 5.0, 10.0, 15.0])
+        near, far = bisect(np.asarray([1, 2, 3]), dist, 10.0)
+        assert list(near) == [1]
+        assert list(far) == [2, 3]  # split boundary goes far
+
+    def test_empty(self):
+        near, far = bisect(EMPTY, np.zeros(0), 1.0)
+        assert near.size == 0 and far.size == 0
+
+
+class TestDrainFarQueue:
+    def test_pulls_next_band(self):
+        dist = np.asarray([0.0, 2.5, 3.5, 9.0])
+        far = np.asarray([1, 2, 3])
+        frontier, remaining, lower, split, drains = drain_far_queue(
+            far, dist, lower=0.0, split=2.0, delta=2.0
+        )
+        assert sorted(frontier.tolist()) == [1, 2]
+        assert list(remaining) == [3]
+        assert lower == 2.0
+        # window jumps to min-far-distance + delta = 2.5 + 2.0
+        assert split == pytest.approx(4.5)
+        assert drains >= 1
+
+    def test_skips_empty_bands_in_one_jump(self):
+        dist = np.asarray([0.0, 1000.0])
+        far = np.asarray([1])
+        frontier, remaining, lower, split, drains = drain_far_queue(
+            far, dist, lower=0.0, split=1.0, delta=1.0
+        )
+        assert list(frontier) == [1]
+        assert remaining.size == 0
+        assert split > 1000.0
+        assert drains == 1000  # bands conceptually crossed
+
+    def test_drops_stale_entries(self):
+        # vertex 1 was improved to below the current split => stale copy
+        dist = np.asarray([0.0, 0.5, 7.0])
+        far = np.asarray([1, 2])
+        frontier, remaining, lower, split, drains = drain_far_queue(
+            far, dist, lower=0.0, split=2.0, delta=10.0
+        )
+        assert list(frontier) == [2]
+        assert remaining.size == 0
+
+    def test_dedupes_far_entries(self):
+        dist = np.asarray([0.0, 3.0])
+        far = np.asarray([1, 1, 1])
+        frontier, remaining, *_ = drain_far_queue(
+            far, dist, lower=0.0, split=2.0, delta=2.0
+        )
+        assert list(frontier) == [1]
+
+    def test_empty_far(self):
+        frontier, remaining, lower, split, drains = drain_far_queue(
+            EMPTY, np.zeros(0), 0.0, 1.0, 1.0
+        )
+        assert frontier.size == 0 and drains == 0
+
+    def test_all_stale(self):
+        dist = np.asarray([0.0, 0.1])
+        frontier, remaining, lower, split, drains = drain_far_queue(
+            np.asarray([1]), dist, lower=0.0, split=2.0, delta=1.0
+        )
+        assert frontier.size == 0
+        assert remaining.size == 0
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            drain_far_queue(np.asarray([0]), np.zeros(1), 0.0, 1.0, 0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the KLA-style SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import path_graph
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.kla import kla_sssp
+from repro.sssp.result import assert_distances_close
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 100])
+    def test_exact_for_any_k_grid(self, small_grid, k):
+        result, _ = kla_sssp(small_grid, 0, k)
+        assert_distances_close(dijkstra(small_grid, 0), result)
+
+    @pytest.mark.parametrize("k", [1, 4, 16])
+    def test_exact_for_any_k_rmat(self, small_rmat, k):
+        result, _ = kla_sssp(small_rmat, 0, k)
+        assert_distances_close(dijkstra(small_rmat, 0), result)
+
+    def test_random_batch(self, random_graphs):
+        for g in random_graphs:
+            result, _ = kla_sssp(g, 0, 3)
+            assert_distances_close(dijkstra(g, 0), result)
+
+    def test_disconnected(self, disconnected):
+        result, _ = kla_sssp(disconnected, 0, 2)
+        assert np.isinf(result.dist[2:]).all()
+
+
+class TestAsynchronyDepth:
+    def test_k1_is_level_synchronous(self):
+        g = path_graph(20)
+        result, _ = kla_sssp(g, 0, 1)
+        # one superstep per hop, plus the final empty-frontier probe
+        assert result.iterations == 20
+
+    def test_larger_k_fewer_syncs(self, small_grid):
+        syncs = [kla_sssp(small_grid, 0, k)[0].iterations for k in (1, 4, 16)]
+        assert syncs[0] > syncs[1] > syncs[2]
+
+    def test_levels_independent_of_k(self, small_grid):
+        """Total relaxation levels are a property of the graph, not k
+        (k only moves the synchronisation points)."""
+        levels = {kla_sssp(small_grid, 0, k)[0].extra["levels"] for k in (1, 2, 8)}
+        assert len(levels) == 1
+
+    def test_relaxations_independent_of_k(self, small_grid):
+        relax = {kla_sssp(small_grid, 0, k)[0].relaxations for k in (1, 2, 8)}
+        assert len(relax) == 1
+
+    def test_superstep_count_formula(self):
+        g = path_graph(17)
+        result, _ = kla_sssp(g, 0, 4)
+        # 16 improving levels + 1 empty probe, k per superstep
+        assert result.iterations == int(np.ceil(17 / 4))
+
+    def test_no_prioritisation_means_more_work_than_dijkstra(self, small_rmat):
+        """KLA relaxes through stale distances on weighted graphs."""
+        kla_result, _ = kla_sssp(small_rmat, 0, 4)
+        dij = dijkstra(small_rmat, 0)
+        assert kla_result.relaxations >= dij.relaxations
+
+
+class TestTraceAndValidation:
+    def test_trace_one_record_per_level(self, small_grid):
+        result, trace = kla_sssp(small_grid, 0, 4)
+        assert len(trace) == result.extra["levels"]
+        assert all(rec.far_size == 0 for rec in trace)
+
+    def test_collect_trace_false(self, small_grid):
+        result, trace = kla_sssp(small_grid, 0, 4, collect_trace=False)
+        assert len(trace) == 0
+        assert result.iterations > 0
+
+    def test_rejects_bad_k(self, small_grid):
+        with pytest.raises(ValueError):
+            kla_sssp(small_grid, 0, 0)
+
+    def test_rejects_bad_source(self, small_grid):
+        with pytest.raises(ValueError):
+            kla_sssp(small_grid, -1, 2)
+
+    def test_rejects_negative_weights(self):
+        g = CSRGraph.from_edges(2, [0], [1], [-1.0])
+        with pytest.raises(ValueError):
+            kla_sssp(g, 0, 2)

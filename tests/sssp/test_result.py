@@ -1,0 +1,68 @@
+"""Unit tests for SSSPResult and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sssp.result import (
+    SSSPResult,
+    assert_distances_close,
+    extract_path,
+)
+
+
+def _result(dist, source=0, pred=None):
+    return SSSPResult(dist=np.asarray(dist, dtype=float), source=source, pred=pred)
+
+
+class TestAssertDistancesClose:
+    def test_equal_passes(self):
+        assert_distances_close(_result([0, 1, 2]), _result([0, 1, 2]))
+
+    def test_tolerant_to_fp_noise(self):
+        assert_distances_close(_result([0, 1.0]), _result([0, 1.0 + 1e-9]))
+
+    def test_accepts_arrays(self):
+        assert_distances_close(np.asarray([0.0, 1.0]), np.asarray([0.0, 1.0]))
+
+    def test_inf_positions_must_match(self):
+        with pytest.raises(AssertionError, match="reachability"):
+            assert_distances_close(
+                _result([0, np.inf]), _result([0, 5.0])
+            )
+
+    def test_value_mismatch(self):
+        with pytest.raises(AssertionError, match="distance mismatch"):
+            assert_distances_close(_result([0, 1.0]), _result([0, 2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AssertionError, match="shape"):
+            assert_distances_close(_result([0.0]), _result([0.0, 1.0]))
+
+    def test_matching_infs_pass(self):
+        assert_distances_close(
+            _result([0, np.inf, 2]), _result([0, np.inf, 2])
+        )
+
+
+class TestResultProperties:
+    def test_num_reached(self):
+        r = _result([0, 1, np.inf])
+        assert r.num_reached == 2
+
+    def test_finite_distances(self):
+        r = _result([0, 1, np.inf])
+        assert list(r.finite_distances()) == [0.0, 1.0]
+
+
+class TestExtractPath:
+    def test_broken_chain_detected(self):
+        pred = np.asarray([-1, -1, 1])  # 2's chain hits -1 before the source
+        r = _result([0, 1, 2], pred=pred)
+        with pytest.raises(ValueError, match="broken"):
+            extract_path(r, 2)
+
+    def test_cycle_detected(self):
+        pred = np.asarray([-1, 2, 1])  # 1 <-> 2 predecessor loop
+        r = _result([0, 1, 2], pred=pred)
+        with pytest.raises(ValueError, match="cycle"):
+            extract_path(r, 2)

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import grid_road_network
+from repro.graph.io import write_dimacs
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = grid_road_network(10, 10, seed=1)
+    path = tmp_path / "g.gr"
+    write_dimacs(g, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_all_artifact_accepted(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.artifact == "all"
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.003"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2", "--scale", "0.003"]) == 0
+        assert "delta versus parallelism" in capsys.readouterr().out
+
+
+class TestSSSPCommand:
+    @pytest.mark.parametrize(
+        "algo", ["dijkstra", "bellman-ford", "delta-stepping", "nearfar", "kla"]
+    )
+    def test_algorithms(self, capsys, graph_file, algo):
+        assert main(["sssp", graph_file, "--algorithm", algo]) == 0
+        out = capsys.readouterr().out
+        assert "reached" in out
+
+    def test_adaptive_with_setpoint(self, capsys, graph_file):
+        assert (
+            main(["sssp", graph_file, "--algorithm", "adaptive", "--setpoint", "50"])
+            == 0
+        )
+        assert "reached" in capsys.readouterr().out
+
+    def test_explicit_source(self, capsys, graph_file):
+        assert main(["sssp", graph_file, "--source", "5"]) == 0
+        assert "source=5" in capsys.readouterr().out
+
+    def test_simulate_on_device(self, capsys, graph_file):
+        assert main(["sssp", graph_file, "--device", "tk1"]) == 0
+        assert "simulated on jetson-tk1" in capsys.readouterr().out
+
+    def test_simulate_without_trace(self, capsys, graph_file):
+        assert (
+            main(["sssp", graph_file, "--algorithm", "dijkstra", "--device", "tk1"])
+            == 0
+        )
+        assert "no trace" in capsys.readouterr().out
+
+    def test_save_trace(self, capsys, graph_file, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["sssp", graph_file, "--save-trace", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.instrument.serialize import load_trace
+
+        assert len(load_trace(out_path)) > 0
+
+
+class TestGenerateAndInfo:
+    @pytest.mark.parametrize("ext", ["gr", "mtx", "tsv"])
+    def test_generate_roundtrips(self, capsys, tmp_path, ext):
+        out = tmp_path / f"cal.{ext}"
+        assert main(["generate", "cal", str(out), "--scale", "0.001"]) == 0
+        assert out.exists()
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Nodes" in text
+
+    def test_generate_wiki(self, capsys, tmp_path):
+        out = tmp_path / "wiki.tsv"
+        assert main(["generate", "wiki", str(out), "--scale", "0.001"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_info_matches_graph(self, capsys, graph_file):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "100" in out  # 10x10 grid

@@ -1,0 +1,149 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic multi-module pipeline:
+graph generation → SSSP → instrumentation → platform simulation →
+measurement, the flows the examples and benchmarks are built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveParams, adaptive_sssp, setpoint_menu
+from repro.cosim import PowerTargetParams, power_target_sssp
+from repro.experiments.runner import find_time_minimizing_delta, pick_source
+from repro.gpusim import (
+    FixedDVFS,
+    get_device,
+    sample_run,
+    simulate_run,
+)
+from repro.gpusim.dvfs import default_governor
+from repro.graph import cal_like, wiki_like
+from repro.graph.io import load_graph, write_dimacs
+from repro.instrument import profile_from_trace
+from repro.instrument.serialize import load_trace, save_trace
+from repro.sssp import (
+    assert_distances_close,
+    delta_stepping,
+    dijkstra,
+    kla_sssp,
+    nearfar_sssp,
+)
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return cal_like(0.01, seed=3)
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return wiki_like(0.005, seed=5)
+
+
+class TestAlgorithmAgreementPipeline:
+    def test_all_algorithms_agree_everywhere(self, cal, wiki):
+        for g in (cal, wiki):
+            src = pick_source(g)
+            ref = dijkstra(g, src)
+            for result in (
+                delta_stepping(g, src),
+                nearfar_sssp(g, src)[0],
+                kla_sssp(g, src, 4)[0],
+                adaptive_sssp(g, src, AdaptiveParams(setpoint=1000.0))[0],
+            ):
+                assert_distances_close(ref, result)
+
+
+class TestFileToSimulationPipeline:
+    def test_write_load_solve_simulate_measure(self, cal, tmp_path):
+        # 1. persist the graph like a user dataset
+        path = tmp_path / "network.gr"
+        write_dimacs(cal, path)
+        graph = load_graph(path)
+        assert graph.num_nodes == cal.num_nodes
+
+        # 2. solve with the self-tuning algorithm
+        src = pick_source(graph)
+        result, trace, controller = adaptive_sssp(
+            graph, src, AdaptiveParams(setpoint=400.0)
+        )
+        assert_distances_close(dijkstra(graph, src), result)
+        assert controller.d > 0
+
+        # 3. persist and reload the trace
+        trace2 = load_trace(save_trace(trace, tmp_path / "trace.json"))
+
+        # 4. replay on both devices, measure with the PowerMon model
+        for dev_name in ("tk1", "tx1"):
+            device = get_device(dev_name)
+            run = simulate_run(trace2, device, default_governor(device))
+            assert run.total_seconds > 0
+            pm = sample_run(run)
+            if pm.num_samples:
+                assert pm.average_power_w == pytest.approx(
+                    run.average_power_w, rel=0.3
+                )
+
+
+class TestControlPipeline:
+    def test_setpoint_menu_drives_parallelism_orderings(self, cal):
+        """Hardware-derived set-points produce ordered parallelism."""
+        device = get_device("tk1")
+        menu = setpoint_menu(device, [2.0, 16.0])
+        src = pick_source(cal)
+        means = []
+        for P in menu:
+            _, trace, _ = adaptive_sssp(cal, src, AdaptiveParams(setpoint=P))
+            means.append(trace.average_parallelism)
+        assert means[1] > means[0]
+
+    def test_profile_comparison_pipeline(self, wiki):
+        """The Figure-1 pipeline: baseline + tuned profiles comparable."""
+        src = pick_source(wiki)
+        device = get_device("tk1")
+        best_delta, _ = find_time_minimizing_delta(
+            wiki, src, device, (0.5, 2.0, 8.0)
+        )
+        _, base_trace = nearfar_sssp(wiki, src, delta=best_delta)
+        # P chosen for the fixture's 0.5% scale (the throttling regime
+        # starts lower here than at bench scale — see EXPERIMENTS.md G1)
+        _, tuned_trace, _ = adaptive_sssp(
+            wiki, src, AdaptiveParams(setpoint=10_000.0)
+        )
+        base = profile_from_trace(base_trace)
+        tuned = profile_from_trace(tuned_trace)
+        assert tuned.summary.cv < base.summary.cv
+
+    def test_power_target_pipeline(self, cal):
+        """Watt budget in, exact distances and bounded power out."""
+        device = get_device("tk1")
+        src = pick_source(cal)
+        res = power_target_sssp(
+            cal, src, device, PowerTargetParams(target_watts=5.5)
+        )
+        assert_distances_close(dijkstra(cal, src), res.result)
+        assert (
+            device.static_power_w
+            <= res.platform.average_power_w
+            <= device.static_power_w
+            + device.max_core_dynamic_w
+            + device.max_mem_dynamic_w
+        )
+
+    def test_dvfs_knob_composition(self, wiki):
+        """The paper's composition: knob x DVFS spans a 2-D region."""
+        device = get_device("tk1")
+        src = pick_source(wiki)
+        times = {}
+        powers = {}
+        for P in (2000.0, 20_000.0):
+            _, trace, _ = adaptive_sssp(wiki, src, AdaptiveParams(setpoint=P))
+            for core, mem in ((852, 924), (252, 396)):
+                run = simulate_run(trace, device, FixedDVFS(device, core, mem))
+                times[(P, core)] = run.total_seconds
+                powers[(P, core)] = run.average_power_w
+        # frequency moves time at fixed P
+        assert times[(2000.0, 252)] > times[(2000.0, 852)]
+        # the knob moves power at fixed frequency
+        assert powers[(20_000.0, 852)] > powers[(2000.0, 852)]

@@ -1,0 +1,156 @@
+"""Cross-cutting property-based tests on system invariants.
+
+The per-module suites test behaviours; this module tests the *laws*
+that must hold across module boundaries, letting hypothesis drive the
+inputs:
+
+* energy accounting: run energy is exactly the sum of power x time;
+* power envelope: simulated power never leaves [static, peak];
+* ablation closure: every combination of ablation switches still
+  computes exact shortest paths;
+* monotone physics: lower clocks never make a fixed trace faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptiveParams, adaptive_sssp
+from repro.gpusim.device import JETSON_TK1, JETSON_TX1
+from repro.gpusim.dvfs import AutoGovernor, FixedDVFS
+from repro.gpusim.executor import simulate_run
+from repro.graph.csr import CSRGraph
+from repro.instrument.trace import IterationRecord, RunTrace
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.result import assert_distances_close
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def traces(draw, max_iters: int = 30):
+    """Arbitrary plausible iteration traces (x3 <= x2; x4 <= x3)."""
+    n = draw(st.integers(min_value=0, max_value=max_iters))
+    trace = RunTrace(algorithm="nearfar", graph_name="synthetic", source=0)
+    for k in range(n):
+        x2 = draw(st.integers(min_value=0, max_value=2_000_000))
+        x3 = draw(st.integers(min_value=0, max_value=x2)) if x2 else 0
+        x4 = draw(st.integers(min_value=0, max_value=x3)) if x3 else 0
+        trace.append(
+            IterationRecord(
+                k=k,
+                x1=draw(st.integers(min_value=1, max_value=100_000)),
+                x2=x2,
+                x3=x3,
+                x4=x4,
+                delta=1.0,
+                split=float(k + 1),
+                far_size=draw(st.integers(min_value=0, max_value=100_000)),
+                drains=draw(st.integers(min_value=0, max_value=3)),
+            )
+        )
+    return trace
+
+
+@st.composite
+def small_sssp_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=90))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    g = CSRGraph.from_edges(
+        n,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.uniform(0.01, 20.0, size=m),
+    )
+    return g, draw(st.integers(min_value=0, max_value=n - 1))
+
+
+class TestEnergyAccounting:
+    @given(traces())
+    @_settings
+    def test_energy_is_sum_of_power_times_time(self, trace):
+        run = simulate_run(trace, JETSON_TK1, FixedDVFS.max_performance(JETSON_TK1))
+        by_parts = sum(it.power_w * it.seconds for it in run.iterations)
+        assert run.total_energy_j == pytest.approx(by_parts, rel=1e-9, abs=1e-12)
+
+    @given(traces())
+    @_settings
+    def test_power_stays_in_envelope(self, trace):
+        for device in (JETSON_TK1, JETSON_TX1):
+            run = simulate_run(trace, device, AutoGovernor())
+            peak = (
+                device.static_power_w
+                + device.max_core_dynamic_w
+                + device.max_mem_dynamic_w
+            )
+            for it in run.iterations:
+                assert device.static_power_w - 1e-9 <= it.power_w <= peak + 1e-9
+
+    @given(traces())
+    @_settings
+    def test_lower_clocks_never_faster(self, trace):
+        fast = simulate_run(
+            trace, JETSON_TK1, FixedDVFS.max_performance(JETSON_TK1)
+        )
+        slow = simulate_run(trace, JETSON_TK1, FixedDVFS.min_power(JETSON_TK1))
+        assert slow.total_seconds >= fast.total_seconds - 1e-15
+
+    @given(traces())
+    @_settings
+    def test_time_additive_over_iterations(self, trace):
+        run = simulate_run(trace, JETSON_TK1, FixedDVFS.max_performance(JETSON_TK1))
+        assert run.total_seconds == pytest.approx(
+            sum(it.seconds for it in run.iterations)
+        )
+        times, _ = run.power_series()
+        if len(run.iterations):
+            assert times[-1] == pytest.approx(run.total_seconds)
+
+
+class TestAblationClosure:
+    @given(
+        small_sssp_cases(),
+        st.booleans(),
+        st.booleans(),
+        st.sampled_from(["adaptive", "fixed"]),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    @_settings
+    def test_any_ablation_combination_is_exact(
+        self, case, use_bootstrap, use_partitions, sgd_mode, setpoint
+    ):
+        g, s = case
+        result, _, _ = adaptive_sssp(
+            g,
+            s,
+            AdaptiveParams(
+                setpoint=setpoint,
+                use_bootstrap=use_bootstrap,
+                use_partitions=use_partitions,
+                sgd_mode=sgd_mode,
+            ),
+        )
+        assert_distances_close(dijkstra(g, s), result)
+
+
+class TestTraceSerializationLaw:
+    @given(traces())
+    @_settings
+    def test_roundtrip_preserves_simulation(self, trace):
+        from repro.instrument.serialize import trace_from_dict, trace_to_dict
+
+        back = trace_from_dict(trace_to_dict(trace))
+        policy = FixedDVFS.max_performance(JETSON_TK1)
+        a = simulate_run(trace, JETSON_TK1, policy)
+        b = simulate_run(back, JETSON_TK1, policy)
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+        assert a.total_seconds == pytest.approx(b.total_seconds)
