@@ -19,3 +19,19 @@ def test_controller_overhead(benchmark, config, emit):
         # (the paper's C controller: 0.005-0.02% of runtime)
         assert row["controller wall (s)"] < 0.1 * row["wall time (s)"]
         assert row["sim overhead frac"] < 0.05
+
+
+def test_noop_instrumentation_overhead(benchmark, config, emit):
+    rows = run_once(
+        benchmark, lambda: overhead.run_instrumentation_overhead(config)
+    )
+    emit(
+        "instrumentation_overhead",
+        banner("Observability: instrumentation overhead (fixed-delta near+far)")
+        + "\n"
+        + format_table(rows),
+    )
+    for row in rows:
+        # the acceptance bar: with the registry disabled (the default),
+        # the hooks' measured cost stays far below a 5% regression
+        assert row["noop frac"] < 0.05

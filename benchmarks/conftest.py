@@ -8,17 +8,29 @@ Every ``bench_*`` module regenerates one table/figure of the paper at
   ``pytest benchmarks/ --benchmark-only``), and
 * writes the regenerated rows/series to ``benchmarks/results/<name>.txt``
   and echoes them to stdout (visible with ``-s``).
+
+Alongside the per-benchmark text artifacts, the session writes
+``benchmarks/results/metrics.json``: a machine-readable snapshot of
+every metric the instrumented code published while the benchmarks ran
+(relaxations, queue moves, simulated per-stage energy, controller plan
+timings) plus the wall time of each ``run_once`` call — one file a
+perf-tracking job can diff across commits.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig, default_config
+from repro.obs import MetricsRegistry, use
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+_RUN_SECONDS: dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +53,33 @@ def emit():
     return _emit
 
 
+@pytest.fixture(scope="session", autouse=True)
+def session_metrics():
+    """A live metrics registry for the whole benchmark session.
+
+    Everything the instrumented hot paths publish while the benchmarks
+    run lands here; at teardown the snapshot (plus per-benchmark wall
+    times) is written to ``benchmarks/results/metrics.json`` so future
+    PRs can track the perf/workload trajectory machine-readably.
+    """
+    registry = MetricsRegistry()
+    with use(registry=registry):
+        yield registry
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": 1,
+        "benchmarks_seconds": dict(sorted(_RUN_SECONDS.items())),
+        "metrics": registry.snapshot(),
+    }
+    path = RESULTS_DIR / "metrics.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[metrics summary written to {path}]")
+
+
 def run_once(benchmark, fn):
     """Time ``fn`` with a single round (it is a whole experiment)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    label = getattr(benchmark, "name", None) or getattr(fn, "__name__", "fn")
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    _RUN_SECONDS[label] = round(time.perf_counter() - t0, 4)
+    return result

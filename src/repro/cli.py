@@ -10,13 +10,24 @@
   optionally replaying the run on a simulated device;
 * ``generate <dataset>`` — write a synthetic Cal/Wiki stand-in to a
   graph file;
-* ``info <graph-file>`` — print a graph's Table-1-style statistics.
+* ``info <graph-file>`` — print a graph's Table-1-style statistics;
+* ``trace record|show|diff`` — observability: record a run with a
+  streamed JSONL event log and metrics summary, inspect a saved
+  trace, or diff two saved runs (iterations, parallelism
+  distribution, controller settling);
+* ``version`` — report the package version.
+
+``--quiet`` suppresses informational chatter (result lines still
+print); ``--verbose`` adds detail, e.g. a metrics snapshot after an
+``sssp`` run.  Both are accepted before or after the subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Sequence
 
 import numpy as np
@@ -60,6 +71,21 @@ def _experiment_registry() -> Dict[str, Callable]:
     }
 
 
+def _verbosity_parent() -> argparse.ArgumentParser:
+    """-q/-v accepted after the subcommand without clobbering the
+    top-level values (SUPPRESS: absent flags leave the namespace alone)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "-q", "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="suppress informational output",
+    )
+    parent.add_argument(
+        "-v", "--verbose", action="store_true", default=argparse.SUPPRESS,
+        help="extra output (e.g. a metrics snapshot after the run)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,9 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
             "Path Algorithm' (IPDPS 2018)"
         ),
     )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", default=False,
+        help="suppress informational output",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", default=False,
+        help="extra output (e.g. a metrics snapshot after the run)",
+    )
+    common = _verbosity_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp = sub.add_parser(
+        "experiment", parents=[common], help="regenerate a paper artifact"
+    )
     exp.add_argument(
         "artifact",
         choices=sorted(_experiment_registry()) + ["all"],
@@ -78,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--scale", type=float, default=None, help="dataset scale")
 
-    run = sub.add_parser("sssp", help="run SSSP on a graph file")
+    run = sub.add_parser("sssp", parents=[common], help="run SSSP on a graph file")
     run.add_argument("graph", help="graph file (.gr/.mtx/.tsv, optionally .gz)")
     run.add_argument("--source", type=int, default=None, help="source vertex (default: hub)")
     run.add_argument(
@@ -93,14 +130,52 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also replay the run on this simulated device")
     run.add_argument("--save-trace", default=None, help="write the trace JSON here")
 
-    gen = sub.add_parser("generate", help="write a synthetic dataset to a file")
+    gen = sub.add_parser(
+        "generate", parents=[common], help="write a synthetic dataset to a file"
+    )
     gen.add_argument("dataset", choices=["cal", "wiki"])
     gen.add_argument("output", help="output path (.gr/.mtx/.tsv)")
     gen.add_argument("--scale", type=float, default=0.02)
     gen.add_argument("--seed", type=int, default=7)
 
-    info = sub.add_parser("info", help="print graph statistics")
+    info = sub.add_parser("info", parents=[common], help="print graph statistics")
     info.add_argument("graph", help="graph file")
+
+    trace = sub.add_parser(
+        "trace", parents=[common], help="record/inspect/diff observed runs"
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    rec = tsub.add_parser(
+        "record",
+        parents=[common],
+        help="run with live observability: JSONL events + metrics + trace",
+    )
+    rec.add_argument("graph", help="graph file (.gr/.mtx/.tsv, optionally .gz)")
+    rec.add_argument(
+        "--algorithm", choices=["adaptive", "nearfar"], default="adaptive"
+    )
+    rec.add_argument("--source", type=int, default=None)
+    rec.add_argument("--setpoint", type=float, default=None, help="P (adaptive)")
+    rec.add_argument("--delta", type=float, default=None, help="delta (nearfar)")
+    rec.add_argument(
+        "-o", "--out", default="run",
+        help="output base path: writes <out>.trace.json, <out>.events.jsonl, "
+        "<out>.metrics.json (default: run)",
+    )
+
+    show = tsub.add_parser(
+        "show", parents=[common], help="summarise a saved trace"
+    )
+    show.add_argument("trace_file", help="trace JSON written by record/--save-trace")
+
+    diff = tsub.add_parser(
+        "diff", parents=[common], help="compare two saved traces"
+    )
+    diff.add_argument("trace_a", help="first trace JSON")
+    diff.add_argument("trace_b", help="second trace JSON")
+
+    sub.add_parser("version", parents=[common], help="print the package version")
 
     return parser
 
@@ -117,6 +192,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics_snapshot(snapshot: Dict[str, dict]) -> None:
+    print("metrics:")
+    for name, data in snapshot.items():
+        if data["type"] in ("counter", "gauge"):
+            print(f"  {name} = {data['value']:g}")
+        else:
+            print(
+                f"  {name}: count={data['count']} sum={data['sum']:.6g} "
+                f"mean={data['mean']:.6g}"
+            )
+
+
 def _cmd_sssp(args: argparse.Namespace) -> int:
     from repro.graph.io import load_graph
     from repro.sssp import (
@@ -127,6 +214,7 @@ def _cmd_sssp(args: argparse.Namespace) -> int:
         nearfar_sssp,
     )
     from repro.core import AdaptiveParams, adaptive_sssp
+    from repro import obs
 
     graph = load_graph(args.graph)
     source = (
@@ -134,31 +222,34 @@ def _cmd_sssp(args: argparse.Namespace) -> int:
         if args.source is not None
         else int(np.argmax(np.diff(graph.indptr)))
     )
-    print(f"{graph!r}, source={source}, algorithm={args.algorithm}")
+    if not args.quiet:
+        print(f"{graph!r}, source={source}, algorithm={args.algorithm}")
 
+    registry = obs.MetricsRegistry() if args.verbose else None
     trace = None
-    if args.algorithm == "dijkstra":
-        result = dijkstra(graph, source)
-    elif args.algorithm == "bellman-ford":
-        result = bellman_ford(graph, source)
-    elif args.algorithm == "delta-stepping":
-        result = delta_stepping(graph, source, args.delta)
-    elif args.algorithm == "nearfar":
-        result, trace = nearfar_sssp(graph, source, delta=args.delta)
-    elif args.algorithm == "kla":
-        result, trace = kla_sssp(graph, source, args.k)
-    else:
-        setpoint = args.setpoint if args.setpoint is not None else 10_000.0
-        result, trace, _ = adaptive_sssp(
-            graph, source, AdaptiveParams(setpoint=setpoint)
-        )
+    with obs.use(registry=registry):
+        if args.algorithm == "dijkstra":
+            result = dijkstra(graph, source)
+        elif args.algorithm == "bellman-ford":
+            result = bellman_ford(graph, source)
+        elif args.algorithm == "delta-stepping":
+            result = delta_stepping(graph, source, args.delta)
+        elif args.algorithm == "nearfar":
+            result, trace = nearfar_sssp(graph, source, delta=args.delta)
+        elif args.algorithm == "kla":
+            result, trace = kla_sssp(graph, source, args.k)
+        else:
+            setpoint = args.setpoint if args.setpoint is not None else 10_000.0
+            result, trace, _ = adaptive_sssp(
+                graph, source, AdaptiveParams(setpoint=setpoint)
+            )
 
     finite = result.finite_distances()
     print(
         f"reached {result.num_reached}/{graph.num_nodes} vertices; "
         f"iterations={result.iterations}, relaxations={result.relaxations:,}"
     )
-    if finite.size:
+    if finite.size and not args.quiet:
         print(
             f"distance stats: max={finite.max():.4g}, mean={finite.mean():.4g}"
         )
@@ -167,7 +258,8 @@ def _cmd_sssp(args: argparse.Namespace) -> int:
         from repro.instrument.serialize import save_trace
 
         path = save_trace(trace, args.save_trace)
-        print(f"trace written to {path}")
+        if not args.quiet:
+            print(f"trace written to {path}")
 
     if args.device:
         if trace is None or len(trace) == 0:
@@ -175,12 +267,16 @@ def _cmd_sssp(args: argparse.Namespace) -> int:
         else:
             from repro.gpusim import get_device, simulate_run
 
-            run = simulate_run(trace, get_device(args.device))
+            with obs.use(registry=registry):
+                run = simulate_run(trace, get_device(args.device))
             s = run.summary()
             print(
                 f"simulated on {s['device']} ({s['dvfs']}): "
                 f"{s['time_ms']} ms, {s['avg_power_w']} W, {s['energy_j']} J"
             )
+
+    if registry is not None:
+        _print_metrics_snapshot(registry.snapshot())
     return 0
 
 
@@ -197,7 +293,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         write_matrix_market(graph, out)
     else:
         write_edge_list(graph, out)
-    print(f"wrote {graph!r} to {out}")
+    if not args.quiet:
+        print(f"wrote {graph!r} to {out}")
     return 0
 
 
@@ -212,6 +309,167 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_version(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    print(f"repro {__version__}")
+    if args.verbose:
+        print(f"python {sys.version.split()[0]}, numpy {np.__version__}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace subcommand
+# ----------------------------------------------------------------------
+def _analysis_setpoint(trace) -> float:
+    """The settling-analysis target: the run's set-point if recorded,
+    else the median parallelism (a baseline run has no set-point)."""
+    setpoint = trace.meta.get("setpoint")
+    if setpoint:
+        return float(setpoint)
+    par = trace.parallelism
+    median = float(np.median(par)) if par.size else 0.0
+    return median if median > 0 else 1.0
+
+
+def _trace_summary_rows(label: str, trace) -> dict:
+    from repro.instrument.convergence import analyze_controller
+    from repro.instrument.stats import summarize
+
+    s = summarize(trace.parallelism)
+    dyn = analyze_controller(trace, _analysis_setpoint(trace))
+    return {
+        "run": label,
+        "algorithm": trace.algorithm,
+        "graph": trace.graph_name,
+        "iterations": trace.num_iterations,
+        "edges expanded": trace.total_edges_expanded,
+        "par mean": round(s.mean, 1),
+        "par median": round(s.median, 1),
+        "par cv": round(s.cv, 3),
+        "par entry": dyn.parallelism_entry,
+        "d settle": dyn.d_settling,
+        "alpha settle": dyn.alpha_settling,
+        "overshoot": round(dyn.parallelism_overshoot, 2),
+        "steady err": round(dyn.steady_tracking_error, 3),
+    }
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core import AdaptiveParams, adaptive_sssp
+    from repro.experiments.report import format_table
+    from repro.graph.io import load_graph
+    from repro.instrument.serialize import save_trace
+    from repro.sssp import nearfar_sssp
+
+    base = Path(args.out)
+    trace_path = Path(f"{base}.trace.json")
+    events_path = Path(f"{base}.events.jsonl")
+    metrics_path = Path(f"{base}.metrics.json")
+
+    graph = load_graph(args.graph)
+    source = (
+        args.source
+        if args.source is not None
+        else int(np.argmax(np.diff(graph.indptr)))
+    )
+    if not args.quiet:
+        print(f"{graph!r}, source={source}, algorithm={args.algorithm}")
+
+    registry = obs.MetricsRegistry()
+    spans = obs.SpanRecorder()
+    with obs.JsonlSink(events_path) as sink:
+        with obs.use(registry=registry, events=sink, spans=spans):
+            with spans.span("run"):
+                if args.algorithm == "adaptive":
+                    setpoint = (
+                        args.setpoint if args.setpoint is not None else 10_000.0
+                    )
+                    result, trace, _ = adaptive_sssp(
+                        graph, source, AdaptiveParams(setpoint=setpoint)
+                    )
+                else:
+                    result, trace = nearfar_sssp(
+                        graph, source, delta=args.delta
+                    )
+        events_written = sink.count
+
+    save_trace(trace, trace_path)
+    metrics_path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "algorithm": trace.algorithm,
+                "graph": trace.graph_name,
+                "source": source,
+                "wall_seconds": spans.total("run"),
+                "metrics": registry.snapshot(),
+                "spans": [st.as_dict() for st in spans.profile()],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    print(
+        f"reached {result.num_reached}/{graph.num_nodes} vertices; "
+        f"iterations={result.iterations}, relaxations={result.relaxations:,}"
+    )
+    print(format_table([_trace_summary_rows(base.name, trace)]))
+    if not args.quiet:
+        print(f"trace written to {trace_path}")
+        print(f"{events_written} events streamed to {events_path}")
+        print(f"metrics summary written to {metrics_path}")
+    if args.verbose:
+        _print_metrics_snapshot(registry.snapshot())
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.instrument.serialize import load_trace
+
+    trace = load_trace(args.trace_file)
+    print(format_table([_trace_summary_rows(Path(args.trace_file).name, trace)]))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.instrument.serialize import load_trace
+
+    a = load_trace(args.trace_a)
+    b = load_trace(args.trace_b)
+    rows_a = _trace_summary_rows("a", a)
+    rows_b = _trace_summary_rows("b", b)
+    if not args.quiet:
+        print(f"a: {args.trace_a}  ({a.algorithm} on {a.graph_name})")
+        print(f"b: {args.trace_b}  ({b.algorithm} on {b.graph_name})")
+    diff_rows = []
+    for key in rows_a:
+        if key in ("run", "algorithm", "graph"):
+            continue
+        va, vb = rows_a[key], rows_b[key]
+        try:
+            delta = round(vb - va, 4)
+        except TypeError:
+            delta = "-"
+        diff_rows.append({"metric": key, "a": va, "b": vb, "b - a": delta})
+    print(format_table(diff_rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "record": _cmd_trace_record,
+        "show": _cmd_trace_show,
+        "diff": _cmd_trace_diff,
+    }
+    return handlers[args.trace_command](args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -220,6 +478,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sssp": _cmd_sssp,
         "generate": _cmd_generate,
         "info": _cmd_info,
+        "trace": _cmd_trace,
+        "version": _cmd_version,
     }
     return handlers[args.command](args)
 

@@ -115,7 +115,13 @@ def adaptive_sssp(
     """
     stepper = AdaptiveNearFarStepper(graph, source, params)
     trace = RunTrace(
-        algorithm="adaptive-nearfar", graph_name=graph.name, source=source
+        algorithm="adaptive-nearfar",
+        graph_name=graph.name,
+        source=source,
+        meta={
+            "setpoint": params.setpoint,
+            "initial_delta": stepper.initial_delta,
+        },
     )
     result = stepper.run(trace if collect_trace else None)
     return result, trace, stepper.controller

@@ -19,11 +19,12 @@ is the paper's deployment (controller on the CPU, kernels on the GPU).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.advance_model import AdvanceModel
 from repro.core.bisect_model import BisectModel
+from repro.obs import context as obs
+from repro.obs.spans import SpanRecorder
 
 __all__ = ["ControllerConfig", "SetpointController", "DeltaDecision"]
 
@@ -127,8 +128,14 @@ class SetpointController:
             sgd_mode=config.sgd_mode,
         )
         self._pending: _PendingObservation | None = None
-        self.seconds: float = 0.0  # cumulative controller CPU time (§5.2 overhead)
+        # span-based controller CPU accounting (§5.2 overhead): always
+        # on, because the overhead *is* a result the paper reports
+        self.spans = SpanRecorder()
         self.decisions: int = 0
+        # optional metrics fan-out (no-op unless a registry is active)
+        reg = obs.get_registry()
+        self._m_plan = reg.timer("controller.plan_seconds")
+        self._m_decisions = reg.counter("controller.decisions")
 
     # ------------------------------------------------------------------
     # observation hooks (called by the algorithm around each stage)
@@ -139,19 +146,17 @@ class SetpointController:
         The pending (X^(4), Δδ) pair from the previous iteration predicted
         this X^(1); now that it is observed, run the Algorithm-1 step.
         """
-        t0 = time.perf_counter()
-        if self._pending is not None:
-            self.bisect_model.observe(
-                self._pending.x4, self._pending.delta_change, x1
-            )
-            self._pending = None
-        self.seconds += time.perf_counter() - t0
+        with self.spans.span("begin_iteration"):
+            if self._pending is not None:
+                self.bisect_model.observe(
+                    self._pending.x4, self._pending.delta_change, x1
+                )
+                self._pending = None
 
     def observe_advance(self, x1: int, x2: int) -> None:
         """ADVANCE-MODEL training step from the true (X^(1), X^(2))."""
-        t0 = time.perf_counter()
-        self.advance_model.observe(x1, x2)
-        self.seconds += time.perf_counter() - t0
+        with self.spans.span("observe_advance"):
+            self.advance_model.observe(x1, x2)
 
     def invalidate_pending(self) -> None:
         """Drop the pending BISECT-MODEL sample.
@@ -193,15 +198,37 @@ class SetpointController:
             Occupancy and upper bound of the current far-queue
             partition, feeding the Eq. 8 bootstrap.
         """
-        t0 = time.perf_counter()
+        sp = self.spans.span("plan")
+        with sp:
+            decision = self._plan(
+                x4,
+                window_lower=window_lower,
+                window_split=window_split,
+                far_total=far_total,
+                far_partition_size=far_partition_size,
+                far_partition_upper=far_partition_upper,
+            )
+        self.decisions += 1
+        self._m_plan.observe(sp.elapsed)
+        self._m_decisions.inc()
+        return decision
+
+    def _plan(
+        self,
+        x4: int,
+        *,
+        window_lower: float,
+        window_split: float,
+        far_total: int,
+        far_partition_size: int,
+        far_partition_upper: float,
+    ) -> DeltaDecision:
         cfg = self.config
         target_x1 = self.advance_model.target_frontier(self.setpoint)
 
         if far_total == 0 and float(x4) <= target_x1:
             # under target with an empty far queue: the knob is inert
             self._pending = None
-            self.decisions += 1
-            self.seconds += time.perf_counter() - t0
             return DeltaDecision(
                 delta=self.delta,
                 delta_change=0.0,
@@ -237,8 +264,6 @@ class SetpointController:
         self.delta = new_delta
 
         self._pending = _PendingObservation(x4=x4, delta_change=change)
-        self.decisions += 1
-        self.seconds += time.perf_counter() - t0
         return DeltaDecision(
             delta=new_delta,
             delta_change=change,
@@ -282,6 +307,11 @@ class SetpointController:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        """Cumulative controller CPU time (§5.2 overhead), from spans."""
+        return self.spans.total_seconds
+
     @property
     def d(self) -> float:
         return self.advance_model.d

@@ -31,6 +31,8 @@ from typing import List
 
 import numpy as np
 
+from repro.obs import context as obs
+
 __all__ = ["FarQueuePartitions", "FlatFarQueue"]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
@@ -47,6 +49,11 @@ class FarQueuePartitions:
         self._chunks: List[List[np.ndarray]] = [[], []]
         self._counts: List[int] = [0, 0]
         self._current: int = 0
+        reg = obs.get_registry()
+        self._m_inserted = reg.counter("farq.inserted")
+        self._m_extracted = reg.counter("farq.extracted")
+        self._m_refreshes = reg.counter("farq.refreshes")
+        self._m_partitions = reg.gauge("farq.partitions")
 
     # ------------------------------------------------------------------
     # inspection
@@ -111,6 +118,7 @@ class FarQueuePartitions:
             raise ValueError("vertices and distances must be parallel")
         if not np.all(np.isfinite(distances)):
             raise ValueError("far-queue insertion distances must be finite")
+        self._m_inserted.inc(int(vertices.size))
         part = np.searchsorted(self._uppers, distances, side="left")
         order = np.argsort(part, kind="stable")
         part_s = part[order]
@@ -144,7 +152,9 @@ class FarQueuePartitions:
         if not pulled:
             return _EMPTY
         self._advance_current()
-        return np.concatenate(pulled)
+        out = np.concatenate(pulled)
+        self._m_extracted.inc(int(out.size))
+        return out
 
     def extract_all(self) -> np.ndarray:
         """Drain every partition (used by tests and the final sweep)."""
@@ -176,6 +186,8 @@ class FarQueuePartitions:
             i += 1
             if i >= len(self._uppers) - 1:
                 break  # leave exactly one trailing +inf partition
+        self._m_refreshes.inc()
+        self._m_partitions.set(self.num_partitions)
 
     # ------------------------------------------------------------------
     # internals
@@ -222,6 +234,10 @@ class FlatFarQueue:
             raise ValueError("initial boundary must be positive")
         self._chunks: List[np.ndarray] = []
         self._count: int = 0
+        reg = obs.get_registry()
+        self._m_inserted = reg.counter("farq.inserted")
+        self._m_extracted = reg.counter("farq.extracted")
+        self._m_refreshes = reg.counter("farq.refreshes")
 
     # -- inspection -----------------------------------------------------
     @property
@@ -260,6 +276,7 @@ class FlatFarQueue:
             raise ValueError("far-queue insertion distances must be finite")
         self._chunks.append(np.asarray(vertices, dtype=np.int64))
         self._count += int(vertices.size)
+        self._m_inserted.inc(int(vertices.size))
 
     def extract_below(self, split: float) -> np.ndarray:
         """Drain *everything* (a flat queue cannot range-filter)."""
@@ -268,6 +285,7 @@ class FlatFarQueue:
         out = np.concatenate(self._chunks) if self._chunks else _EMPTY
         self._chunks = []
         self._count = 0
+        self._m_extracted.inc(int(out.size))
         return out
 
     def extract_all(self) -> np.ndarray:
@@ -276,6 +294,7 @@ class FlatFarQueue:
     def refresh_boundaries(self, setpoint: float, alpha: float) -> None:
         if setpoint <= 0 or alpha <= 0:
             raise ValueError("setpoint and alpha must be positive")
+        self._m_refreshes.inc()
         # no boundaries to maintain
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -27,6 +27,8 @@ from repro.core.controller import ControllerConfig, SetpointController
 from repro.core.partitions import FarQueuePartitions, FlatFarQueue
 from repro.graph.csr import CSRGraph
 from repro.instrument.trace import IterationRecord, RunTrace
+from repro.obs import context as obs
+from repro.obs.events import EVENT_SCHEMA_VERSION
 from repro.sssp.frontier import advance, bisect, filter_frontier
 from repro.sssp.nearfar import suggest_delta
 from repro.sssp.result import SSSPResult
@@ -88,6 +90,32 @@ class AdaptiveNearFarStepper:
         self.iterations = 0
         self.relaxations = 0
         self._controller_prev_seconds = 0.0
+
+        # observability handles, bound to the context active at
+        # construction (all no-op by default)
+        ctx = obs.current()
+        reg = ctx.registry
+        self._events = ctx.events
+        self._m_iterations = reg.counter("sssp.iterations")
+        self._m_relaxations = reg.counter("sssp.relaxations")
+        self._m_frontier = reg.histogram("sssp.frontier")
+        self._m_parallelism = reg.histogram("sssp.parallelism")
+        self._m_to_far = reg.counter("sssp.queue.moved_to_far")
+        self._m_from_far = reg.counter("sssp.queue.moved_from_far")
+        self._m_far_scanned = reg.counter("sssp.queue.far_scanned")
+        self._m_drains = reg.counter("sssp.queue.drains")
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "run_start",
+                    "v": EVENT_SCHEMA_VERSION,
+                    "algorithm": "adaptive-nearfar",
+                    "graph": graph.name,
+                    "source": source,
+                    "setpoint": params.setpoint,
+                    "initial_delta": self.initial_delta,
+                }
+            )
 
     # ------------------------------------------------------------------
     # outer-loop interface
@@ -182,6 +210,34 @@ class AdaptiveNearFarStepper:
             # it would mislabel the BISECT-MODEL sample
             controller.invalidate_pending()
 
+        self._m_iterations.inc()
+        self._m_relaxations.inc(adv.relaxations)
+        self._m_frontier.observe(x1)
+        self._m_parallelism.observe(adv.x2)
+        if moved_to_far:
+            self._m_to_far.inc(moved_to_far)
+        if moved_from_far:
+            self._m_from_far.inc(moved_from_far)
+        if far_scanned:
+            self._m_far_scanned.inc(far_scanned)
+        if drains:
+            self._m_drains.inc(drains)
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "iteration",
+                    "k": self.iterations - 1,
+                    "x1": x1,
+                    "x2": adv.x2,
+                    "x3": x3,
+                    "x4": x4,
+                    "delta": decision.delta,
+                    "far_size": partitions.total(),
+                    "d": controller.d,
+                    "alpha": controller.alpha,
+                }
+            )
+
         now = controller.seconds
         record = IterationRecord(
             k=self.iterations - 1,
@@ -212,7 +268,17 @@ class AdaptiveNearFarStepper:
                 trace.append(record)
             if params.max_iterations and self.iterations >= params.max_iterations:
                 break
-        return self.result()
+        result = self.result()
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "run_end",
+                    "iterations": result.iterations,
+                    "relaxations": result.relaxations,
+                    "reached": result.num_reached,
+                }
+            )
+        return result
 
     def result(self) -> SSSPResult:
         """The (current) distances packaged as an :class:`SSSPResult`."""

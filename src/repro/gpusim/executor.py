@@ -42,6 +42,7 @@ from repro.gpusim.dvfs import DVFSPolicy, FixedDVFS, FrequencySetting, default_g
 from repro.gpusim.kernels import KernelSpec, iteration_kernels
 from repro.gpusim.power import PowerModel
 from repro.instrument.trace import RunTrace
+from repro.obs import context as obs
 
 __all__ = [
     "KernelCost",
@@ -256,6 +257,7 @@ def simulate_run(
         algorithm=trace.algorithm,
         graph_name=trace.graph_name,
     )
+    reg = obs.get_registry()
     for rec in trace:
         setting = policy.select(device)
         device.validate_setting(setting.core_mhz, setting.mem_mhz)
@@ -264,4 +266,21 @@ def simulate_run(
         )
         run.iterations.append(it)
         policy.observe(it.utilization, it.seconds)
+        if reg.enabled:
+            # per-stage simulated energy/time: the trajectory every
+            # perf PR wants to watch
+            for kc in it.kernels:
+                reg.counter(f"gpusim.energy_j.{kc.name}").inc(kc.energy_j)
+                reg.counter(f"gpusim.seconds.{kc.name}").inc(kc.seconds)
+            if it.controller_seconds:
+                reg.counter("gpusim.controller_seconds").inc(
+                    it.controller_seconds
+                )
+                reg.counter("gpusim.controller_energy_j").inc(
+                    it.controller_power_w * it.controller_seconds
+                )
+    if reg.enabled:
+        reg.counter("gpusim.runs").inc()
+        reg.counter("gpusim.total_energy_j").inc(run.total_energy_j)
+        reg.counter("gpusim.total_seconds").inc(run.total_seconds)
     return run

@@ -24,7 +24,13 @@ __all__ = [
     "load_trace",
 ]
 
-_SCHEMA_VERSION = 1
+# v1: algorithm/graph_name/source + records
+# v2: adds the run-level ``meta`` dict (setpoint, delta, …); v1 files
+#     still load (meta defaults to empty).
+# The *event* stream written by ``repro trace record`` is versioned
+# separately: see repro.obs.events.EVENT_SCHEMA_VERSION.
+_SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
 
 
 def _clean(value: Any) -> Any:
@@ -44,6 +50,7 @@ def trace_to_dict(trace: RunTrace) -> dict:
         "algorithm": trace.algorithm,
         "graph_name": trace.graph_name,
         "source": int(trace.source),
+        "meta": {k: _clean(v) for k, v in trace.meta.items()},
         "records": [
             {k: _clean(v) for k, v in dataclasses.asdict(rec).items()}
             for rec in trace.records
@@ -54,14 +61,16 @@ def trace_to_dict(trace: RunTrace) -> dict:
 def trace_from_dict(payload: dict) -> RunTrace:
     """Inverse of :func:`trace_to_dict` (validates the schema version)."""
     schema = payload.get("schema")
-    if schema != _SCHEMA_VERSION:
+    if schema not in _READABLE_SCHEMAS:
         raise ValueError(
-            f"unsupported trace schema {schema!r} (expected {_SCHEMA_VERSION})"
+            f"unsupported trace schema {schema!r} (expected one of "
+            f"{_READABLE_SCHEMAS})"
         )
     trace = RunTrace(
         algorithm=payload["algorithm"],
         graph_name=payload["graph_name"],
         source=int(payload["source"]),
+        meta=dict(payload.get("meta", {})),
     )
     field_names = {f.name for f in dataclasses.fields(IterationRecord)}
     for raw in payload["records"]:

@@ -60,12 +60,19 @@ class IterationRecord:
 
 @dataclass
 class RunTrace:
-    """All iteration records of one SSSP run, plus run-level metadata."""
+    """All iteration records of one SSSP run, plus run-level metadata.
+
+    ``meta`` carries run-level scalars the records cannot (the
+    set-point of an adaptive run, the fixed delta of a baseline run,
+    …); consumers such as ``repro trace diff`` use it to pick the
+    right analysis target without re-deriving it from the records.
+    """
 
     algorithm: str
     graph_name: str
     source: int
     records: List[IterationRecord] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     def append(self, rec: IterationRecord) -> None:
         self.records.append(rec)

@@ -1,0 +1,66 @@
+"""Runtime observability: metrics, spans, structured events.
+
+Three channels, all off (and near-zero-cost) by default:
+
+* **metrics** — named counters/gauges/histograms/timers published by
+  the SSSP hot paths, the controller, the far queue and the platform
+  simulator (:mod:`repro.obs.registry`);
+* **spans** — nestable named wall-clock regions with a flat profile
+  export (:mod:`repro.obs.spans`);
+* **events** — a streamed JSONL log, one event per SSSP iteration
+  (:mod:`repro.obs.events`).
+
+Activate any subset with :func:`repro.obs.use`; inspect a recorded run
+with ``python -m repro trace``.  Metric names and the event schema are
+documented in the README's *Observability* section.
+"""
+
+from repro.obs.context import (
+    NULL_CONTEXT,
+    ObsContext,
+    current,
+    get_events,
+    get_registry,
+    get_spans,
+    use,
+)
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventSink,
+    JsonlSink,
+    ListSink,
+    NullEventSink,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.spans import NullSpanRecorder, SpanRecorder, SpanStat
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NullEventSink",
+    "NullRegistry",
+    "NullSpanRecorder",
+    "NULL_CONTEXT",
+    "ObsContext",
+    "SpanRecorder",
+    "SpanStat",
+    "Timer",
+    "current",
+    "get_events",
+    "get_registry",
+    "get_spans",
+    "use",
+]

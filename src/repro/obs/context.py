@@ -1,0 +1,108 @@
+"""The active observability context.
+
+One process-global :class:`ObsContext` bundles the three channels —
+metrics registry, event sink, span recorder — and defaults to the
+all-null context, so instrumented code is free to call
+:func:`get_registry` / :func:`get_events` / :func:`get_spans`
+unconditionally.
+
+Enable observability for a region with :func:`use`::
+
+    from repro import obs
+
+    reg = obs.MetricsRegistry()
+    with obs.use(registry=reg, events=obs.JsonlSink("run.events.jsonl")):
+        nearfar_sssp(graph, source)
+    print(reg.snapshot())
+
+Instrumented call sites grab their handles from the context active
+*when the run starts* (algorithm entry / object construction), so a
+context swap mid-run does not retarget a running algorithm — by
+design: a run observes one context.
+
+The global is intentionally simple (no thread-local indirection): the
+package's algorithms are single-threaded NumPy code, and a process
+observing itself wants one place to look.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.obs.events import NULL_EVENTS, EventSink
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.spans import NULL_SPANS, NullSpanRecorder, SpanRecorder
+
+__all__ = [
+    "ObsContext",
+    "NULL_CONTEXT",
+    "current",
+    "get_registry",
+    "get_events",
+    "get_spans",
+    "use",
+]
+
+
+@dataclass(frozen=True)
+class ObsContext:
+    """The three observability channels, bundled."""
+
+    registry: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+    events: EventSink = NULL_EVENTS
+    spans: "SpanRecorder | NullSpanRecorder" = NULL_SPANS
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.registry.enabled or self.events.enabled or self.spans.enabled
+        )
+
+
+NULL_CONTEXT = ObsContext()
+
+_active: ObsContext = NULL_CONTEXT
+
+
+def current() -> ObsContext:
+    """The active context (the null context unless inside :func:`use`)."""
+    return _active
+
+
+def get_registry():
+    return _active.registry
+
+
+def get_events() -> EventSink:
+    return _active.events
+
+
+def get_spans():
+    return _active.spans
+
+
+@contextmanager
+def use(
+    registry: Optional[MetricsRegistry] = None,
+    events: Optional[EventSink] = None,
+    spans: Optional[SpanRecorder] = None,
+) -> Iterator[ObsContext]:
+    """Install an observability context for the enclosed region.
+
+    Omitted channels stay null.  The previous context is restored on
+    exit (contexts nest but do not merge).
+    """
+    global _active
+    ctx = ObsContext(
+        registry=registry if registry is not None else NULL_REGISTRY,
+        events=events if events is not None else NULL_EVENTS,
+        spans=spans if spans is not None else NULL_SPANS,
+    )
+    previous = _active
+    _active = ctx
+    try:
+        yield ctx
+    finally:
+        _active = previous

@@ -1,0 +1,294 @@
+"""Metrics registry: counters, gauges, histograms and timers.
+
+Every hot path in the package publishes named metrics through the
+active registry (see :mod:`repro.obs.context`).  Two implementations
+share the interface:
+
+* :class:`MetricsRegistry` — the live registry.  Metric handles are
+  created on first use and accumulate values; :meth:`~MetricsRegistry.snapshot`
+  exports everything as a plain JSON-ready dict.
+* :class:`NullRegistry` — the **default**.  Every ``counter()`` /
+  ``gauge()`` / ``histogram()`` / ``timer()`` call returns a shared
+  no-op singleton whose mutators are empty methods, so instrumented
+  code pays only an attribute lookup and a no-op call when
+  observability is off.  This is what keeps the fixed-delta hot path
+  within noise of the uninstrumented algorithm (see
+  ``repro.experiments.overhead.run_instrumentation_overhead``).
+
+Metric names are dotted paths (``"sssp.relaxations"``,
+``"gpusim.energy_j.advance"``); the conventions in use are documented
+in the README's *Observability* section.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing value (float increments allowed)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """A sample distribution (keeps the raw values; runs are short)."""
+
+    __slots__ = ("name", "values")
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class _TimerHandle:
+    """Context manager measuring one timed block into a :class:`Timer`."""
+
+    __slots__ = ("_timer", "elapsed", "_t0")
+
+    def __init__(self, timer: "Timer"):
+        self._timer = timer
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self._timer.observe(self.elapsed)
+
+
+class Timer(Histogram):
+    """A histogram of durations (seconds) with a ``with timer.time():`` API."""
+
+    __slots__ = ()
+
+    kind = "timer"
+
+    def time(self) -> _TimerHandle:
+        return _TimerHandle(self)
+
+
+# ----------------------------------------------------------------------
+# no-op singletons: the disabled fast path
+# ----------------------------------------------------------------------
+class _NullContext:
+    __slots__ = ("elapsed",)
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_CM = _NullContext()
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    mean = 0.0
+    minimum = 0.0
+    maximum = 0.0
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+class _NullTimer(_NullHistogram):
+    __slots__ = ()
+
+    def time(self) -> _NullContext:
+        return _NULL_CM
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Live named-metric store.
+
+    Handles are created on first use and cached; asking for an existing
+    name with a different metric type is an error (names are global).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All metrics as ``{name: {type, ...values}}`` (JSON-ready)."""
+        return {
+            name: metric.as_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+class NullRegistry:
+    """The disabled registry: shared no-op handles, empty snapshot."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,153 @@
+"""Span-based wall-clock timing.
+
+A *span* is a named timed region entered with ``with recorder.span("x"):``.
+Spans nest: entering ``span("bootstrap")`` inside ``span("plan")``
+accumulates under the path ``"plan/bootstrap"``.  The recorder keeps a
+flat profile — ``(path, count, seconds)`` per distinct path — which is
+what the controller-overhead experiment and the ``repro trace`` CLI
+export.
+
+This replaces the ad-hoc ``time.perf_counter()`` bracketing the
+controller and the overhead experiment used to carry around: every
+timed region in the package now reads the same clock through the same
+accounting.
+
+:class:`SpanRecorder` is always cheap enough to keep on (one
+``perf_counter`` pair and a dict update per span), so objects that
+*need* timing (the controller) own a private recorder
+unconditionally; code that only wants timing when observability is on
+goes through the active context's recorder, which defaults to
+:data:`NULL_SPANS`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["SpanStat", "SpanRecorder", "NullSpanRecorder", "NULL_SPANS"]
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """One row of the flat profile."""
+
+    path: str
+    count: int
+    seconds: float
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "count": self.count, "seconds": self.seconds}
+
+
+class _Span:
+    """A single active span; class-based so the timed window is tight."""
+
+    __slots__ = ("_recorder", "_name", "_t0", "elapsed")
+
+    def __init__(self, recorder: "SpanRecorder", name: str):
+        self._recorder = recorder
+        self._name = name
+        self._t0 = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._recorder._push(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self._recorder._pop(self.elapsed)
+
+
+class SpanRecorder:
+    """Accumulates nested span timings into a flat path-keyed profile."""
+
+    enabled = True
+
+    def __init__(self):
+        self._stack: List[str] = []
+        self._stats: Dict[str, List[float]] = {}  # path -> [count, seconds]
+
+    def span(self, name: str) -> _Span:
+        if "/" in name:
+            raise ValueError("span names must not contain '/'")
+        return _Span(self, name)
+
+    # -- internals used by _Span ---------------------------------------
+    def _push(self, name: str) -> None:
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+
+    def _pop(self, elapsed: float) -> None:
+        path = self._stack.pop()
+        stat = self._stats.get(path)
+        if stat is None:
+            self._stats[path] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+
+    # -- reporting ------------------------------------------------------
+    def total(self, path: str) -> float:
+        """Accumulated seconds under ``path`` (0 if never entered)."""
+        stat = self._stats.get(path)
+        return stat[1] if stat else 0.0
+
+    def count(self, path: str) -> int:
+        stat = self._stats.get(path)
+        return stat[0] if stat else 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of *top-level* spans only (nested time is already inside)."""
+        return sum(s[1] for path, s in self._stats.items() if "/" not in path)
+
+    def profile(self) -> List[SpanStat]:
+        """The flat profile, sorted by path (parents before children)."""
+        return [
+            SpanStat(path=path, count=stat[0], seconds=stat[1])
+            for path, stat in sorted(self._stats.items())
+        ]
+
+
+class _NullSpan:
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullSpanRecorder:
+    """Disabled recorder: spans are shared no-op context managers."""
+
+    enabled = False
+    total_seconds = 0.0
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def total(self, path: str) -> float:
+        return 0.0
+
+    def count(self, path: str) -> int:
+        return 0
+
+    def profile(self) -> List[SpanStat]:
+        return []
+
+
+NULL_SPANS = NullSpanRecorder()

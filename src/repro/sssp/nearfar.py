@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.instrument.trace import IterationRecord, RunTrace
+from repro.obs import context as obs
+from repro.obs.events import EVENT_SCHEMA_VERSION
 from repro.sssp.frontier import advance, bisect, drain_far_queue, filter_frontier
 from repro.sssp.result import SSSPResult
 
@@ -102,9 +104,37 @@ def nearfar_sssp(
     far = np.zeros(0, dtype=np.int64)
     lower, split = 0.0, params.delta
 
-    trace = RunTrace(algorithm="nearfar", graph_name=graph.name, source=source)
+    trace = RunTrace(
+        algorithm="nearfar",
+        graph_name=graph.name,
+        source=source,
+        meta={"delta": params.delta},
+    )
     iterations = 0
     relaxations = 0
+
+    # observability handles, bound once per run (no-op by default)
+    ctx = obs.current()
+    reg, events = ctx.registry, ctx.events
+    m_iterations = reg.counter("sssp.iterations")
+    m_relaxations = reg.counter("sssp.relaxations")
+    m_frontier = reg.histogram("sssp.frontier")
+    m_parallelism = reg.histogram("sssp.parallelism")
+    m_to_far = reg.counter("sssp.queue.moved_to_far")
+    m_from_far = reg.counter("sssp.queue.moved_from_far")
+    m_far_scanned = reg.counter("sssp.queue.far_scanned")
+    m_drains = reg.counter("sssp.queue.drains")
+    if events.enabled:
+        events.emit(
+            {
+                "type": "run_start",
+                "v": EVENT_SCHEMA_VERSION,
+                "algorithm": "nearfar",
+                "graph": graph.name,
+                "source": source,
+                "delta": params.delta,
+            }
+        )
 
     while frontier.size:
         iterations += 1
@@ -122,14 +152,36 @@ def nearfar_sssp(
         near, far_add = bisect(unique_improved, dist, split)
         if far_add.size:
             far = np.concatenate([far, far_add])
+            m_to_far.inc(int(far_add.size))
         x4 = int(near.size)
 
         # stage 4: bisect-far-queue
         drains = 0
         frontier = near
         if frontier.size == 0 and far.size:
+            m_far_scanned.inc(int(far.size))
             frontier, far, lower, split, drains = drain_far_queue(
                 far, dist, lower, split, params.delta
+            )
+            m_from_far.inc(int(frontier.size))
+            m_drains.inc(drains)
+
+        m_iterations.inc()
+        m_relaxations.inc(adv.relaxations)
+        m_frontier.observe(x1)
+        m_parallelism.observe(adv.x2)
+        if events.enabled:
+            events.emit(
+                {
+                    "type": "iteration",
+                    "k": iterations - 1,
+                    "x1": x1,
+                    "x2": adv.x2,
+                    "x3": x3,
+                    "x4": x4,
+                    "delta": params.delta,
+                    "far_size": int(far.size),
+                }
             )
 
         if collect_trace:
@@ -158,4 +210,13 @@ def nearfar_sssp(
         algorithm="nearfar",
         extra={"delta": params.delta},
     )
+    if events.enabled:
+        events.emit(
+            {
+                "type": "run_end",
+                "iterations": iterations,
+                "relaxations": relaxations,
+                "reached": result.num_reached,
+            }
+        )
     return result, trace

@@ -62,8 +62,72 @@ class TestRoundTrip:
         _, trace = nearfar_sssp(small_grid, 0)
         path = save_trace(trace, tmp_path / "t.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert isinstance(payload["records"], list)
+
+    def test_explicit_nan_controller_fields(self, tmp_path):
+        """NaN d/alpha estimates survive the JSON round trip as NaN."""
+        trace = RunTrace(algorithm="x", graph_name="g", source=0)
+        trace.append(
+            IterationRecord(
+                k=0,
+                x1=1,
+                x2=2,
+                x3=1,
+                x4=1,
+                delta=1.0,
+                split=1.0,
+                far_size=0,
+                d_estimate=float("nan"),
+                alpha_estimate=float("nan"),
+            )
+        )
+        path = save_trace(trace, tmp_path / "t.json")
+        # NaN is not valid JSON: it must be encoded as null on disk
+        assert "NaN" not in path.read_text()
+        back = load_trace(path)
+        assert np.isnan(back.records[0].d_estimate)
+        assert np.isnan(back.records[0].alpha_estimate)
+
+    def test_mixed_nan_and_finite_columns(self, tmp_path):
+        trace = RunTrace(algorithm="x", graph_name="g", source=0)
+        for k, d in enumerate([float("nan"), 2.5, float("nan")]):
+            trace.append(
+                IterationRecord(
+                    k=k,
+                    x1=1,
+                    x2=2,
+                    x3=1,
+                    x4=1,
+                    delta=1.0,
+                    split=1.0,
+                    far_size=0,
+                    d_estimate=d,
+                    alpha_estimate=d,
+                )
+            )
+        back = trace_from_dict(trace_to_dict(trace))
+        col = back.column("d_estimate")
+        assert np.isnan(col[0]) and np.isnan(col[2])
+        assert col[1] == 2.5
+
+    def test_meta_round_trip(self, small_grid, tmp_path):
+        from repro.core import AdaptiveParams, adaptive_sssp
+
+        _, trace, _ = adaptive_sssp(small_grid, 0, AdaptiveParams(setpoint=200.0))
+        back = load_trace(save_trace(trace, tmp_path / "t.json"))
+        assert back.meta["setpoint"] == 200.0
+        assert back.meta["initial_delta"] == trace.meta["initial_delta"]
+
+    def test_v1_payload_still_loads(self, small_grid):
+        """Pre-meta traces (schema 1) load with an empty meta dict."""
+        _, trace = nearfar_sssp(small_grid, 0)
+        payload = trace_to_dict(trace)
+        payload["schema"] = 1
+        del payload["meta"]
+        back = trace_from_dict(payload)
+        assert back.meta == {}
+        assert len(back) == len(trace)
 
 
 class TestValidation:

@@ -29,6 +29,37 @@ class TestSummarize:
         assert s.count == 0
         assert s.cv == 0.0
 
+    def test_empty_is_all_zero(self):
+        s = summarize(np.zeros(0))
+        assert (
+            s.mean,
+            s.std,
+            s.minimum,
+            s.p25,
+            s.median,
+            s.p75,
+            s.maximum,
+        ) == (0.0,) * 7
+        assert s.iqr == 0.0
+        # and the table row renders without dividing by zero
+        assert s.as_row()["n"] == 0
+
+    def test_single_element(self):
+        s = summarize(np.asarray([7.0]))
+        assert s.count == 1
+        # every order statistic collapses onto the one value
+        assert (
+            s.mean,
+            s.minimum,
+            s.p25,
+            s.median,
+            s.p75,
+            s.maximum,
+        ) == (7.0,) * 6
+        assert s.std == 0.0
+        assert s.iqr == 0.0
+        assert s.cv == 0.0
+
     def test_cv(self):
         s = summarize(np.asarray([10.0, 10.0]))
         assert s.cv == 0.0

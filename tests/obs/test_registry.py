@@ -1,0 +1,106 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestLiveRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("a.b").value == 5
+
+    def test_counter_float_increment(self):
+        reg = MetricsRegistry()
+        reg.counter("e").inc(0.25)
+        reg.counter("e").inc(0.5)
+        assert reg.counter("e").value == pytest.approx(0.75)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="increase"):
+            Counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.minimum == 1.0
+        assert h.maximum == 3.0
+
+    def test_timer_records_duration(self):
+        reg = MetricsRegistry()
+        t = reg.timer("t")
+        with t.time() as handle:
+            pass
+        assert t.count == 1
+        assert handle.elapsed >= 0.0
+        assert t.total == pytest.approx(handle.elapsed)
+
+    def test_same_name_same_handle(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 2}
+        assert snap["g"] == {"type": "gauge", "value": 1.5}
+        assert snap["h"]["count"] == 1
+        assert "x" not in snap
+
+    def test_contains_and_len(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        reg.counter("c")
+        assert "c" in reg
+        assert len(reg) == 1
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NullRegistry().enabled
+
+
+class TestNullRegistry:
+    def test_handles_are_shared_noops(self):
+        a = NULL_REGISTRY.counter("a")
+        b = NULL_REGISTRY.counter("b")
+        assert a is b
+        a.inc(100)
+        assert a.value == 0
+
+    def test_all_channels_noop(self):
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(5)
+        with NULL_REGISTRY.timer("t").time():
+            pass
+        assert NULL_REGISTRY.snapshot() == {}
+        assert len(NULL_REGISTRY) == 0
+        assert "g" not in NULL_REGISTRY

@@ -1,0 +1,85 @@
+"""Tests for span-based timing."""
+
+import pytest
+
+from repro.obs.spans import NULL_SPANS, SpanRecorder
+
+
+class TestSpanRecorder:
+    def test_single_span(self):
+        rec = SpanRecorder()
+        with rec.span("work"):
+            pass
+        assert rec.count("work") == 1
+        assert rec.total("work") >= 0.0
+
+    def test_repeat_accumulates(self):
+        rec = SpanRecorder()
+        for _ in range(3):
+            with rec.span("x"):
+                pass
+        assert rec.count("x") == 3
+
+    def test_nesting_builds_paths(self):
+        rec = SpanRecorder()
+        with rec.span("plan"):
+            with rec.span("bootstrap"):
+                pass
+        paths = [s.path for s in rec.profile()]
+        assert paths == ["plan", "plan/bootstrap"]
+        assert rec.count("plan/bootstrap") == 1
+
+    def test_total_seconds_counts_top_level_only(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        # inner time is already inside outer; double counting would
+        # exceed the outer total
+        assert rec.total_seconds == pytest.approx(rec.total("outer"))
+
+    def test_elapsed_exposed_after_exit(self):
+        rec = SpanRecorder()
+        sp = rec.span("x")
+        with sp:
+            pass
+        assert sp.elapsed >= 0.0
+        assert rec.total("x") == pytest.approx(sp.elapsed)
+
+    def test_exception_still_recorded(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("x"):
+                raise RuntimeError("boom")
+        assert rec.count("x") == 1
+        # the stack unwound: a new top-level span is not nested under x
+        with rec.span("y"):
+            pass
+        assert rec.count("y") == 1
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ValueError, match="span names"):
+            SpanRecorder().span("a/b")
+
+    def test_profile_depth(self):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        by_path = {s.path: s for s in rec.profile()}
+        assert by_path["a"].depth == 0
+        assert by_path["a/b"].depth == 1
+
+    def test_unknown_path_zero(self):
+        rec = SpanRecorder()
+        assert rec.total("nope") == 0.0
+        assert rec.count("nope") == 0
+
+
+class TestNullSpans:
+    def test_noop(self):
+        with NULL_SPANS.span("anything"):
+            pass
+        assert NULL_SPANS.profile() == []
+        assert NULL_SPANS.total_seconds == 0.0
+        assert not NULL_SPANS.enabled

@@ -100,3 +100,125 @@ class TestGenerateAndInfo:
         assert main(["info", graph_file]) == 0
         out = capsys.readouterr().out
         assert "100" in out  # 10x10 grid
+
+
+class TestVersionCommand:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        assert main(["version"]) == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_verbose(self, capsys):
+        assert main(["version", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out and "numpy" in out
+
+
+class TestVerbosityFlags:
+    def test_quiet_suppresses_chatter(self, capsys, graph_file):
+        assert main(["sssp", graph_file, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "CSRGraph" not in out
+        assert "reached" in out  # the result itself still prints
+
+    def test_quiet_before_subcommand(self, capsys, graph_file):
+        assert main(["--quiet", "sssp", graph_file]) == 0
+        assert "CSRGraph" not in capsys.readouterr().out
+
+    def test_verbose_prints_metrics(self, capsys, graph_file):
+        assert main(["sssp", graph_file, "--algorithm", "nearfar", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "sssp.relaxations" in out
+
+    def test_default_is_neither(self, capsys, graph_file):
+        assert main(["sssp", graph_file, "--algorithm", "nearfar"]) == 0
+        out = capsys.readouterr().out
+        assert "CSRGraph" in out
+        assert "metrics:" not in out
+
+
+class TestTraceCommand:
+    def test_record_produces_all_artifacts(self, capsys, graph_file, tmp_path):
+        import json
+
+        base = tmp_path / "run"
+        assert (
+            main(
+                ["trace", "record", graph_file, "--setpoint", "50", "-o", str(base)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reached" in out
+        trace_path = tmp_path / "run.trace.json"
+        events_path = tmp_path / "run.events.jsonl"
+        metrics_path = tmp_path / "run.metrics.json"
+        assert trace_path.exists() and events_path.exists() and metrics_path.exists()
+
+        lines = events_path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["type"] == "run_start"
+        assert events[-1]["type"] == "run_end"
+        assert any(e["type"] == "iteration" for e in events)
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["metrics"]["sssp.iterations"]["value"] > 0
+        assert metrics["wall_seconds"] > 0
+        assert any(s["path"] == "run" for s in metrics["spans"])
+
+    def test_record_nearfar(self, capsys, graph_file, tmp_path):
+        base = tmp_path / "nf"
+        assert (
+            main(
+                ["trace", "record", graph_file, "--algorithm", "nearfar", "-o", str(base)]
+            )
+            == 0
+        )
+        assert (tmp_path / "nf.trace.json").exists()
+
+    def test_show(self, capsys, graph_file, tmp_path):
+        base = tmp_path / "run"
+        main(["-q", "trace", "record", graph_file, "--setpoint", "50", "-o", str(base)])
+        capsys.readouterr()
+        assert main(["trace", "show", str(tmp_path / "run.trace.json")]) == 0
+        out = capsys.readouterr().out
+        assert "iterations" in out
+        assert "par mean" in out
+
+    def test_diff_reports_deltas(self, capsys, graph_file, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        main(["-q", "trace", "record", graph_file, "--setpoint", "50", "-o", str(a)])
+        main(
+            ["-q", "trace", "record", graph_file, "--algorithm", "nearfar", "-o", str(b)]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "trace",
+                    "diff",
+                    str(tmp_path / "a.trace.json"),
+                    str(tmp_path / "b.trace.json"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "b - a" in out
+        assert "iterations" in out
+        assert "par cv" in out
+        assert "d settle" in out
+
+    def test_diff_accepts_save_trace_output(self, capsys, graph_file, tmp_path):
+        """Traces saved by `sssp --save-trace` diff against recorded ones."""
+        t1 = tmp_path / "t1.json"
+        main(["-q", "sssp", graph_file, "--save-trace", str(t1)])
+        base = tmp_path / "r"
+        main(["-q", "trace", "record", graph_file, "--setpoint", "50", "-o", str(base)])
+        capsys.readouterr()
+        assert (
+            main(["trace", "diff", str(t1), str(tmp_path / "r.trace.json")]) == 0
+        )
+        assert "iterations" in capsys.readouterr().out
