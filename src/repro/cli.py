@@ -15,6 +15,11 @@
   streamed JSONL event log and metrics summary, inspect a saved
   trace, or diff two saved runs (iterations, parallelism
   distribution, controller settling);
+* ``serve`` — run a long-lived query engine: JSONL requests from
+  stdin (or a file) in, JSONL responses out, with a result cache and
+  a worker pool (see the README's *Query service* section);
+* ``query`` — issue one-shot queries against the graph catalog and
+  print the JSONL responses;
 * ``version`` — report the package version.
 
 ``--quiet`` suppresses informational chatter (result lines still
@@ -175,6 +180,77 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("trace_a", help="first trace JSON")
     diff.add_argument("trace_b", help="second trace JSON")
 
+    def add_service_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--graph-file",
+            action="append",
+            default=[],
+            metavar="NAME=PATH",
+            help="register a graph file under NAME (repeatable)",
+        )
+        p.add_argument(
+            "--scale", type=float, default=0.02,
+            help="scale of the built-in cal/wiki catalog graphs",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, help="executor worker count"
+        )
+        p.add_argument(
+            "--pool-mode", choices=["thread", "process"], default="thread",
+            help="executor kind (process = CPU-parallel, picklable tasks)",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=128,
+            help="LRU result-cache capacity (0 disables caching)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None,
+            help="per-query timeout in seconds",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="serve JSONL SSSP queries from stdin or a file",
+    )
+    add_service_options(serve)
+    serve.add_argument(
+        "--input", default=None,
+        help="read requests from this file instead of stdin",
+    )
+    serve.add_argument(
+        "--events", default=None,
+        help="stream query_start/query_end events to this JSONL file",
+    )
+    serve.add_argument(
+        "--metrics", default=None,
+        help="write a metrics snapshot to this JSON file on exit",
+    )
+
+    query = sub.add_parser(
+        "query",
+        parents=[common],
+        help="issue one-shot queries against the graph catalog",
+    )
+    add_service_options(query)
+    query.add_argument("graph", help="catalog graph id (cal, wiki, or --graph-file name)")
+    query.add_argument(
+        "--source", type=int, action="append", default=None,
+        help="source vertex (repeatable; default: the max-degree hub)",
+    )
+    query.add_argument(
+        "--algorithm",
+        choices=["dijkstra", "bellman-ford", "delta-stepping", "nearfar", "adaptive", "kla"],
+        default="adaptive",
+    )
+    query.add_argument("--delta", type=float, default=None, help="delta (fixed-delta algorithms)")
+    query.add_argument("--setpoint", type=float, default=None, help="P (adaptive)")
+    query.add_argument("--k", type=int, default=None, help="asynchrony depth (kla)")
+    query.add_argument(
+        "--repeat", type=int, default=1,
+        help="issue each query N times (repeats hit the result cache)",
+    )
+
     sub.add_parser("version", parents=[common], help="print the package version")
 
     return parser
@@ -307,6 +383,130 @@ def _cmd_info(args: argparse.Namespace) -> int:
     stats = graph_stats(graph)
     print(format_table([stats.as_row()]))
     return 0
+
+
+# ----------------------------------------------------------------------
+# service commands
+# ----------------------------------------------------------------------
+def _service_catalog(args: argparse.Namespace):
+    """The catalog for serve/query: built-ins plus --graph-file entries."""
+    from repro.service import default_catalog
+
+    catalog = default_catalog(args.scale)
+    for spec in args.graph_file:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"--graph-file expects NAME=PATH, got {spec!r}")
+        catalog.register_file(name, path)
+    return catalog
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.service import QueryEngine, serve_stream
+
+    registry = obs.MetricsRegistry()
+    sink = obs.JsonlSink(args.events) if args.events else None
+    catalog = _service_catalog(args)
+    try:
+        with obs.use(registry=registry, events=sink):
+            engine = QueryEngine(
+                catalog,
+                mode=args.pool_mode,
+                max_workers=args.workers,
+                timeout=args.timeout,
+                cache_size=args.cache_size,
+            )
+            with engine:
+                if not args.quiet:
+                    print(
+                        f"serving graphs {engine.pool.graph_ids} "
+                        f"({engine.pool.mode} pool, "
+                        f"{engine.pool.max_workers} workers, "
+                        f"cache {args.cache_size}); one JSON request per line",
+                        file=sys.stderr,
+                    )
+                if args.input:
+                    with open(args.input) as fh:
+                        count = serve_stream(engine, fh, sys.stdout)
+                else:
+                    count = serve_stream(engine, sys.stdin, sys.stdout)
+            stats = engine.stats()
+    finally:
+        if sink is not None:
+            sink.close()
+    if not args.quiet:
+        cache = stats["cache"]
+        print(
+            f"served {count} responses ({stats['queries']} queries, "
+            f"cache {cache['hits']} hits / {cache['misses']} misses / "
+            f"{cache['evictions']} evictions)",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        Path(args.metrics).write_text(
+            json.dumps(
+                {"schema": 1, "stats": stats, "metrics": registry.snapshot()},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        if not args.quiet:
+            print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if args.verbose:
+        _print_metrics_snapshot(registry.snapshot())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.service import QueryEngine, SSSPQuery
+
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
+    params = {}
+    if args.delta is not None:
+        params["delta"] = args.delta
+    if args.setpoint is not None:
+        params["setpoint"] = args.setpoint
+    if args.k is not None:
+        params["k"] = args.k
+
+    registry = obs.MetricsRegistry() if args.verbose else None
+    catalog = _service_catalog(args)
+    if args.graph not in catalog:
+        raise SystemExit(
+            f"unknown graph {args.graph!r} (have {catalog.names()}); "
+            "register files with --graph-file NAME=PATH"
+        )
+    with obs.use(registry=registry):
+        engine = QueryEngine(
+            catalog,
+            mode=args.pool_mode,
+            max_workers=args.workers,
+            timeout=args.timeout,
+            cache_size=args.cache_size,
+        )
+        with engine:
+            graph = engine.pool.graph(args.graph)
+            sources = args.source or [int(np.argmax(np.diff(graph.indptr)))]
+            ok = True
+            for _ in range(args.repeat):
+                for source in sources:
+                    response = engine.run(
+                        SSSPQuery(
+                            graph_id=args.graph,
+                            source=int(source),
+                            algorithm=args.algorithm,
+                            params=params,
+                        )
+                    )
+                    ok = ok and response.ok
+                    print(json.dumps(response.as_dict()))
+    if registry is not None:
+        _print_metrics_snapshot(registry.snapshot())
+    return 0 if ok else 1
 
 
 def _cmd_version(args: argparse.Namespace) -> int:
@@ -479,6 +679,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "version": _cmd_version,
     }
     return handlers[args.command](args)

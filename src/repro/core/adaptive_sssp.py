@@ -121,6 +121,7 @@ def adaptive_sssp(
         meta={
             "setpoint": params.setpoint,
             "initial_delta": stepper.initial_delta,
+            "graph_fingerprint": graph.fingerprint(),
         },
     )
     result = stepper.run(trace if collect_trace else None)

@@ -18,11 +18,12 @@ from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.report import banner, format_table
 from repro.experiments.runner import (
     find_time_minimizing_delta,
+    run_source_batch,
     scaled_setpoints,
 )
 from repro.gpusim.device import JETSON_TK1
 from repro.instrument.stats import iqr_fraction_near
-from repro.sssp.batch import batch_run, pooled_parallelism, sample_sources
+from repro.sssp.batch import pooled_parallelism, sample_sources
 from repro.sssp.nearfar import nearfar_sssp
 
 __all__ = ["run_robustness", "main"]
@@ -32,6 +33,7 @@ def run_robustness(
     config: ExperimentConfig | None = None,
     *,
     num_sources: int = 5,
+    max_workers: int | None = None,
 ) -> Dict[str, List[dict]]:
     config = config or default_config()
     out: Dict[str, List[dict]] = {}
@@ -43,11 +45,12 @@ def run_robustness(
         )
 
         rows: List[dict] = []
-        base = batch_run(
+        base = run_source_batch(
             graph,
             sources,
             lambda g, s: nearfar_sssp(g, s, delta=best_delta),
             label=f"near+far delta={best_delta:.3g}",
+            max_workers=max_workers,
         )
         row = base.as_row()
         row["mass near P"] = "-"
@@ -61,8 +64,12 @@ def run_robustness(
             )
             return result, trace
 
-        tuned = batch_run(
-            graph, sources, tuned_runner, label=f"self-tuning P={setpoint:.0f}"
+        tuned = run_source_batch(
+            graph,
+            sources,
+            tuned_runner,
+            label=f"self-tuning P={setpoint:.0f}",
+            max_workers=max_workers,
         )
         row = tuned.as_row()
         row["mass near P"] = round(

@@ -14,6 +14,7 @@ Everything analytical lives in :mod:`repro.graph.properties`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Tuple
 
@@ -226,6 +227,33 @@ class CSRGraph:
 
     def has_negative_weights(self) -> bool:
         return bool(self.num_edges and self.weights.min() < 0)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the graph (hex string).
+
+        Covers the CSR arrays (values *and* dtypes) plus the name, so
+        two graphs with identical topology but different weights — or
+        the same arrays under a different name — fingerprint apart.
+        The digest is what the query-service result cache keys on: a
+        cached distance array must never be served for a graph whose
+        weights have changed (see :mod:`repro.service.cache`).
+
+        Computed once and memoised on the instance (the arrays are
+        immutable by convention).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        h.update(b"csr-v1\x00")
+        h.update(self.name.encode("utf-8"))
+        h.update(b"\x00")
+        for arr in (self.indptr, self.indices, self.weights):
+            h.update(str(arr.dtype).encode("ascii"))
+            h.update(np.ascontiguousarray(arr).tobytes())
+        digest = h.hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     # ------------------------------------------------------------------
     # transforms

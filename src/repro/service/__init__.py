@@ -1,0 +1,46 @@
+"""The SSSP query service.
+
+The repo's algorithms answer one-shot, in-process calls; this package
+turns them into a serving stack:
+
+* :mod:`~repro.service.pool` — thread/process executor with the CSR
+  graphs shared per-worker (arrays shipped once, not per task),
+  per-task timeouts and graceful shutdown;
+* :mod:`~repro.service.catalog` — named graphs (objects, files,
+  generator factories) with stable content fingerprints;
+* :mod:`~repro.service.cache` — bounded LRU result cache with
+  hit/miss/eviction metrics;
+* :mod:`~repro.service.engine` — the query engine: fingerprint-keyed
+  caching, in-flight dedup, pool fan-out, ``query_start``/``query_end``
+  events;
+* :mod:`~repro.service.runners` — wire-name -> algorithm dispatch;
+* :mod:`~repro.service.protocol` — the JSONL request/response format
+  behind ``repro serve`` and ``repro query``.
+
+The README's *Query service* section documents the wire schema and
+cache semantics.
+"""
+
+from repro.service.cache import LRUCache
+from repro.service.catalog import GraphCatalog, default_catalog
+from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
+from repro.service.pool import ExecutorPool, PoolTimeoutError, default_max_workers
+from repro.service.protocol import PROTOCOL_VERSION, handle_line, serve_stream
+from repro.service.runners import algorithm_names, run_algorithm
+
+__all__ = [
+    "ExecutorPool",
+    "GraphCatalog",
+    "LRUCache",
+    "PROTOCOL_VERSION",
+    "PoolTimeoutError",
+    "QueryEngine",
+    "QueryResponse",
+    "SSSPQuery",
+    "algorithm_names",
+    "default_catalog",
+    "default_max_workers",
+    "handle_line",
+    "run_algorithm",
+    "serve_stream",
+]

@@ -1,0 +1,98 @@
+"""Bounded LRU result cache with observability counters.
+
+Keys are opaque hashables; the query engine keys on
+``(graph fingerprint, source, algorithm, canonical params)`` so a
+cached result can never be served for a graph whose arrays changed —
+:meth:`repro.graph.csr.CSRGraph.fingerprint` covers weights, topology
+and name, and a re-registered graph with new weights simply misses.
+
+Every lookup and eviction is counted twice: into plain integers on the
+cache (always available, e.g. for ``stats`` responses) and into the
+metrics registry active at construction (``<prefix>.hits`` /
+``.misses`` / ``.evictions`` counters plus a ``<prefix>.size`` gauge)
+so a served workload exposes its hit rate through the normal
+:mod:`repro.obs` channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro import obs
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A thread-safe least-recently-used mapping with a size bound.
+
+    ``capacity=0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — useful for measuring cold-path latency.
+    """
+
+    def __init__(self, capacity: int = 128, *, metrics_prefix: str = "service.cache"):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        registry = obs.get_registry()
+        self._hit_counter = registry.counter(f"{metrics_prefix}.hits")
+        self._miss_counter = registry.counter(f"{metrics_prefix}.misses")
+        self._eviction_counter = registry.counter(f"{metrics_prefix}.evictions")
+        self._size_gauge = registry.gauge(f"{metrics_prefix}.size")
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value, refreshed to most-recent; ``None`` on miss."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                self._miss_counter.inc()
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            self._hit_counter.inc()
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        if value is None:
+            raise ValueError("cache values must not be None (None marks a miss)")
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                self._eviction_counter.inc()
+            self._size_gauge.set(len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._size_gauge.set(0)
+
+    def stats(self) -> dict:
+        """Counters + occupancy, JSON-ready (for ``stats`` responses)."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

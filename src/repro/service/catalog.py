@@ -1,0 +1,129 @@
+"""Graph catalog: named graphs the query service can answer against.
+
+A catalog maps stable ids to graphs from three kinds of source:
+
+* an already-built :class:`~repro.graph.csr.CSRGraph`,
+* a file path loaded through :func:`repro.graph.io.load_graph`
+  (DIMACS ``.gr``, MatrixMarket ``.mtx``, TSV — optionally gzipped),
+* a zero-argument factory (generators; loaded lazily and memoised).
+
+Each loaded graph gets a content fingerprint
+(:meth:`~repro.graph.csr.CSRGraph.fingerprint`) which the result cache
+keys on, so re-registering an id with different data invalidates old
+cache entries *by construction* rather than by bookkeeping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphCatalog", "default_catalog"]
+
+GraphSource = Union[CSRGraph, str, Path, Callable[[], CSRGraph]]
+
+
+class GraphCatalog:
+    """Named, lazily-loaded graphs with stable content fingerprints."""
+
+    def __init__(self):
+        self._sources: Dict[str, GraphSource] = {}
+        self._loaded: Dict[str, CSRGraph] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, graph_id: str, source: GraphSource) -> None:
+        """Register ``graph_id``; a graph, a file path or a factory.
+
+        Re-registering an id replaces it (and drops the memoised
+        graph, so the next load picks up the new content).
+        """
+        if not graph_id:
+            raise ValueError("graph_id must be non-empty")
+        self._sources[graph_id] = source
+        self._loaded.pop(graph_id, None)
+
+    def register_file(self, graph_id: str, path: str | Path) -> None:
+        p = Path(path)
+        if not p.exists():
+            raise FileNotFoundError(f"graph file not found: {p}")
+        self.register(graph_id, p)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._sources)
+
+    def __contains__(self, graph_id: str) -> bool:
+        return graph_id in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def get(self, graph_id: str) -> CSRGraph:
+        """Load (if needed) and return the graph for ``graph_id``."""
+        graph = self._loaded.get(graph_id)
+        if graph is not None:
+            return graph
+        source = self._sources.get(graph_id)
+        if source is None:
+            raise KeyError(
+                f"unknown graph {graph_id!r} (have {self.names() or 'none'})"
+            )
+        if isinstance(source, CSRGraph):
+            graph = source
+        elif isinstance(source, (str, Path)):
+            from repro.graph.io import load_graph
+
+            graph = load_graph(source)
+        else:
+            graph = source()
+            if not isinstance(graph, CSRGraph):
+                raise TypeError(
+                    f"factory for {graph_id!r} returned {type(graph).__name__}, "
+                    "expected CSRGraph"
+                )
+        self._loaded[graph_id] = graph
+        return graph
+
+    def fingerprint(self, graph_id: str) -> str:
+        return self.get(graph_id).fingerprint()
+
+    def load_all(self) -> Dict[str, CSRGraph]:
+        """Materialise every registered graph (the pool needs objects)."""
+        return {gid: self.get(gid) for gid in self.names()}
+
+    def describe(self) -> List[dict]:
+        """One JSON-ready row per graph (loads everything)."""
+        rows = []
+        for gid in self.names():
+            g = self.get(gid)
+            rows.append(
+                {
+                    "id": gid,
+                    "name": g.name,
+                    "nodes": g.num_nodes,
+                    "edges": g.num_edges,
+                    "fingerprint": g.fingerprint(),
+                }
+            )
+        return rows
+
+
+def default_catalog(scale: float = 0.02, *, seed: int = 7) -> GraphCatalog:
+    """The built-in catalog: the paper's two synthetic stand-ins.
+
+    ``cal`` (road-network-like) and ``wiki`` (scale-free) at ``scale``
+    of the original node counts, both lazy — a serve session that only
+    queries ``cal`` never generates ``wiki``.
+    """
+    from repro.graph.datasets import cal_like, wiki_like
+
+    catalog = GraphCatalog()
+    catalog.register("cal", lambda: cal_like(scale, seed=seed))
+    catalog.register("wiki", lambda: wiki_like(scale, seed=seed + 4))
+    return catalog

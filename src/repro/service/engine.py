@@ -1,0 +1,352 @@
+"""The SSSP query engine: cache, dedup, pool, observability.
+
+:class:`QueryEngine` turns a :class:`~repro.service.catalog.GraphCatalog`
+into something that answers :class:`SSSPQuery` requests:
+
+1. **cache** — repeats are served from a bounded LRU
+   (:mod:`repro.service.cache`) keyed on ``(graph fingerprint, source,
+   algorithm, canonical params)``; the fingerprint in the key makes a
+   stale hit against changed graph data impossible.
+2. **dedup** — identical queries submitted in one batch collapse onto
+   a single execution; the duplicates report ``cache="coalesced"``.
+3. **pool** — misses run on an :class:`~repro.service.pool.ExecutorPool`
+   (threads by default, processes for CPU-bound fan-out) with the
+   graphs shared per-worker, per-query timeouts and graceful
+   shutdown.
+
+Every query emits ``query_start`` / ``query_end`` events and updates
+``service.*`` metrics through the observability context active when
+the engine was built, so a serve session's hit rate, queue depth and
+latency distribution are one ``snapshot()`` away.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.service.cache import LRUCache
+from repro.service.catalog import GraphCatalog
+from repro.service.pool import ExecutorPool, PoolTimeoutError
+from repro.service.runners import run_algorithm, validate_params
+from repro.sssp.result import SSSPResult
+
+__all__ = ["SSSPQuery", "QueryResponse", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class SSSPQuery:
+    """One shortest-path request against a catalogued graph."""
+
+    graph_id: str
+    source: int
+    algorithm: str = "adaptive"
+    params: Mapping = field(default_factory=dict)
+    request_id: Optional[str] = None
+
+    def canonical_params(self) -> str:
+        """Params as sorted JSON — the cache-key component."""
+        return json.dumps(dict(self.params), sort_keys=True, default=float)
+
+
+@dataclass
+class QueryResponse:
+    """What the engine answers; :meth:`as_dict` is the wire format."""
+
+    query: SSSPQuery
+    ok: bool
+    cache: str = "miss"  # "miss" | "hit" | "coalesced"
+    error: Optional[str] = None
+    fingerprint: Optional[str] = None
+    reached: int = 0
+    iterations: int = 0
+    relaxations: int = 0
+    max_dist: Optional[float] = None
+    mean_dist: Optional[float] = None
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        out: dict = {"ok": self.ok}
+        if self.query.request_id is not None:
+            out["id"] = self.query.request_id
+        out.update(
+            graph=self.query.graph_id,
+            source=self.query.source,
+            algorithm=self.query.algorithm,
+        )
+        if not self.ok:
+            out["error"] = self.error
+            return out
+        out.update(
+            fingerprint=self.fingerprint,
+            cache=self.cache,
+            reached=self.reached,
+            iterations=self.iterations,
+            relaxations=self.relaxations,
+            max_dist=self.max_dist,
+            mean_dist=self.mean_dist,
+            wall_seconds=round(self.wall_seconds, 6),
+        )
+        return out
+
+
+def _summarise(result: SSSPResult) -> dict:
+    finite = result.finite_distances()
+    return {
+        "reached": result.num_reached,
+        "iterations": result.iterations,
+        "relaxations": result.relaxations,
+        "max_dist": float(finite.max()) if finite.size else None,
+        "mean_dist": float(finite.mean()) if finite.size else None,
+    }
+
+
+CacheKey = Tuple[str, int, str, str]
+
+
+class QueryEngine:
+    """Serve SSSP queries against a catalog, with caching and a pool.
+
+    Parameters
+    ----------
+    catalog:
+        The graphs to serve.  Loaded eagerly at construction — the
+        pool needs concrete arrays to hand its workers.
+    mode, max_workers, timeout:
+        Pool configuration (see :class:`~repro.service.pool.ExecutorPool`).
+    cache_size:
+        LRU capacity in results (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        *,
+        mode: str = "thread",
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        cache_size: int = 128,
+    ):
+        self.catalog = catalog
+        self._graphs = catalog.load_all()
+        self.pool = ExecutorPool(
+            self._graphs, mode=mode, max_workers=max_workers, timeout=timeout
+        )
+        self.cache = LRUCache(cache_size)
+        self._qid = 0
+        registry = obs.get_registry()
+        self._events = obs.get_events()
+        self._query_counter = registry.counter("service.queries")
+        self._error_counter = registry.counter("service.errors")
+        self._query_timer = registry.timer("service.query_seconds")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, cancel_pending: bool = False) -> None:
+        self.pool.close(cancel_pending=cancel_pending)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def _cache_key(self, query: SSSPQuery) -> CacheKey:
+        fingerprint = self._graphs[query.graph_id].fingerprint()
+        return (
+            fingerprint,
+            int(query.source),
+            query.algorithm,
+            query.canonical_params(),
+        )
+
+    def _next_qid(self) -> int:
+        self._qid += 1
+        return self._qid
+
+    def _emit_start(self, qid: int, query: SSSPQuery) -> None:
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "query_start",
+                    "qid": qid,
+                    "graph": query.graph_id,
+                    "source": int(query.source),
+                    "algorithm": query.algorithm,
+                    "queue_depth": self.pool.pending,
+                }
+            )
+
+    def _emit_end(self, qid: int, response: QueryResponse) -> None:
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "query_end",
+                    "qid": qid,
+                    "ok": response.ok,
+                    "cache": response.cache if response.ok else None,
+                    "error": response.error,
+                    "reached": response.reached,
+                    "iterations": response.iterations,
+                    "wall_seconds": round(response.wall_seconds, 6),
+                }
+            )
+
+    def _validate(self, query: SSSPQuery) -> Optional[str]:
+        """A human-readable rejection reason, or None if runnable."""
+        if query.graph_id not in self._graphs:
+            return (
+                f"unknown graph {query.graph_id!r} "
+                f"(have {self.pool.graph_ids or 'none'})"
+            )
+        try:
+            validate_params(query.algorithm, query.params)
+        except ValueError as exc:
+            return str(exc)
+        graph = self._graphs[query.graph_id]
+        if not 0 <= int(query.source) < graph.num_nodes:
+            return (
+                f"source {query.source} out of range for "
+                f"{graph.num_nodes}-node graph {query.graph_id!r}"
+            )
+        return None
+
+    def run(self, query: SSSPQuery) -> QueryResponse:
+        """Answer one query (cache -> pool), never raising for bad input."""
+        return self.run_many([query])[0]
+
+    def run_many(self, queries: List[SSSPQuery]) -> List[QueryResponse]:
+        """Answer a batch, deduplicating identical in-flight queries.
+
+        Responses come back in request order.  Distinct queries run
+        concurrently on the pool; identical ones (same graph content,
+        source, algorithm and params) execute once and fan the result
+        back out with ``cache="coalesced"``.
+        """
+        responses: List[Optional[QueryResponse]] = [None] * len(queries)
+        in_flight: Dict[CacheKey, Tuple[object, int, float]] = {}
+        coalesced: List[Tuple[int, CacheKey, int]] = []
+
+        for i, query in enumerate(queries):
+            qid = self._next_qid()
+            self._query_counter.inc()
+            self._emit_start(qid, query)
+            reason = self._validate(query)
+            if reason is not None:
+                self._error_counter.inc()
+                responses[i] = QueryResponse(query=query, ok=False, error=reason)
+                self._emit_end(qid, responses[i])
+                continue
+            key = self._cache_key(query)
+            t0 = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                response = QueryResponse(
+                    query=query,
+                    ok=True,
+                    cache="hit",
+                    fingerprint=key[0],
+                    wall_seconds=time.perf_counter() - t0,
+                    **_summarise(cached),  # type: ignore[arg-type]
+                )
+                self._query_timer.observe(response.wall_seconds)
+                responses[i] = response
+                self._emit_end(qid, response)
+                continue
+            if key in in_flight:
+                coalesced.append((i, key, qid))
+                continue
+            future = self.pool.submit(
+                query.graph_id,
+                run_algorithm,
+                int(query.source),
+                query.algorithm,
+                dict(query.params),
+            )
+            in_flight[key] = (future, qid, t0)
+            responses[i] = None  # filled in below
+
+        # collect misses in submission order
+        settled: Dict[CacheKey, QueryResponse] = {}
+        for i, query in enumerate(queries):
+            if responses[i] is not None:
+                continue
+            key = self._cache_key(query)
+            if key in settled:
+                continue  # a coalesced duplicate; resolved after this loop
+            entry = in_flight.get(key)
+            if entry is None:
+                continue
+            future, qid, t0 = entry
+            try:
+                result = future.result(timeout=self.pool.timeout)
+                response = QueryResponse(
+                    query=query,
+                    ok=True,
+                    cache="miss",
+                    fingerprint=key[0],
+                    wall_seconds=time.perf_counter() - t0,
+                    **_summarise(result),
+                )
+                self.cache.put(key, result)
+            except Exception as exc:  # timeout, worker error, cancellation
+                future.cancel()
+                self._error_counter.inc()
+                message = (
+                    f"timeout after {self.pool.timeout}s"
+                    if isinstance(exc, (PoolTimeoutError, TimeoutError))
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                response = QueryResponse(query=query, ok=False, error=message)
+            self._query_timer.observe(response.wall_seconds)
+            responses[i] = response
+            settled[key] = response
+            self._emit_end(qid, response)
+
+        for i, key, qid in coalesced:
+            primary = settled.get(key)
+            assert primary is not None
+            response = QueryResponse(
+                query=queries[i],
+                ok=primary.ok,
+                cache="coalesced" if primary.ok else primary.cache,
+                error=primary.error,
+                fingerprint=primary.fingerprint,
+                reached=primary.reached,
+                iterations=primary.iterations,
+                relaxations=primary.relaxations,
+                max_dist=primary.max_dist,
+                mean_dist=primary.mean_dist,
+                wall_seconds=primary.wall_seconds,
+            )
+            if not primary.ok:
+                self._error_counter.inc()
+            responses[i] = response
+            self._emit_end(qid, response)
+
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Engine-level counters, JSON-ready (the ``stats`` op)."""
+        return {
+            "graphs": self.pool.graph_ids,
+            "queries": self._qid,
+            "cache": self.cache.stats(),
+            "pool": {
+                "mode": self.pool.mode,
+                "max_workers": self.pool.max_workers,
+                "pending": self.pool.pending,
+            },
+        }

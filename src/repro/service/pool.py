@@ -1,0 +1,267 @@
+"""Executor pool: fan SSSP work out over threads or processes.
+
+The pool owns a set of named :class:`~repro.graph.csr.CSRGraph` objects
+and an executor.  Tasks name the graph they run against; the graph
+itself never travels with a task:
+
+* **thread mode** (default) — workers share the graphs in-process.
+  NumPy releases the GIL inside the vectorised kernels, so frontier
+  stages of independent runs genuinely overlap; the Python glue
+  between stages serialises.  Closures and lambdas work as task
+  functions.
+* **process mode** — the CSR arrays are shipped to each worker exactly
+  once, through the ``ProcessPoolExecutor`` *initializer* (not per
+  task), and rebuilt into a worker-global graph table.  Tasks then
+  carry only ``(graph_id, fn, args)``, so a 16-source batch on a
+  multi-megabyte graph pays the transfer ``max_workers`` times, not 16
+  times.  Task functions must be picklable (module-level functions).
+
+Per-task timeouts are enforced at result-collection time
+(:meth:`ExecutorPool.run` / :meth:`ExecutorPool.map_ordered` raise
+:class:`PoolTimeoutError`); :meth:`ExecutorPool.close` shuts down
+gracefully and can cancel not-yet-started work.
+
+The pool publishes ``service.pool.queue_depth`` (gauge) and
+``service.pool.tasks`` (counter) through the observability context
+active at construction (see :mod:`repro.obs.context`).
+
+Worker processes start with the *null* observability context: metrics
+published inside a process worker stay in that process.  Callers that
+need per-query accounting record it engine-side (wall time, cache
+status), which is what :mod:`repro.service.engine` does.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "ExecutorPool",
+    "PoolTimeoutError",
+    "default_max_workers",
+]
+
+
+class PoolTimeoutError(TimeoutError):
+    """A task exceeded the pool's per-task timeout."""
+
+
+def default_max_workers() -> int:
+    """A conservative default: the CPU count, capped at 8."""
+    return min(8, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# process-mode worker plumbing
+# ----------------------------------------------------------------------
+# Graph table living in each worker process, installed by the
+# initializer.  In the parent process this stays empty.
+_WORKER_GRAPHS: Dict[str, CSRGraph] = {}
+
+GraphPayload = Tuple[str, str, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _graph_payloads(graphs: Mapping[str, CSRGraph]) -> List[GraphPayload]:
+    return [
+        (gid, g.name, g.indptr, g.indices, g.weights)
+        for gid, g in graphs.items()
+    ]
+
+
+def _init_worker(payloads: List[GraphPayload]) -> None:
+    """Rebuild the graph table inside a fresh worker process."""
+    _WORKER_GRAPHS.clear()
+    for gid, name, indptr, indices, weights in payloads:
+        _WORKER_GRAPHS[gid] = CSRGraph(
+            indptr=indptr, indices=indices, weights=weights, name=name
+        )
+
+
+def _run_on_worker_graph(graph_id: str, fn: Callable, args: tuple, kwargs: dict):
+    graph = _WORKER_GRAPHS[graph_id]
+    return fn(graph, *args, **kwargs)
+
+
+class ExecutorPool:
+    """A thread or process pool over a fixed set of named graphs.
+
+    Parameters
+    ----------
+    graphs:
+        ``{graph_id: CSRGraph}`` — the graphs tasks may name.  Fixed at
+        construction: process workers receive them once, in their
+        initializer.
+    mode:
+        ``"thread"`` (default) or ``"process"``.
+    max_workers:
+        Worker count; defaults to :func:`default_max_workers`.
+    timeout:
+        Per-task timeout in seconds applied by :meth:`run` and
+        :meth:`map_ordered` (``None`` = wait forever).
+    """
+
+    def __init__(
+        self,
+        graphs: Mapping[str, CSRGraph],
+        *,
+        mode: str = "thread",
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self._graphs = dict(graphs)
+        self.mode = mode
+        self.max_workers = max_workers or default_max_workers()
+        self.timeout = timeout
+        self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._pending = 0
+        registry = obs.get_registry()
+        self._depth_gauge = registry.gauge("service.pool.queue_depth")
+        self._task_counter = registry.counter("service.pool.tasks")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._executor is None:
+            if self.mode == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_init_worker,
+                    initargs=(_graph_payloads(self._graphs),),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-pool",
+                )
+        return self._executor
+
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Shut down gracefully.
+
+        Running tasks always finish; with ``cancel_pending`` queued
+        tasks that have not started are cancelled (their futures raise
+        ``CancelledError``).
+        """
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=cancel_pending)
+            self._executor = None
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet finished."""
+        return self._pending
+
+    def graph(self, graph_id: str) -> CSRGraph:
+        return self._graphs[graph_id]
+
+    @property
+    def graph_ids(self) -> List[str]:
+        return sorted(self._graphs)
+
+    def _track(self, future: Future) -> Future:
+        with self._lock:
+            self._pending += 1
+            self._depth_gauge.set(self._pending)
+        self._task_counter.inc()
+
+        def _done(_fut: Future) -> None:
+            with self._lock:
+                self._pending -= 1
+                self._depth_gauge.set(self._pending)
+
+        future.add_done_callback(_done)
+        return future
+
+    def submit(
+        self, graph_id: str, fn: Callable, *args, **kwargs
+    ) -> Future:
+        """Schedule ``fn(graph, *args, **kwargs)`` on a worker.
+
+        The graph is resolved worker-side from ``graph_id``; in process
+        mode ``fn``, ``args`` and ``kwargs`` must be picklable.
+        """
+        if graph_id not in self._graphs:
+            raise KeyError(
+                f"unknown graph {graph_id!r} (have {self.graph_ids})"
+            )
+        executor = self._ensure_executor()
+        if self.mode == "process":
+            future = executor.submit(
+                _run_on_worker_graph, graph_id, fn, args, kwargs
+            )
+        else:
+            graph = self._graphs[graph_id]
+            future = executor.submit(fn, graph, *args, **kwargs)
+        return self._track(future)
+
+    def run(self, graph_id: str, fn: Callable, *args, **kwargs):
+        """Submit one task and wait for it (honouring the pool timeout)."""
+        future = self.submit(graph_id, fn, *args, **kwargs)
+        try:
+            return future.result(timeout=self.timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise PoolTimeoutError(
+                f"task on graph {graph_id!r} exceeded {self.timeout}s"
+            ) from None
+
+    def map_ordered(
+        self,
+        graph_id: str,
+        fn: Callable,
+        arg_tuples: Sequence[tuple],
+    ) -> list:
+        """Run ``fn(graph, *args)`` for every tuple, concurrently.
+
+        Results come back **in input order** regardless of completion
+        order, so a parallel batch is a drop-in replacement for the
+        serial loop.  The pool timeout applies to each task
+        individually; the first failing task raises (the remaining
+        futures are left to finish, then cancelled by ``close``).
+        """
+        futures = [self.submit(graph_id, fn, *args) for args in arg_tuples]
+        results = []
+        for i, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=self.timeout))
+            except FutureTimeoutError:
+                for later in futures[i:]:
+                    later.cancel()
+                raise PoolTimeoutError(
+                    f"task {i} on graph {graph_id!r} exceeded {self.timeout}s"
+                ) from None
+        return results

@@ -1,0 +1,107 @@
+"""The serve wire protocol: JSONL requests in, JSONL responses out.
+
+One JSON object per line.  Three operations (``op`` defaults to
+``"query"`` so the common case is terse):
+
+* ``{"op": "query", "graph": "cal", "source": 0, "algorithm":
+  "nearfar", "params": {"delta": 0.5}, "id": "q1"}`` — run (or serve
+  from cache) one SSSP query.  ``id`` is echoed back untouched;
+  ``algorithm`` defaults to ``"adaptive"``; ``params`` defaults to
+  ``{}``.
+* ``{"op": "stats"}`` — engine counters: queries served, cache
+  hits/misses/evictions, pool occupancy.
+* ``{"op": "graphs"}`` — the catalog: id, name, sizes, fingerprint.
+
+Every input line produces exactly one output line with an ``"ok"``
+key; malformed lines (bad JSON, missing fields, unknown graph or
+algorithm) produce ``{"ok": false, "error": ...}`` and the stream
+keeps going — a service must not die because one client sent garbage.
+Responses are flushed per line so ``tail -f`` (or a piped consumer)
+sees them live.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional
+
+from repro.service.engine import QueryEngine, SSSPQuery
+
+__all__ = ["PROTOCOL_VERSION", "parse_query", "handle_line", "serve_stream"]
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be turned into an operation."""
+
+
+def parse_query(request: dict) -> SSSPQuery:
+    """Build an :class:`SSSPQuery` from a decoded ``query`` request."""
+    if "graph" not in request:
+        raise ProtocolError("query is missing 'graph'")
+    if "source" not in request:
+        raise ProtocolError("query is missing 'source'")
+    try:
+        source = int(request["source"])
+    except (TypeError, ValueError):
+        raise ProtocolError(f"source must be an integer, got {request['source']!r}")
+    params = request.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(f"params must be an object, got {type(params).__name__}")
+    request_id = request.get("id")
+    return SSSPQuery(
+        graph_id=str(request["graph"]),
+        source=source,
+        algorithm=str(request.get("algorithm", "adaptive")),
+        params=params,
+        request_id=None if request_id is None else str(request_id),
+    )
+
+
+def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
+    """One request line -> one response dict (None for blank lines)."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"invalid JSON: {exc}"}
+    if not isinstance(request, dict):
+        return {"ok": False, "error": "request must be a JSON object"}
+
+    op = request.get("op", "query")
+    if op == "query":
+        try:
+            query = parse_query(request)
+        except ProtocolError as exc:
+            response = {"ok": False, "error": str(exc)}
+            if request.get("id") is not None:
+                response["id"] = str(request["id"])
+            return response
+        return engine.run(query).as_dict()
+    if op == "stats":
+        return {"ok": True, "op": "stats", "v": PROTOCOL_VERSION, **engine.stats()}
+    if op == "graphs":
+        return {"ok": True, "op": "graphs", "graphs": engine.catalog.describe()}
+    return {"ok": False, "error": f"unknown op {op!r} (have query, stats, graphs)"}
+
+
+def serve_stream(
+    engine: QueryEngine, lines: Iterable[str], out: IO[str]
+) -> int:
+    """Drive the engine from a line stream; returns responses written.
+
+    This is the whole serve loop: the CLI hands it ``sys.stdin`` (or a
+    file) and ``sys.stdout``; tests hand it lists and ``StringIO``.
+    """
+    written = 0
+    for line in lines:
+        response = handle_line(engine, line)
+        if response is None:
+            continue
+        out.write(json.dumps(response) + "\n")
+        out.flush()
+        written += 1
+    return written

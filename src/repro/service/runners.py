@@ -1,0 +1,106 @@
+"""Algorithm dispatch for the query service.
+
+One registry maps the wire-level algorithm names to the package's SSSP
+implementations with a uniform call shape::
+
+    run_algorithm(graph, source, "nearfar", {"delta": 0.5}) -> SSSPResult
+
+Parameters are validated against a per-algorithm whitelist *before*
+the run starts, so a typo'd request fails fast with a message naming
+the accepted keys instead of dying mid-run.  Everything here is a
+module-level function on purpose: process-mode workers must be able to
+pickle the task (see :mod:`repro.service.pool`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.graph.csr import CSRGraph
+from repro.sssp.result import SSSPResult
+
+__all__ = ["ALGORITHM_PARAMS", "algorithm_names", "run_algorithm"]
+
+# algorithm -> accepted parameter names
+ALGORITHM_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "dijkstra": (),
+    "bellman-ford": (),
+    "delta-stepping": ("delta",),
+    "nearfar": ("delta",),
+    "adaptive": ("setpoint",),
+    "kla": ("k",),
+}
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    return tuple(sorted(ALGORITHM_PARAMS))
+
+
+def validate_params(algorithm: str, params: Mapping) -> dict:
+    """Check ``algorithm`` exists and ``params`` only uses known keys."""
+    accepted = ALGORITHM_PARAMS.get(algorithm)
+    if accepted is None:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r} (have {', '.join(algorithm_names())})"
+        )
+    params = dict(params or {})
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"algorithm {algorithm!r} does not accept {unknown}; "
+            f"accepted: {list(accepted) or 'none'}"
+        )
+    return params
+
+
+def run_algorithm(
+    graph: CSRGraph,
+    source: int,
+    algorithm: str,
+    params: Optional[Mapping] = None,
+) -> SSSPResult:
+    """Run one SSSP query and return its result (no trace).
+
+    Traces are deliberately not collected: a service answering many
+    queries wants distances and work counters, not per-iteration
+    records (use ``repro trace record`` for those).
+    """
+    params = validate_params(algorithm, params or {})
+    if not 0 <= source < graph.num_nodes:
+        raise ValueError(
+            f"source {source} out of range for {graph.num_nodes} nodes"
+        )
+    if algorithm == "dijkstra":
+        from repro.sssp.dijkstra import dijkstra
+
+        return dijkstra(graph, source)
+    if algorithm == "bellman-ford":
+        from repro.sssp.bellman_ford import bellman_ford
+
+        return bellman_ford(graph, source)
+    if algorithm == "delta-stepping":
+        from repro.sssp.delta_stepping import delta_stepping
+
+        return delta_stepping(graph, source, params.get("delta"))
+    if algorithm == "nearfar":
+        from repro.sssp.nearfar import nearfar_sssp
+
+        result, _ = nearfar_sssp(
+            graph, source, delta=params.get("delta"), collect_trace=False
+        )
+        return result
+    if algorithm == "kla":
+        from repro.sssp.kla import kla_sssp
+
+        result, _ = kla_sssp(
+            graph, source, int(params.get("k", 4)), collect_trace=False
+        )
+        return result
+    # adaptive
+    from repro.core import AdaptiveParams, adaptive_sssp
+
+    setpoint = float(params.get("setpoint", 10_000.0))
+    result, _, _ = adaptive_sssp(
+        graph, source, AdaptiveParams(setpoint=setpoint), collect_trace=False
+    )
+    return result

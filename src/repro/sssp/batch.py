@@ -45,6 +45,12 @@ def sample_sources(
         raise ValueError("count must be >= 1")
     degrees = np.diff(graph.indptr)
     candidates = np.flatnonzero(degrees >= min_out_degree)
+    if candidates.size == 0:
+        raise ValueError(
+            f"graph {graph.name!r} ({graph.num_nodes} nodes, "
+            f"{graph.num_edges} edges) has no vertices with out-degree "
+            f">= {min_out_degree}; there is nothing to sample"
+        )
     if candidates.size < count:
         raise ValueError(
             f"graph has only {candidates.size} vertices with out-degree "
@@ -98,11 +104,44 @@ def batch_run(
     runner: Runner,
     *,
     label: str = "batch",
+    parallel: bool = False,
+    max_workers: int | None = None,
+    mode: str = "thread",
+    timeout: float | None = None,
 ) -> BatchRun:
-    """Run ``runner`` from every source in order."""
+    """Run ``runner`` from every source.
+
+    Serial by default.  With ``parallel=True`` (or an explicit
+    ``max_workers``) the sources fan out over a
+    :class:`repro.service.pool.ExecutorPool`; per-source runs are
+    independent, and results/traces always come back **in source
+    order**, so the parallel path is bit-identical to the serial one.
+
+    ``mode="process"`` gives CPU-parallel workers with the graph
+    shipped once per worker — but then ``runner`` must be picklable (a
+    module-level function, not a lambda).  ``mode="thread"`` accepts
+    any callable and overlaps the NumPy kernels, which release the
+    GIL.  ``timeout`` bounds each source's run in seconds.
+    """
     sources = np.asarray(sources, dtype=np.int64)
     if sources.size == 0:
         raise ValueError("sources must be non-empty")
+
+    if parallel or max_workers is not None:
+        from repro.service.pool import ExecutorPool
+
+        with ExecutorPool(
+            {"batch": graph}, mode=mode, max_workers=max_workers, timeout=timeout
+        ) as pool:
+            pairs = pool.map_ordered(
+                "batch", runner, [(int(s),) for s in sources]
+            )
+        results = [result for result, _ in pairs]
+        traces = [trace for _, trace in pairs]
+        return BatchRun(
+            label=label, sources=sources, results=results, traces=traces
+        )
+
     results: List[SSSPResult] = []
     traces: List[RunTrace] = []
     for s in sources:

@@ -108,7 +108,7 @@ def nearfar_sssp(
         algorithm="nearfar",
         graph_name=graph.name,
         source=source,
-        meta={"delta": params.delta},
+        meta={"delta": params.delta, "graph_fingerprint": graph.fingerprint()},
     )
     iterations = 0
     relaxations = 0

@@ -195,3 +195,54 @@ class TestTransforms:
     def test_subgraph_mask_size_check(self, diamond):
         with pytest.raises(ValueError, match="mask size"):
             diamond.subgraph_mask(np.asarray([True, False]))
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self, triangle):
+        clone = CSRGraph(
+            indptr=triangle.indptr.copy(),
+            indices=triangle.indices.copy(),
+            weights=triangle.weights.copy(),
+            name=triangle.name,
+        )
+        assert triangle.fingerprint() == clone.fingerprint()
+
+    def test_memoised(self, triangle):
+        assert triangle.fingerprint() is triangle.fingerprint()
+
+    def test_is_hex_sha256(self, triangle):
+        fp = triangle.fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+    def test_weights_change_fingerprint(self, triangle):
+        doubled = triangle.with_weights(triangle.weights * 2.0)
+        assert doubled.fingerprint() != triangle.fingerprint()
+
+    def test_topology_changes_fingerprint(self):
+        a = CSRGraph.from_edges(3, [0, 1], [1, 2], [1.0, 1.0])
+        b = CSRGraph.from_edges(3, [0, 2], [1, 1], [1.0, 1.0])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_name_changes_fingerprint(self, triangle):
+        renamed = CSRGraph(
+            indptr=triangle.indptr,
+            indices=triangle.indices,
+            weights=triangle.weights,
+            name="other",
+        )
+        assert renamed.fingerprint() != triangle.fingerprint()
+
+    def test_empty_graph_has_fingerprint(self):
+        assert len(CSRGraph.empty(0).fingerprint()) == 64
+
+    def test_exposed_in_trace_meta(self, small_grid):
+        from repro.core import AdaptiveParams, adaptive_sssp
+        from repro.sssp.nearfar import nearfar_sssp
+
+        _, nf_trace = nearfar_sssp(small_grid, 0)
+        assert nf_trace.meta["graph_fingerprint"] == small_grid.fingerprint()
+        _, ad_trace, _ = adaptive_sssp(
+            small_grid, 0, AdaptiveParams(setpoint=50.0)
+        )
+        assert ad_trace.meta["graph_fingerprint"] == small_grid.fingerprint()

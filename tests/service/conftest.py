@@ -1,0 +1,20 @@
+"""Service-suite fixtures: a tiny catalog over deterministic graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import grid_road_network
+from repro.service import GraphCatalog
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_road_network(12, 12, seed=3)
+
+
+@pytest.fixture
+def catalog(grid):
+    cat = GraphCatalog()
+    cat.register("grid", grid)
+    return cat

@@ -1,0 +1,91 @@
+"""Unit tests for the LRU result cache (including obs counter wiring)."""
+
+import pytest
+
+from repro import obs
+from repro.service.cache import LRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_none_values_rejected(self):
+        with pytest.raises(ValueError, match="None"):
+            LRUCache(4).put("a", None)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert "a" not in cache
+
+
+class TestEviction:
+    def test_lru_entry_evicted_first(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_refresh_does_not_evict(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_eviction_count_grows(self):
+        cache = LRUCache(1)
+        for i in range(5):
+            cache.put(i, i)
+        assert cache.evictions == 4
+        assert len(cache) == 1
+
+
+class TestObsCounters:
+    def test_counters_published_under_use(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry=registry):
+            cache = LRUCache(2)
+        cache.get("a")          # miss
+        cache.put("a", 1)
+        cache.get("a")          # hit
+        cache.put("b", 2)
+        cache.put("c", 3)       # evicts "a"
+        assert registry.counter("service.cache.hits").value == 1
+        assert registry.counter("service.cache.misses").value == 1
+        assert registry.counter("service.cache.evictions").value == 1
+        assert registry.gauge("service.cache.size").value == 2
+
+    def test_null_context_counts_locally(self):
+        cache = LRUCache(2)  # no registry active: null handles
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.stats() == {
+            "capacity": 2,
+            "size": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }

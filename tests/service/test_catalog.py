@@ -1,0 +1,93 @@
+"""Unit tests for the graph catalog."""
+
+import pytest
+
+from repro.graph.generators import path_graph
+from repro.graph.io import write_dimacs
+from repro.service import GraphCatalog, default_catalog
+
+
+class TestRegistration:
+    def test_graph_object(self):
+        cat = GraphCatalog()
+        cat.register("p", path_graph(5))
+        assert cat.get("p").num_nodes == 5
+        assert "p" in cat and len(cat) == 1
+
+    def test_factory_is_lazy_and_memoised(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return path_graph(4)
+
+        cat = GraphCatalog()
+        cat.register("lazy", factory)
+        assert calls == []  # nothing loaded yet
+        a = cat.get("lazy")
+        b = cat.get("lazy")
+        assert a is b and calls == [1]
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "g.gr"
+        write_dimacs(path_graph(6), path)
+        cat = GraphCatalog()
+        cat.register_file("file", path)
+        assert cat.get("file").num_nodes == 6
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            GraphCatalog().register_file("x", tmp_path / "absent.gr")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            GraphCatalog().register("", path_graph(3))
+
+    def test_bad_factory_return_rejected(self):
+        cat = GraphCatalog()
+        cat.register("bad", lambda: 42)
+        with pytest.raises(TypeError, match="expected CSRGraph"):
+            cat.get("bad")
+
+    def test_unknown_id_names_available(self):
+        cat = GraphCatalog()
+        cat.register("a", path_graph(3))
+        with pytest.raises(KeyError, match="unknown graph 'z'"):
+            cat.get("z")
+
+    def test_reregister_replaces_and_invalidates(self):
+        cat = GraphCatalog()
+        cat.register("g", path_graph(3))
+        first = cat.fingerprint("g")
+        cat.register("g", path_graph(7))
+        assert cat.get("g").num_nodes == 7
+        assert cat.fingerprint("g") != first
+
+
+class TestIntrospection:
+    def test_describe_rows(self):
+        cat = GraphCatalog()
+        cat.register("p", path_graph(5))
+        (row,) = cat.describe()
+        assert row["id"] == "p"
+        assert row["nodes"] == 5
+        assert row["fingerprint"] == cat.fingerprint("p")
+
+    def test_load_all(self):
+        cat = GraphCatalog()
+        cat.register("a", path_graph(3))
+        cat.register("b", path_graph(4))
+        graphs = cat.load_all()
+        assert sorted(graphs) == ["a", "b"]
+
+
+class TestDefaultCatalog:
+    def test_has_paper_standins(self):
+        cat = default_catalog(0.002)
+        assert cat.names() == ["cal", "wiki"]
+        assert cat.get("cal").num_nodes > 0
+
+    def test_scale_changes_fingerprint(self):
+        a = default_catalog(0.002).fingerprint("cal")
+        b = default_catalog(0.003).fingerprint("cal")
+        assert a != b

@@ -1,0 +1,215 @@
+"""Integration tests for the query engine: cache, dedup, obs, errors."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.service import GraphCatalog, QueryEngine, SSSPQuery
+from repro.sssp.dijkstra import dijkstra
+
+
+class TestBasicQueries:
+    def test_all_algorithms_answer(self, catalog):
+        with QueryEngine(catalog) as engine:
+            for algorithm, params in [
+                ("dijkstra", {}),
+                ("bellman-ford", {}),
+                ("delta-stepping", {"delta": 2.0}),
+                ("nearfar", {}),
+                ("adaptive", {"setpoint": 100.0}),
+                ("kla", {"k": 2}),
+            ]:
+                response = engine.run(
+                    SSSPQuery("grid", 0, algorithm, params)
+                )
+                assert response.ok, response.error
+                assert response.reached > 1
+
+    def test_summary_matches_direct_run(self, catalog, grid):
+        direct = dijkstra(grid, 3)
+        with QueryEngine(catalog) as engine:
+            response = engine.run(SSSPQuery("grid", 3, "dijkstra"))
+        assert response.reached == direct.num_reached
+        assert response.relaxations == direct.relaxations
+        finite = direct.finite_distances()
+        assert response.max_dist == pytest.approx(float(finite.max()))
+        assert response.fingerprint == grid.fingerprint()
+
+    def test_process_mode(self, catalog, grid):
+        with QueryEngine(catalog, mode="process", max_workers=2) as engine:
+            response = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert response.ok
+        assert response.reached == dijkstra(grid, 0).num_reached
+
+
+class TestCaching:
+    def test_repeat_is_a_hit(self, catalog):
+        with QueryEngine(catalog) as engine:
+            first = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+            second = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert first.cache == "miss"
+        assert second.cache == "hit"
+        assert second.reached == first.reached
+
+    def test_different_params_miss(self, catalog):
+        with QueryEngine(catalog) as engine:
+            a = engine.run(SSSPQuery("grid", 0, "nearfar", {"delta": 1.0}))
+            b = engine.run(SSSPQuery("grid", 0, "nearfar", {"delta": 2.0}))
+        assert a.cache == "miss" and b.cache == "miss"
+
+    def test_changed_weights_never_hit(self, grid):
+        """The satellite guarantee: new weights => new fingerprint => miss."""
+        catalog = GraphCatalog()
+        catalog.register("g", grid)
+        with QueryEngine(catalog) as engine:
+            first = engine.run(SSSPQuery("g", 0, "dijkstra"))
+            assert first.cache == "miss"
+
+        doubled = grid.with_weights(grid.weights * 2.0)
+        catalog2 = GraphCatalog()
+        catalog2.register("g", doubled)
+        with QueryEngine(catalog2, cache_size=128) as engine2:
+            # splice the old engine's cache in, simulating a long-lived
+            # service whose graph data was re-registered
+            engine2.cache = engine.cache
+            response = engine2.run(SSSPQuery("g", 0, "dijkstra"))
+        assert response.cache == "miss"
+        assert response.fingerprint != first.fingerprint
+        assert response.max_dist == pytest.approx(2.0 * first.max_dist)
+
+    def test_cache_disabled(self, catalog):
+        with QueryEngine(catalog, cache_size=0) as engine:
+            engine.run(SSSPQuery("grid", 0, "dijkstra"))
+            again = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert again.cache == "miss"
+
+    def test_eviction_under_pressure(self, catalog):
+        with QueryEngine(catalog, cache_size=2) as engine:
+            for source in (0, 1, 2, 3):
+                engine.run(SSSPQuery("grid", source, "dijkstra"))
+            stats = engine.cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["size"] == 2
+
+
+class TestDedup:
+    def test_identical_in_flight_coalesce(self, catalog):
+        queries = [
+            SSSPQuery("grid", 5, "dijkstra"),
+            SSSPQuery("grid", 5, "dijkstra"),
+            SSSPQuery("grid", 5, "dijkstra"),
+            SSSPQuery("grid", 6, "dijkstra"),
+        ]
+        with QueryEngine(catalog, max_workers=2) as engine:
+            responses = engine.run_many(queries)
+        assert [r.cache for r in responses] == [
+            "miss",
+            "coalesced",
+            "coalesced",
+            "miss",
+        ]
+        assert responses[0].reached == responses[1].reached
+        # the duplicate never executed: one cache insert per distinct key
+        assert engine.cache.stats()["misses"] == 4  # one probe per query
+
+    def test_responses_in_request_order(self, catalog):
+        queries = [SSSPQuery("grid", s, "dijkstra") for s in (9, 1, 5)]
+        with QueryEngine(catalog, max_workers=3) as engine:
+            responses = engine.run_many(queries)
+        assert [r.query.source for r in responses] == [9, 1, 5]
+
+
+class TestErrors:
+    def test_unknown_graph(self, catalog):
+        with QueryEngine(catalog) as engine:
+            response = engine.run(SSSPQuery("nope", 0))
+        assert not response.ok
+        assert "unknown graph" in response.error
+
+    def test_unknown_algorithm(self, catalog):
+        with QueryEngine(catalog) as engine:
+            response = engine.run(SSSPQuery("grid", 0, "a-star"))
+        assert not response.ok
+        assert "unknown algorithm" in response.error
+
+    def test_bad_params(self, catalog):
+        with QueryEngine(catalog) as engine:
+            response = engine.run(SSSPQuery("grid", 0, "dijkstra", {"delta": 1}))
+        assert not response.ok
+        assert "does not accept" in response.error
+
+    def test_source_out_of_range(self, catalog):
+        with QueryEngine(catalog) as engine:
+            response = engine.run(SSSPQuery("grid", 10**6))
+        assert not response.ok
+        assert "out of range" in response.error
+
+    def test_errors_do_not_poison_cache(self, catalog):
+        with QueryEngine(catalog) as engine:
+            engine.run(SSSPQuery("nope", 0))
+            ok = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert ok.ok and ok.cache == "miss"
+
+
+class TestObservability:
+    def test_counters_and_events_under_use(self, catalog):
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=registry, events=sink):
+            engine = QueryEngine(catalog)
+            with engine:
+                engine.run(SSSPQuery("grid", 0, "dijkstra"))
+                engine.run(SSSPQuery("grid", 0, "dijkstra"))  # hit
+                engine.run(SSSPQuery("nope", 0))  # error
+
+        assert registry.counter("service.queries").value == 3
+        assert registry.counter("service.errors").value == 1
+        assert registry.counter("service.cache.hits").value == 1
+        assert registry.counter("service.cache.misses").value == 1
+        assert registry.timer("service.query_seconds").count == 2
+
+        starts = sink.of_type("query_start")
+        ends = sink.of_type("query_end")
+        assert len(starts) == len(ends) == 3
+        assert [e["cache"] for e in ends] == ["miss", "hit", None]
+        assert [e["ok"] for e in ends] == [True, True, False]
+        qids = [e["qid"] for e in starts]
+        assert qids == sorted(qids)
+
+    def test_stats_shape(self, catalog):
+        with QueryEngine(catalog, max_workers=2) as engine:
+            engine.run(SSSPQuery("grid", 0, "dijkstra"))
+            stats = engine.stats()
+        assert stats["graphs"] == ["grid"]
+        assert stats["queries"] == 1
+        assert stats["pool"]["max_workers"] == 2
+        assert stats["cache"]["misses"] == 1
+
+
+class TestResponseWireFormat:
+    def test_ok_dict(self, catalog):
+        with QueryEngine(catalog) as engine:
+            d = engine.run(
+                SSSPQuery("grid", 0, "dijkstra", request_id="abc")
+            ).as_dict()
+        assert d["ok"] is True
+        assert d["id"] == "abc"
+        assert set(d) >= {
+            "graph",
+            "source",
+            "algorithm",
+            "fingerprint",
+            "cache",
+            "reached",
+            "iterations",
+            "relaxations",
+            "max_dist",
+            "mean_dist",
+            "wall_seconds",
+        }
+
+    def test_error_dict_is_minimal(self, catalog):
+        with QueryEngine(catalog) as engine:
+            d = engine.run(SSSPQuery("nope", 0)).as_dict()
+        assert d["ok"] is False
+        assert "error" in d and "fingerprint" not in d

@@ -1,0 +1,125 @@
+"""Tests for the JSONL serve protocol."""
+
+import io
+import json
+
+import pytest
+
+from repro.service import QueryEngine, handle_line, serve_stream
+from repro.service.protocol import parse_query
+
+
+class TestParseQuery:
+    def test_minimal(self):
+        q = parse_query({"graph": "g", "source": 3})
+        assert q.graph_id == "g"
+        assert q.source == 3
+        assert q.algorithm == "adaptive"
+        assert dict(q.params) == {}
+        assert q.request_id is None
+
+    def test_full(self):
+        q = parse_query(
+            {
+                "graph": "g",
+                "source": "4",
+                "algorithm": "nearfar",
+                "params": {"delta": 1.5},
+                "id": 7,
+            }
+        )
+        assert q.source == 4
+        assert q.request_id == "7"
+        assert dict(q.params) == {"delta": 1.5}
+
+    @pytest.mark.parametrize(
+        "request_,message",
+        [
+            ({"source": 0}, "missing 'graph'"),
+            ({"graph": "g"}, "missing 'source'"),
+            ({"graph": "g", "source": "abc"}, "integer"),
+            ({"graph": "g", "source": 0, "params": [1]}, "object"),
+        ],
+    )
+    def test_rejections(self, request_, message):
+        with pytest.raises(ValueError, match=message):
+            parse_query(request_)
+
+
+class TestHandleLine:
+    @pytest.fixture
+    def engine(self, catalog):
+        with QueryEngine(catalog) as e:
+            yield e
+
+    def test_blank_line_skipped(self, engine):
+        assert handle_line(engine, "   \n") is None
+
+    def test_bad_json(self, engine):
+        response = handle_line(engine, "{nope")
+        assert response["ok"] is False
+        assert "invalid JSON" in response["error"]
+
+    def test_non_object(self, engine):
+        response = handle_line(engine, "[1, 2]")
+        assert response["ok"] is False
+
+    def test_query_default_op(self, engine):
+        response = handle_line(engine, '{"graph": "grid", "source": 0}')
+        assert response["ok"] is True
+        assert response["cache"] == "miss"
+
+    def test_query_echoes_id_on_parse_error(self, engine):
+        response = handle_line(engine, '{"graph": "grid", "id": "x"}')
+        assert response["ok"] is False
+        assert response["id"] == "x"
+
+    def test_stats_op(self, engine):
+        handle_line(engine, '{"graph": "grid", "source": 0}')
+        response = handle_line(engine, '{"op": "stats"}')
+        assert response["ok"] is True
+        assert response["queries"] == 1
+        assert response["cache"]["misses"] == 1
+
+    def test_graphs_op(self, engine):
+        response = handle_line(engine, '{"op": "graphs"}')
+        assert response["ok"] is True
+        assert [g["id"] for g in response["graphs"]] == ["grid"]
+
+    def test_unknown_op(self, engine):
+        response = handle_line(engine, '{"op": "shutdown"}')
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+
+class TestServeStream:
+    def test_one_response_per_request(self, catalog):
+        lines = [
+            '{"graph": "grid", "source": 0, "algorithm": "dijkstra", "id": "a"}',
+            "",
+            '{"graph": "grid", "source": 0, "algorithm": "dijkstra", "id": "b"}',
+            "garbage",
+            '{"op": "stats"}',
+        ]
+        out = io.StringIO()
+        with QueryEngine(catalog) as engine:
+            written = serve_stream(engine, lines, out)
+        assert written == 4  # the blank line produces nothing
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert len(responses) == 4
+        assert responses[0]["id"] == "a" and responses[0]["cache"] == "miss"
+        assert responses[1]["id"] == "b" and responses[1]["cache"] == "hit"
+        assert responses[2]["ok"] is False
+        assert responses[3]["op"] == "stats"
+
+    def test_stream_survives_engine_level_errors(self, catalog):
+        lines = [
+            '{"graph": "absent", "source": 0}',
+            '{"graph": "grid", "source": 0}',
+        ]
+        out = io.StringIO()
+        with QueryEngine(catalog) as engine:
+            assert serve_stream(engine, lines, out) == 2
+        first, second = (json.loads(l) for l in out.getvalue().splitlines())
+        assert first["ok"] is False
+        assert second["ok"] is True

@@ -1,0 +1,47 @@
+"""Tests for the wire-name -> algorithm dispatch."""
+
+import pytest
+
+from repro.service.runners import algorithm_names, run_algorithm, validate_params
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.result import assert_distances_close
+
+
+class TestValidation:
+    def test_known_names(self):
+        assert "dijkstra" in algorithm_names()
+        assert "adaptive" in algorithm_names()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            validate_params("spfa", {})
+
+    def test_unknown_param_named(self):
+        with pytest.raises(ValueError, match=r"\['setpoint'\]"):
+            validate_params("nearfar", {"setpoint": 10})
+
+    def test_source_out_of_range(self, small_grid):
+        with pytest.raises(ValueError, match="out of range"):
+            run_algorithm(small_grid, -1, "dijkstra")
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "algorithm,params",
+        [
+            ("dijkstra", {}),
+            ("bellman-ford", {}),
+            ("delta-stepping", {"delta": 3.0}),
+            ("nearfar", {"delta": 3.0}),
+            ("adaptive", {"setpoint": 50.0}),
+            ("kla", {"k": 2}),
+        ],
+    )
+    def test_every_algorithm_is_exact(self, small_grid, algorithm, params):
+        oracle = dijkstra(small_grid, 0)
+        result = run_algorithm(small_grid, 0, algorithm, params)
+        assert_distances_close(oracle, result)
+
+    def test_defaults_apply(self, small_grid):
+        result = run_algorithm(small_grid, 0, "nearfar")
+        assert result.num_reached > 1

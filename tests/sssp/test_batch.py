@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import AdaptiveParams, adaptive_sssp
+from repro.graph.csr import CSRGraph
 from repro.graph.generators import grid_road_network, star_graph
 from repro.sssp.batch import (
     BatchRun,
@@ -14,6 +15,11 @@ from repro.sssp.batch import (
 from repro.sssp.dijkstra import dijkstra
 from repro.sssp.nearfar import nearfar_sssp
 from repro.sssp.result import assert_distances_close
+
+
+def _nearfar_runner(graph, source):
+    """Module-level so process-mode workers can pickle it."""
+    return nearfar_sssp(graph, source)
 
 
 class TestSampleSources:
@@ -40,6 +46,20 @@ class TestSampleSources:
     def test_rejects_zero_count(self, small_grid):
         with pytest.raises(ValueError):
             sample_sources(small_grid, 0)
+
+    def test_empty_graph_reports_no_candidates(self):
+        with pytest.raises(ValueError, match="nothing to sample"):
+            sample_sources(CSRGraph.empty(0, name="void"), 1)
+
+    def test_edgeless_graph_reports_no_candidates(self):
+        """Vertices exist but none has out-degree >= 1."""
+        with pytest.raises(ValueError, match="no vertices with out-degree"):
+            sample_sources(CSRGraph.empty(5), 1)
+
+    def test_count_above_candidates_still_clear(self, small_grid):
+        total = small_grid.num_nodes
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_sources(small_grid, total + 1)
 
 
 class TestBatchRun:
@@ -87,3 +107,72 @@ class TestBatchRun:
         s = batch.parallelism_summary()
         assert s.count == pooled_parallelism(batch.traces).size
         assert s.minimum <= s.median <= s.maximum
+
+
+class TestParallelBatch:
+    """The satellite guarantee: parallel results match the serial path."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return grid_road_network(20, 20, seed=3)
+
+    @pytest.fixture(scope="class")
+    def serial(self, grid):
+        sources = sample_sources(grid, 6, seed=7)
+        return batch_run(grid, sources, _nearfar_runner, label="serial")
+
+    def test_thread_mode_matches_serial(self, grid, serial):
+        parallel = batch_run(
+            grid,
+            serial.sources,
+            _nearfar_runner,
+            label="threads",
+            parallel=True,
+            max_workers=4,
+        )
+        assert np.array_equal(parallel.sources, serial.sources)
+        for a, b in zip(serial.results, parallel.results):
+            assert a.source == b.source  # deterministic ordering
+            assert_distances_close(a, b)
+            assert a.iterations == b.iterations
+            assert a.relaxations == b.relaxations
+        for ta, tb in zip(serial.traces, parallel.traces):
+            assert np.array_equal(ta.parallelism, tb.parallelism)
+
+    def test_process_mode_matches_serial(self, grid, serial):
+        parallel = batch_run(
+            grid,
+            serial.sources,
+            _nearfar_runner,
+            label="processes",
+            parallel=True,
+            max_workers=2,
+            mode="process",
+        )
+        for a, b in zip(serial.results, parallel.results):
+            assert a.source == b.source
+            assert_distances_close(a, b)
+            assert a.relaxations == b.relaxations
+
+    def test_max_workers_alone_enables_parallel(self, grid, serial):
+        parallel = batch_run(
+            grid, serial.sources, _nearfar_runner, max_workers=2
+        )
+        for a, b in zip(serial.results, parallel.results):
+            assert_distances_close(a, b)
+
+    def test_closures_work_in_thread_mode(self, grid):
+        setpoint = 100.0
+
+        def runner(g, s):
+            result, trace, _ = adaptive_sssp(
+                g, s, AdaptiveParams(setpoint=setpoint)
+            )
+            return result, trace
+
+        sources = sample_sources(grid, 3, seed=1)
+        serial = batch_run(grid, sources, runner)
+        parallel = batch_run(grid, sources, runner, parallel=True, max_workers=3)
+        for a, b in zip(serial.results, parallel.results):
+            assert_distances_close(a, b)
+            assert a.iterations == b.iterations

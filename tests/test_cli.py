@@ -102,6 +102,182 @@ class TestGenerateAndInfo:
         assert "100" in out  # 10x10 grid
 
 
+class TestServeCommand:
+    def _requests(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_serves_jsonl_responses(self, capsys, tmp_path):
+        import json
+
+        requests = self._requests(
+            tmp_path,
+            [
+                '{"graph": "cal", "source": 0, "algorithm": "dijkstra", "id": "a"}',
+                '{"graph": "cal", "source": 0, "algorithm": "dijkstra", "id": "b"}',
+                '{"op": "stats"}',
+            ],
+        )
+        assert (
+            main(["serve", "--input", requests, "--scale", "0.003", "-q"]) == 0
+        )
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.splitlines()]
+        assert len(responses) == 3
+        assert responses[0]["ok"] and responses[0]["cache"] == "miss"
+        assert responses[1]["ok"] and responses[1]["cache"] == "hit"
+        assert responses[2]["op"] == "stats"
+        assert responses[2]["cache"]["hits"] == 1
+
+    def test_bad_lines_answered_not_fatal(self, capsys, tmp_path):
+        import json
+
+        requests = self._requests(
+            tmp_path,
+            ["not json", '{"graph": "cal", "source": 0, "algorithm": "dijkstra"}'],
+        )
+        assert (
+            main(["serve", "--input", requests, "--scale", "0.003", "-q"]) == 0
+        )
+        first, second = (
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        )
+        assert first["ok"] is False
+        assert second["ok"] is True
+
+    def test_graph_file_registration(self, capsys, tmp_path, graph_file):
+        import json
+
+        requests = self._requests(
+            tmp_path, ['{"graph": "mine", "source": 0, "algorithm": "dijkstra"}']
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    "--input",
+                    requests,
+                    "--graph-file",
+                    f"mine={graph_file}",
+                    "--scale",
+                    "0.003",
+                    "-q",
+                ]
+            )
+            == 0
+        )
+        (response,) = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert response["ok"] is True
+        assert response["graph"] == "mine"
+
+    def test_metrics_and_events_artifacts(self, capsys, tmp_path):
+        import json
+
+        requests = self._requests(
+            tmp_path, ['{"graph": "cal", "source": 0, "algorithm": "dijkstra"}']
+        )
+        metrics_path = tmp_path / "serve.metrics.json"
+        events_path = tmp_path / "serve.events.jsonl"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--input",
+                    requests,
+                    "--scale",
+                    "0.003",
+                    "--metrics",
+                    str(metrics_path),
+                    "--events",
+                    str(events_path),
+                    "-q",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(metrics_path.read_text())
+        assert payload["stats"]["queries"] == 1
+        assert payload["metrics"]["service.queries"]["value"] == 1
+        events = [
+            json.loads(line) for line in events_path.read_text().splitlines()
+        ]
+        assert [e["type"] for e in events] == ["query_start", "query_end"]
+
+    def test_bad_graph_file_spec(self, tmp_path):
+        requests = self._requests(tmp_path, ['{"op": "stats"}'])
+        with pytest.raises(SystemExit):
+            main(["serve", "--input", requests, "--graph-file", "nopath"])
+
+
+class TestQueryCommand:
+    def test_one_shot_query(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "query",
+                    "cal",
+                    "--scale",
+                    "0.003",
+                    "--algorithm",
+                    "dijkstra",
+                    "--source",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        (response,) = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert response["ok"] is True
+        assert response["graph"] == "cal"
+        assert response["source"] == 0
+
+    def test_repeat_hits_cache(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "query",
+                    "cal",
+                    "--scale",
+                    "0.003",
+                    "--algorithm",
+                    "dijkstra",
+                    "--repeat",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        first, second = (
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        )
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert second["reached"] == first["reached"]
+
+    def test_default_source_is_hub(self, capsys):
+        import json
+
+        assert main(["query", "cal", "--scale", "0.003", "--algorithm", "dijkstra"]) == 0
+        (response,) = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert response["ok"] is True
+
+    def test_unknown_graph_exits(self):
+        with pytest.raises(SystemExit):
+            main(["query", "no-such-graph", "--scale", "0.003"])
+
+
 class TestVersionCommand:
     def test_version(self, capsys):
         from repro import __version__
