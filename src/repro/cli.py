@@ -20,6 +20,11 @@
   a worker pool (see the README's *Query service* section);
 * ``query`` — issue one-shot queries against the graph catalog and
   print the JSONL responses;
+* ``faults`` — chaos drill: run a batch of queries through the engine
+  under a seeded fault plan (crashes, hangs, transients, corrupted
+  results), verify every answer against Dijkstra, and report retries,
+  breaker states and pool health; exits non-zero on any wrong or
+  unanswered query;
 * ``version`` — report the package version.
 
 ``--quiet`` suppresses informational chatter (result lines still
@@ -32,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, Sequence
 
@@ -207,6 +213,35 @@ def build_parser() -> argparse.ArgumentParser:
             "--timeout", type=float, default=None,
             help="per-query timeout in seconds",
         )
+        p.add_argument(
+            "--retries", type=int, default=3,
+            help="attempts per query on transient failures (1 disables)",
+        )
+        p.add_argument(
+            "--breaker-threshold", type=int, default=5,
+            help="consecutive failures before a (graph, algorithm) "
+            "circuit opens (0 disables)",
+        )
+        p.add_argument(
+            "--breaker-reset", type=float, default=30.0,
+            help="seconds an open circuit waits before a half-open probe",
+        )
+        p.add_argument(
+            "--fault-rate", type=float, default=0.0,
+            help="inject faults into this fraction of pool tasks (chaos)",
+        )
+        p.add_argument(
+            "--fault-kinds", default="transient,crash,hang",
+            help="comma list from: transient, crash, hang, corrupt, poolbreak",
+        )
+        p.add_argument(
+            "--fault-seed", type=int, default=0,
+            help="seed of the deterministic fault plan",
+        )
+        p.add_argument(
+            "--fault-hang", type=float, default=0.25,
+            help="seconds an injected hang sleeps",
+        )
 
     serve = sub.add_parser(
         "serve",
@@ -249,6 +284,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--repeat", type=int, default=1,
         help="issue each query N times (repeats hit the result cache)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        parents=[common],
+        help="chaos drill: query under injected faults, verify, report",
+    )
+    add_service_options(faults)
+    faults.add_argument(
+        "--queries", type=int, default=100,
+        help="how many queries the drill issues",
+    )
+    faults.add_argument(
+        "--algorithm",
+        choices=["dijkstra", "bellman-ford", "delta-stepping", "nearfar", "adaptive", "kla"],
+        default="dijkstra",
+        help="algorithm the drill queries run",
+    )
+    faults.add_argument(
+        "--graph", default="cal",
+        help="catalog graph id the drill targets (default: cal)",
+    )
+    faults.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-answer Dijkstra cross-check",
     )
 
     sub.add_parser("version", parents=[common], help="print the package version")
@@ -401,6 +461,29 @@ def _service_catalog(args: argparse.Namespace):
     return catalog
 
 
+def _resilience_kwargs(args: argparse.Namespace, *, default_rate: float = 0.0) -> dict:
+    """retry/breaker/fault_plan engine kwargs from the service options."""
+    from repro.resilience import BreakerConfig, FaultPlan, RetryPolicy
+
+    rate = args.fault_rate if args.fault_rate > 0 else default_rate
+    plan = None
+    if rate > 0:
+        plan = FaultPlan(
+            rate=rate,
+            seed=args.fault_seed,
+            kinds=FaultPlan.parse_kinds(args.fault_kinds),
+            hang_seconds=args.fault_hang,
+        )
+    return {
+        "retry": RetryPolicy(max_attempts=args.retries),
+        "breaker": BreakerConfig(
+            failure_threshold=args.breaker_threshold,
+            reset_seconds=args.breaker_reset,
+        ),
+        "fault_plan": plan,
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.service import QueryEngine, serve_stream
@@ -416,6 +499,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_workers=args.workers,
                 timeout=args.timeout,
                 cache_size=args.cache_size,
+                **_resilience_kwargs(args),
             )
             with engine:
                 if not args.quiet:
@@ -487,6 +571,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             timeout=args.timeout,
             cache_size=args.cache_size,
+            **_resilience_kwargs(args),
         )
         with engine:
             graph = engine.pool.graph(args.graph)
@@ -507,6 +592,124 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if registry is not None:
         _print_metrics_snapshot(registry.snapshot())
     return 0 if ok else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Chaos drill: a query batch under injected faults, cross-checked.
+
+    Exit code 0 means every query came back ``ok`` and (unless
+    ``--no-verify``) every answer matched a clean Dijkstra run on the
+    same source.  The drill defaults to a 30% fault rate when
+    ``--fault-rate`` is not given — an un-faulted drill proves nothing.
+    """
+    from repro import obs
+    from repro.service import QueryEngine, SSSPQuery
+    from repro.sssp import dijkstra
+
+    if args.queries < 1:
+        raise SystemExit("--queries must be >= 1")
+    registry = obs.MetricsRegistry()
+    catalog = _service_catalog(args)
+    if args.graph not in catalog:
+        raise SystemExit(
+            f"unknown graph {args.graph!r} (have {catalog.names()}); "
+            "register files with --graph-file NAME=PATH"
+        )
+    kwargs = _resilience_kwargs(args, default_rate=0.3)
+    plan = kwargs["fault_plan"]
+    if not args.quiet:
+        print(
+            f"fault plan: rate={plan.rate}, kinds={','.join(plan.kinds)}, "
+            f"seed={plan.seed}; {args.queries} {args.algorithm!r} queries "
+            f"on {args.graph!r} ({args.pool_mode} pool, "
+            f"retries={args.retries}, breaker={args.breaker_threshold})"
+        )
+    with obs.use(registry=registry):
+        engine = QueryEngine(
+            catalog,
+            mode=args.pool_mode,
+            max_workers=args.workers,
+            timeout=args.timeout,
+            cache_size=args.cache_size,
+            **kwargs,
+        )
+        with engine:
+            graph = engine.pool.graph(args.graph)
+            rng = np.random.default_rng(args.fault_seed)
+            sources = rng.integers(0, graph.num_nodes, size=args.queries)
+            queries = [
+                SSSPQuery(
+                    graph_id=args.graph,
+                    source=int(s),
+                    algorithm=args.algorithm,
+                )
+                for s in sources
+            ]
+            t0 = time.perf_counter()
+            responses = engine.run_many(queries)
+            wall = time.perf_counter() - t0
+            health = engine.health()
+
+            failed = [r for r in responses if not r.ok]
+            retried = sum(1 for r in responses if r.attempts > 1)
+            mismatches = 0
+            if not args.no_verify:
+                reference: Dict[int, dict] = {}
+                for query, response in zip(queries, responses):
+                    if not response.ok:
+                        continue
+                    src = query.source
+                    if src not in reference:
+                        clean = dijkstra(graph, src)
+                        finite = clean.finite_distances()
+                        reference[src] = {
+                            "reached": clean.num_reached,
+                            "max_dist": float(finite.max()) if finite.size else None,
+                            "mean_dist": float(finite.mean()) if finite.size else None,
+                        }
+                    ref = reference[src]
+                    wrong = response.reached != ref["reached"]
+                    for field_name in ("max_dist", "mean_dist"):
+                        got, want = getattr(response, field_name), ref[field_name]
+                        if (got is None) != (want is None):
+                            wrong = True
+                        elif got is not None and not np.isclose(
+                            got, want, rtol=1e-9, atol=1e-12
+                        ):
+                            wrong = True
+                    if wrong:
+                        mismatches += 1
+                        print(
+                            f"MISMATCH source={src}: got reached="
+                            f"{response.reached} max={response.max_dist} "
+                            f"mean={response.mean_dist}, want {ref}"
+                        )
+
+    print(
+        f"answered {len(responses) - len(failed)}/{len(responses)} queries "
+        f"in {wall:.2f}s ({retried} retried; "
+        f"{health['retries']['attempts']} retry attempts, "
+        f"{health['retries']['exhausted']} exhausted)"
+    )
+    print(
+        f"pool: alive={health['pool']['alive']}, "
+        f"lost_workers={health['pool']['lost_workers']}, "
+        f"rebuilds={health['pool']['rebuilds']}; "
+        f"breakers open: {health['breakers_open']}"
+    )
+    if failed and not args.quiet:
+        for r in failed[:5]:
+            print(f"FAILED source={r.query.source}: {r.error}")
+        if len(failed) > 5:
+            print(f"... and {len(failed) - 5} more failures")
+    if not args.no_verify:
+        verdict = "all verified against Dijkstra" if mismatches == 0 else (
+            f"{mismatches} answers DISAGREE with Dijkstra"
+        )
+        print(verdict)
+    if args.verbose:
+        _print_metrics_snapshot(registry.snapshot())
+    return 0 if not failed and mismatches == 0 else 1
 
 
 def _cmd_version(args: argparse.Namespace) -> int:
@@ -681,6 +884,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "faults": _cmd_faults,
         "version": _cmd_version,
     }
     return handlers[args.command](args)

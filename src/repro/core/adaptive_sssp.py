@@ -71,6 +71,15 @@ class AdaptiveParams:
     sgd_mode:
         Ablation: ``'adaptive'`` = the paper's Algorithm 1;
         ``'fixed'`` = damped-Newton steps with a constant rate.
+    use_guard:
+        Run the divergence watchdog
+        (:class:`repro.resilience.guard.DivergenceGuard`): when the
+        learned controller emits a NaN/runaway delta or falls into a
+        limit cycle, the run degrades to plain near-far with the
+        last-good static delta instead of stalling.  Distances stay
+        exact either way; the guard only protects termination time.
+    guard_window:
+        Oscillation-detection window of the watchdog (decisions).
     """
 
     setpoint: float
@@ -85,6 +94,8 @@ class AdaptiveParams:
     use_bootstrap: bool = True
     use_partitions: bool = True
     sgd_mode: str = "adaptive"
+    use_guard: bool = True
+    guard_window: int = 8
 
     def __post_init__(self) -> None:
         if self.setpoint <= 0:
@@ -97,6 +108,8 @@ class AdaptiveParams:
             raise ValueError("max_iterations must be >= 0")
         if self.sgd_mode not in ("adaptive", "fixed"):
             raise ValueError("sgd_mode must be 'adaptive' or 'fixed'")
+        if self.guard_window < 3:
+            raise ValueError("guard_window must be >= 3")
 
 
 def adaptive_sssp(

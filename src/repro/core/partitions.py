@@ -166,9 +166,15 @@ class FarQueuePartitions:
         Runs from the current partition outward.  If the sweep reaches
         the last (+inf) partition, a new +inf partition is appended
         first so the far tail always has somewhere to live.
+
+        Both inputs must be finite: a NaN width would leave appended
+        partitions unbounded (``NaN < inf`` is false), breaking the
+        one-trailing-inf invariant the sweep's termination relies on.
         """
-        if setpoint <= 0 or alpha <= 0:
-            raise ValueError("setpoint and alpha must be positive")
+        if not (setpoint > 0 and alpha > 0) or math.isinf(setpoint) or (
+            math.isinf(alpha)
+        ):
+            raise ValueError("setpoint and alpha must be finite and positive")
         self._advance_current()
         width = setpoint / alpha
         i = self._current
@@ -292,8 +298,10 @@ class FlatFarQueue:
         return self.extract_below(math.inf)
 
     def refresh_boundaries(self, setpoint: float, alpha: float) -> None:
-        if setpoint <= 0 or alpha <= 0:
-            raise ValueError("setpoint and alpha must be positive")
+        if not (setpoint > 0 and alpha > 0) or math.isinf(setpoint) or (
+            math.isinf(alpha)
+        ):
+            raise ValueError("setpoint and alpha must be finite and positive")
         self._m_refreshes.inc()
         # no boundaries to maintain
 

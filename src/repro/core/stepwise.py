@@ -23,12 +23,17 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from repro.core.controller import ControllerConfig, SetpointController
+from repro.core.controller import (
+    ControllerConfig,
+    DeltaDecision,
+    SetpointController,
+)
 from repro.core.partitions import FarQueuePartitions, FlatFarQueue
 from repro.graph.csr import CSRGraph
 from repro.instrument.trace import IterationRecord, RunTrace
 from repro.obs import context as obs
 from repro.obs.events import EVENT_SCHEMA_VERSION
+from repro.resilience.guard import DivergenceGuard, GuardConfig
 from repro.sssp.frontier import advance, bisect, filter_frontier
 from repro.sssp.nearfar import suggest_delta
 from repro.sssp.result import SSSPResult
@@ -77,6 +82,20 @@ class AdaptiveNearFarStepper:
         queue_cls = FarQueuePartitions if params.use_partitions else FlatFarQueue
         self.partitions = queue_cls(initial_boundary=graph.average_weight)
 
+        # divergence watchdog: a blown-up controller (NaN/runaway delta,
+        # limit-cycle oscillation) degrades the run to plain near-far
+        # with the last-good static delta instead of stalling
+        self.guard = (
+            DivergenceGuard(
+                self.initial_delta, GuardConfig(window=params.guard_window)
+            )
+            if params.use_guard
+            else None
+        )
+        self.fallback = False
+        self.fallback_reason: str | None = None
+        self._fallback_delta = self.initial_delta
+
         self.dist = np.full(n, np.inf)
         self.dist[source] = 0.0
         # distance each vertex had when its out-edges were last relaxed;
@@ -104,6 +123,7 @@ class AdaptiveNearFarStepper:
         self._m_from_far = reg.counter("sssp.queue.moved_from_far")
         self._m_far_scanned = reg.counter("sssp.queue.far_scanned")
         self._m_drains = reg.counter("sssp.queue.drains")
+        self._m_fallbacks = reg.counter("controller.fallbacks")
         if self._events.enabled:
             self._events.emit(
                 {
@@ -143,13 +163,15 @@ class AdaptiveNearFarStepper:
         dist, advanced_at = self.dist, self.advanced_at
 
         x1 = int(self.frontier.size)
-        controller.begin_iteration(x1)
+        if not self.fallback:
+            controller.begin_iteration(x1)
 
         # stage 1: advance
         advanced_at[self.frontier] = dist[self.frontier]
         adv = advance(self.graph, self.frontier, dist)
         self.relaxations += adv.relaxations
-        controller.observe_advance(x1, adv.x2)
+        if not self.fallback:
+            controller.observe_advance(x1, adv.x2)
 
         # stage 2: filter
         unique_improved = filter_frontier(adv.improved)
@@ -161,15 +183,25 @@ class AdaptiveNearFarStepper:
             partitions.insert(far_add, dist[far_add])
         x4 = int(near.size)
 
-        # stage 4: rebalancer (replaces bisect-far-queue)
-        decision = controller.plan(
-            x4,
-            window_lower=self.lower,
-            window_split=self.split,
-            far_total=partitions.total(),
-            far_partition_size=partitions.current_partition_size(),
-            far_partition_upper=partitions.current_partition_upper(),
-        )
+        # stage 4: rebalancer (replaces bisect-far-queue), unless the
+        # watchdog has benched the controller — then a static delta
+        # turns the rest of the run into plain near-far
+        if self.fallback:
+            decision = self._static_decision()
+        else:
+            decision = controller.plan(
+                x4,
+                window_lower=self.lower,
+                window_split=self.split,
+                far_total=partitions.total(),
+                far_partition_size=partitions.current_partition_size(),
+                far_partition_upper=partitions.current_partition_upper(),
+            )
+            if self.guard is not None and self.guard.observe(
+                decision.delta, adv.x2
+            ):
+                self._enter_fallback()
+                decision = self._static_decision()
         new_split = self.lower + decision.delta
         moved_from_far = moved_to_far = 0
         far_scanned = 0
@@ -190,8 +222,17 @@ class AdaptiveNearFarStepper:
             near = near[keep_mask]
         self.split = new_split
 
-        if self.iterations % params.refresh_period == 0:
-            partitions.refresh_boundaries(controller.setpoint, decision.alpha_used)
+        # Eq. 7 refresh — skipped when the decision's α is not usable
+        # as a partition width (a diverged controller the guard has not
+        # condemned yet must not rewrite the far-queue boundaries)
+        alpha = float(decision.alpha_used)
+        if (
+            not self.fallback
+            and self.iterations % params.refresh_period == 0
+            and np.isfinite(alpha)
+            and alpha > 0
+        ):
+            partitions.refresh_boundaries(controller.setpoint, alpha)
 
         self.frontier = near
         drains = 0
@@ -202,13 +243,14 @@ class AdaptiveNearFarStepper:
                 advanced_at,
                 self.lower,
                 self.split,
-                controller.delta,
+                self._fallback_delta if self.fallback else controller.delta,
                 params.delta_min,
             )
             far_scanned += scanned
             # the next X^(1) was produced by draining, not by delta_change:
             # it would mislabel the BISECT-MODEL sample
-            controller.invalidate_pending()
+            if not self.fallback:
+                controller.invalidate_pending()
 
         self._m_iterations.inc()
         self._m_relaxations.inc(adv.relaxations)
@@ -238,7 +280,7 @@ class AdaptiveNearFarStepper:
                 }
             )
 
-        now = controller.seconds
+        now = float(controller.seconds)
         record = IterationRecord(
             k=self.iterations - 1,
             x1=x1,
@@ -258,6 +300,41 @@ class AdaptiveNearFarStepper:
         )
         self._controller_prev_seconds = now
         return record
+
+    # ------------------------------------------------------------------
+    # divergence fallback
+    # ------------------------------------------------------------------
+    def _static_decision(self) -> DeltaDecision:
+        """The frozen decision used once the controller is benched."""
+        return DeltaDecision(
+            delta=self._fallback_delta,
+            delta_change=0.0,
+            alpha_used=float("nan"),
+            target_frontier=float("nan"),
+            bootstrapped=False,
+        )
+
+    def _enter_fallback(self) -> None:
+        """Bench the controller; keep the run going as plain near-far.
+
+        The fallback delta is the last decision the watchdog judged
+        sane (the initial delta if the very first one diverged) —
+        correctness is independent of delta, so the run still ends in
+        exact distances, just without self-tuning.
+        """
+        self.fallback = True
+        self.fallback_reason = self.guard.reason
+        self._fallback_delta = self.guard.last_good_delta
+        self._m_fallbacks.inc()
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "controller_fallback",
+                    "k": self.iterations - 1,
+                    "reason": self.fallback_reason,
+                    "fallback_delta": self._fallback_delta,
+                }
+            )
 
     def run(self, trace: RunTrace | None = None) -> SSSPResult:
         """Drive to completion, appending records to ``trace`` if given."""
@@ -292,10 +369,14 @@ class AdaptiveNearFarStepper:
                 "setpoint": self.params.setpoint,
                 "final_setpoint": self.controller.setpoint,
                 "initial_delta": self.initial_delta,
-                "final_delta": self.controller.delta,
+                "final_delta": (
+                    self._fallback_delta if self.fallback else self.controller.delta
+                ),
                 "d": self.controller.d,
                 "alpha": self.controller.alpha,
                 "controller_seconds": self.controller.seconds,
+                "controller_fallback": self.fallback,
+                "fallback_reason": self.fallback_reason,
             },
         )
 

@@ -1,0 +1,60 @@
+"""Resilience: fault injection, retries, circuit breaking, guardrails.
+
+The query service (:mod:`repro.service`) answers SSSP queries from a
+worker pool; this package is its failure story, plus the controller's:
+
+* :mod:`~repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` that sabotages pool tasks (crashes, hangs,
+  corrupted results, transients, real process deaths) for tests, CI
+  and the ``repro faults`` chaos command;
+* :mod:`~repro.resilience.retry` — exponential backoff with
+  deterministic jitter, a transient/permanent error classifier, and
+  result sanity validation (corrupt results are caught, classified
+  transient, and re-run);
+* :mod:`~repro.resilience.breaker` — circuit breakers per
+  ``(graph, algorithm)`` so one poisoned corridor fails fast instead
+  of monopolising the pool with retry storms;
+* :mod:`~repro.resilience.guard` — the controller divergence watchdog
+  that degrades a blown-up adaptive run to plain near-far with the
+  last-good static delta (exact distances, minus the self-tuning).
+
+The README's *Resilience* section documents the knobs, the ``health``
+op wire schema and the fallback semantics.
+"""
+
+from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    DivergentController,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedTransientError,
+    apply_fault,
+)
+from repro.resilience.guard import DivergenceGuard, GuardConfig
+from repro.resilience.retry import (
+    CorruptResultError,
+    RetryPolicy,
+    classify_error,
+    validate_result,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CorruptResultError",
+    "DivergenceGuard",
+    "DivergentController",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "GuardConfig",
+    "InjectedCrashError",
+    "InjectedTransientError",
+    "RetryPolicy",
+    "apply_fault",
+    "classify_error",
+    "validate_result",
+]

@@ -1,0 +1,212 @@
+"""Circuit breakers, one per (graph, algorithm) corridor.
+
+A poisoned graph — adversarial weights that hang the adaptive stepper,
+a file that deserialises into garbage — must not be allowed to eat the
+pool one retry storm at a time.  The engine keys a breaker on
+``(graph_id, algorithm)``: after ``failure_threshold`` *consecutive*
+failures the breaker **opens** and further queries on that corridor
+fail fast (no pool submission, no retries).  After ``reset_seconds``
+it **half-opens** and lets exactly one probe query through: success
+closes the breaker, failure re-opens it and restarts the timer.
+
+The clock is injectable so tests drive the timer by hand instead of
+sleeping.  State transitions are published as
+``service.breaker.opened`` / ``.closed`` counters and, when an event
+sink is active, ``breaker_open`` / ``breaker_close`` events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro import obs
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Breaker tuning. ``failure_threshold=0`` disables tripping."""
+
+    failure_threshold: int = 5
+    reset_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 0:
+            raise ValueError("failure_threshold must be >= 0")
+        if self.reset_seconds <= 0:
+            raise ValueError("reset_seconds must be positive")
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open -> closed, the classic state machine."""
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # lock held by caller
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.config.reset_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In ``half-open`` exactly one caller gets ``True`` (the probe);
+        the rest wait for its verdict.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._opened_at = None
+
+    def record_failure(self) -> bool:
+        """Count a failure; returns True when this one opened the breaker."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probing = False
+            threshold = self.config.failure_threshold
+            state = self._effective_state()
+            should_open = threshold > 0 and (
+                state == HALF_OPEN or self._consecutive_failures >= threshold
+            )
+            if should_open and state != OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+                return True
+            if should_open:  # already open: keep the timer fresh
+                self._opened_at = self._clock()
+            return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            state = self._effective_state()
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "open_for_seconds": (
+                    round(self._clock() - self._opened_at, 3)
+                    if self._state == OPEN and self._opened_at is not None
+                    else None
+                ),
+            }
+
+
+class BreakerBoard:
+    """The engine's breakers, keyed on ``(graph_id, algorithm)``."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
+        registry = obs.get_registry()
+        self._m_opened = registry.counter("service.breaker.opened")
+        self._m_closed = registry.counter("service.breaker.closed")
+        self._m_rejections = registry.counter("service.breaker.rejections")
+        self._events = obs.get_events()
+
+    def get(self, graph_id: str, algorithm: str) -> CircuitBreaker:
+        key = (graph_id, algorithm)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.config, clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def allow(self, graph_id: str, algorithm: str) -> bool:
+        allowed = self.get(graph_id, algorithm).allow()
+        if not allowed:
+            self._m_rejections.inc()
+        return allowed
+
+    def record_success(self, graph_id: str, algorithm: str) -> None:
+        breaker = self.get(graph_id, algorithm)
+        was_open = breaker.state != CLOSED
+        breaker.record_success()
+        if was_open:
+            self._m_closed.inc()
+            if self._events.enabled:
+                self._events.emit(
+                    {
+                        "type": "breaker_close",
+                        "graph": graph_id,
+                        "algorithm": algorithm,
+                    }
+                )
+
+    def record_failure(self, graph_id: str, algorithm: str) -> None:
+        if self.get(graph_id, algorithm).record_failure():
+            self._m_opened.inc()
+            if self._events.enabled:
+                self._events.emit(
+                    {
+                        "type": "breaker_open",
+                        "graph": graph_id,
+                        "algorithm": algorithm,
+                        "failures": self.get(graph_id, algorithm)
+                        .snapshot()["consecutive_failures"],
+                    }
+                )
+
+    def snapshot(self) -> List[dict]:
+        """All breakers, sorted by key, JSON-ready (the ``health`` op)."""
+        with self._lock:
+            items = sorted(self._breakers.items())
+        return [
+            {"graph": graph, "algorithm": algorithm, **breaker.snapshot()}
+            for (graph, algorithm), breaker in items
+        ]
+
+    def open_count(self) -> int:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return sum(1 for b in breakers if b.state == OPEN)

@@ -1,0 +1,237 @@
+"""Deterministic fault injection for the query service.
+
+A :class:`FaultPlan` decides, purely from a seed and a task sequence
+number, whether a task is sabotaged and how.  Because the decision is
+a function of ``(seed, index)`` — not of wall clock, thread timing or
+call order within an index — the same plan replays the same faults in
+tests, in CI and at the ``repro faults`` command line, in thread and
+process pools alike.
+
+Fault kinds (``FaultPlan.kinds``):
+
+* ``"transient"`` — raise :class:`InjectedTransientError` before the
+  task body runs (a blip the retry layer should absorb);
+* ``"crash"`` — raise :class:`InjectedCrashError` (a simulated worker
+  crash: classified transient, because a resubmitted task lands on a
+  healthy worker);
+* ``"hang"`` — sleep ``hang_seconds`` before running the task body, so
+  a pool with a shorter per-task timeout sees a hung task;
+* ``"corrupt"`` — run the task body, then hand back a *corrupted*
+  result (negated distances on an SSSP result, a junk string
+  otherwise) that result validation must catch;
+* ``"poolbreak"`` — ``os._exit`` the worker process (process pools
+  only: it exercises ``BrokenProcessPool`` recovery; in a thread pool
+  it degrades to a :class:`InjectedCrashError`, since exiting the
+  thread would exit the server).
+
+Everything here is picklable on purpose: process-mode workers receive
+the :class:`FaultSpec` inside the task payload (see
+:func:`repro.service.pool._run_faulted_on_worker_graph`).
+
+:class:`DivergentController` is the controller-level fault: a proxy
+that behaves like the wrapped :class:`~repro.core.controller.SetpointController`
+for ``after`` decisions and then emits non-finite deltas — the input
+the :mod:`repro.resilience.guard` watchdog exists to survive.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedTransientError",
+    "apply_fault",
+    "DivergentController",
+]
+
+FAULT_KINDS = ("transient", "crash", "hang", "corrupt", "poolbreak")
+
+
+class InjectedTransientError(RuntimeError):
+    """A deliberately injected transient failure (retry should absorb it)."""
+
+
+class InjectedCrashError(RuntimeError):
+    """A deliberately injected worker crash (simulated, in-band)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete sabotage decision for one task."""
+
+    kind: str
+    hang_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (have {', '.join(FAULT_KINDS)})"
+            )
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of task sabotage.
+
+    ``decide(i)`` answers "what happens to the i-th submitted task":
+    ``None`` (run clean) or a :class:`FaultSpec`.  ``rate`` is the
+    per-task fault probability; ``kinds`` the pool the sabotage is
+    drawn from, uniformly.
+    """
+
+    rate: float
+    seed: int = 0
+    kinds: Tuple[str, ...] = ("transient", "crash", "hang")
+    hang_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if not self.kinds:
+            raise ValueError("kinds must not be empty")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (have {', '.join(FAULT_KINDS)})"
+                )
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be >= 0")
+
+    def decide(self, index: int) -> Optional[FaultSpec]:
+        """The fault for task ``index`` (deterministic in seed and index)."""
+        rng = random.Random(self.seed * 1_000_003 + index)
+        if rng.random() >= self.rate:
+            return None
+        return FaultSpec(kind=rng.choice(self.kinds), hang_seconds=self.hang_seconds)
+
+    def count(self, tasks: int) -> int:
+        """How many of the first ``tasks`` submissions get sabotaged."""
+        return sum(1 for i in range(tasks) if self.decide(i) is not None)
+
+    @classmethod
+    def parse_kinds(cls, spec: str) -> Tuple[str, ...]:
+        """``"crash,hang"`` -> ``("crash", "hang")``, validated."""
+        kinds = tuple(k.strip() for k in spec.split(",") if k.strip())
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (have {', '.join(FAULT_KINDS)})"
+                )
+        return kinds
+
+
+def _corrupt(result: object) -> object:
+    """Damage a task result in a way validation must detect."""
+    dist = getattr(result, "dist", None)
+    if dist is not None:
+        try:
+            import numpy as np
+
+            bad = np.where(np.isfinite(dist), -(dist + 1.0), dist)
+            return type(result)(
+                dist=bad,
+                source=result.source,
+                iterations=result.iterations,
+                relaxations=result.relaxations,
+                algorithm=result.algorithm,
+                extra=dict(result.extra or {}, corrupted=True),
+            )
+        except Exception:
+            pass
+    return "corrupted-result"
+
+
+def apply_fault(fault: Optional[FaultSpec], call: Callable[[], object], *,
+                in_process_worker: bool = False) -> object:
+    """Run ``call`` under ``fault`` (``None`` = run clean).
+
+    ``in_process_worker`` tells ``poolbreak`` whether it may really
+    kill the hosting process; thread workers downgrade it to an
+    in-band crash so the server itself survives.
+    """
+    if fault is None:
+        return call()
+    if fault.kind == "transient":
+        raise InjectedTransientError("injected transient fault")
+    if fault.kind == "crash":
+        raise InjectedCrashError("injected worker crash")
+    if fault.kind == "poolbreak":
+        if in_process_worker:
+            os._exit(13)  # a real worker death: the pool sees BrokenProcessPool
+        raise InjectedCrashError("injected worker crash (poolbreak on threads)")
+    if fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+        return call()
+    # corrupt
+    return _corrupt(call())
+
+
+class DivergentController:
+    """A controller proxy that goes insane after ``after`` decisions.
+
+    Wraps a real :class:`~repro.core.controller.SetpointController`
+    and delegates everything, except that :meth:`plan` starts emitting
+    deltas from ``schedule`` once the wrapped controller has made
+    ``after`` decisions.  The default schedule is NaN forever — the
+    canonical "SGD blew up" failure.  Pass e.g.
+    ``schedule=itertools.cycle([1e-12, 1e12])`` for violent
+    oscillation instead.
+
+    Swap it onto a stepper to force a divergence::
+
+        stepper = AdaptiveNearFarStepper(graph, source, params)
+        stepper.controller = DivergentController(stepper.controller, after=3)
+    """
+
+    def __init__(self, controller, *, after: int = 3, schedule=None):
+        self._controller = controller
+        self._after = after
+        self._schedule = schedule
+        self._decisions = 0
+        self._last_poison: Optional[float] = None
+
+    def __getattr__(self, name):
+        return getattr(self._controller, name)
+
+    @property
+    def delta(self) -> float:
+        # repeat the latest poisoned value rather than advancing the
+        # schedule: only plan() consumes it, so the sequence of planned
+        # deltas is exactly the schedule regardless of how often other
+        # code reads .delta
+        if self._decisions > self._after:
+            if self._last_poison is None:
+                self._last_poison = self._next_poison()
+            return self._last_poison
+        return self._controller.delta
+
+    def _next_poison(self) -> float:
+        value = math.nan if self._schedule is None else next(self._schedule)
+        self._last_poison = value
+        return value
+
+    def plan(self, x4, **kwargs):
+        from repro.core.controller import DeltaDecision
+
+        self._decisions += 1
+        if self._decisions <= self._after:
+            return self._controller.plan(x4, **kwargs)
+        bad = self._next_poison()
+        return DeltaDecision(
+            delta=bad,
+            delta_change=bad - self._controller.delta,
+            alpha_used=math.nan,
+            target_frontier=math.nan,
+            bootstrapped=False,
+        )

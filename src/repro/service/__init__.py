@@ -17,21 +17,30 @@ turns them into a serving stack:
 * :mod:`~repro.service.protocol` — the JSONL request/response format
   behind ``repro serve`` and ``repro query``.
 
-The README's *Query service* section documents the wire schema and
-cache semantics.
+Resilience (retry/backoff, circuit breaking, fault injection, result
+validation) lives in :mod:`repro.resilience` and is wired through the
+pool and engine; the README's *Query service* and *Resilience*
+sections document the wire schema, cache semantics and failure
+handling.
 """
 
 from repro.service.cache import LRUCache
 from repro.service.catalog import GraphCatalog, default_catalog
 from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
 from repro.service.pool import ExecutorPool, PoolTimeoutError, default_max_workers
-from repro.service.protocol import PROTOCOL_VERSION, handle_line, serve_stream
+from repro.service.protocol import (
+    MAX_PARAM_KEYS,
+    PROTOCOL_VERSION,
+    handle_line,
+    serve_stream,
+)
 from repro.service.runners import algorithm_names, run_algorithm
 
 __all__ = [
     "ExecutorPool",
     "GraphCatalog",
     "LRUCache",
+    "MAX_PARAM_KEYS",
     "PROTOCOL_VERSION",
     "PoolTimeoutError",
     "QueryEngine",

@@ -13,23 +13,44 @@ into something that answers :class:`SSSPQuery` requests:
    (threads by default, processes for CPU-bound fan-out) with the
    graphs shared per-worker, per-query timeouts and graceful
    shutdown.
+4. **resilience** — transient failures (worker crashes, timeouts,
+   broken process pools, corrupted results) are retried with
+   exponential backoff and deterministic jitter
+   (:class:`~repro.resilience.retry.RetryPolicy`); repeated failures
+   on one ``(graph, algorithm)`` corridor open a circuit breaker
+   (:class:`~repro.resilience.breaker.BreakerBoard`) that fails fast
+   until a half-open probe succeeds.  Every pool result is sanity
+   validated before it can reach the cache or a client — a failed (or
+   corrupt) attempt is **never cached**.
 
-Every query emits ``query_start`` / ``query_end`` events and updates
-``service.*`` metrics through the observability context active when
-the engine was built, so a serve session's hit rate, queue depth and
-latency distribution are one ``snapshot()`` away.
+Every query emits ``query_start`` / ``query_end`` events (plus
+``query_retry`` per retry) and updates ``service.*`` metrics through
+the observability context active when the engine was built, so a
+serve session's hit rate, queue depth, retry totals and latency
+distribution are one ``snapshot()`` away; :meth:`QueryEngine.health`
+bundles pool liveness, breaker states and retry counters for the
+``health`` protocol op.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
+from repro.resilience.breaker import BreakerBoard, BreakerConfig
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import (
+    RetryPolicy,
+    classify_error,
+    validate_result,
+)
 from repro.service.cache import LRUCache
 from repro.service.catalog import GraphCatalog
 from repro.service.pool import ExecutorPool, PoolTimeoutError
@@ -69,6 +90,7 @@ class QueryResponse:
     max_dist: Optional[float] = None
     mean_dist: Optional[float] = None
     wall_seconds: float = 0.0
+    attempts: int = 1
 
     def as_dict(self) -> dict:
         out: dict = {"ok": self.ok}
@@ -81,6 +103,8 @@ class QueryResponse:
         )
         if not self.ok:
             out["error"] = self.error
+            if self.attempts > 1:
+                out["attempts"] = self.attempts
             return out
         out.update(
             fingerprint=self.fingerprint,
@@ -92,6 +116,8 @@ class QueryResponse:
             mean_dist=self.mean_dist,
             wall_seconds=round(self.wall_seconds, 6),
         )
+        if self.attempts > 1:
+            out["attempts"] = self.attempts
         return out
 
 
@@ -121,6 +147,17 @@ class QueryEngine:
         Pool configuration (see :class:`~repro.service.pool.ExecutorPool`).
     cache_size:
         LRU capacity in results (0 disables caching).
+    retry:
+        Retry policy for transient failures (default:
+        :class:`~repro.resilience.retry.RetryPolicy` with 3 attempts;
+        ``RetryPolicy(max_attempts=1)`` disables retrying).
+    breaker:
+        Circuit-breaker config per ``(graph, algorithm)`` (default:
+        open after 5 consecutive failures, half-open after 30 s;
+        ``BreakerConfig(failure_threshold=0)`` disables tripping).
+    fault_plan:
+        Optional deterministic sabotage for chaos drills, passed to
+        the pool (see :class:`~repro.resilience.faults.FaultPlan`).
     """
 
     def __init__(
@@ -131,19 +168,32 @@ class QueryEngine:
         max_workers: Optional[int] = None,
         timeout: Optional[float] = None,
         cache_size: int = 128,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.catalog = catalog
         self._graphs = catalog.load_all()
         self.pool = ExecutorPool(
-            self._graphs, mode=mode, max_workers=max_workers, timeout=timeout
+            self._graphs,
+            mode=mode,
+            max_workers=max_workers,
+            timeout=timeout,
+            fault_plan=fault_plan,
         )
         self.cache = LRUCache(cache_size)
+        self.retry = retry or RetryPolicy()
+        self.breakers = BreakerBoard(breaker)
         self._qid = 0
+        self.retry_attempts = 0  # extra attempts beyond the first, total
+        self.retry_exhausted = 0  # queries that failed after all attempts
         registry = obs.get_registry()
         self._events = obs.get_events()
         self._query_counter = registry.counter("service.queries")
         self._error_counter = registry.counter("service.errors")
         self._query_timer = registry.timer("service.query_seconds")
+        self._retry_counter = registry.counter("service.retries")
+        self._exhausted_counter = registry.counter("service.retry_exhausted")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -224,6 +274,32 @@ class QueryEngine:
         """Answer one query (cache -> pool), never raising for bad input."""
         return self.run_many([query])[0]
 
+    def _submit_query(self, query: SSSPQuery):
+        """Submit to the pool, absorbing one asynchronous break.
+
+        A process worker can die (``poolbreak``, OOM kill, ...) while
+        *other* tasks are being submitted or retried, leaving the
+        executor broken before this submission ever ran — recover and
+        submit again rather than blaming this query for it.
+        """
+        try:
+            return self.pool.submit(
+                query.graph_id,
+                run_algorithm,
+                int(query.source),
+                query.algorithm,
+                dict(query.params),
+            )
+        except BrokenExecutor:
+            self.pool.recover()
+            return self.pool.submit(
+                query.graph_id,
+                run_algorithm,
+                int(query.source),
+                query.algorithm,
+                dict(query.params),
+            )
+
     def run_many(self, queries: List[SSSPQuery]) -> List[QueryResponse]:
         """Answer a batch, deduplicating identical in-flight queries.
 
@@ -265,17 +341,27 @@ class QueryEngine:
             if key in in_flight:
                 coalesced.append((i, key, qid))
                 continue
-            future = self.pool.submit(
-                query.graph_id,
-                run_algorithm,
-                int(query.source),
-                query.algorithm,
-                dict(query.params),
-            )
+            if not self.breakers.allow(query.graph_id, query.algorithm):
+                self._error_counter.inc()
+                state = self.breakers.get(
+                    query.graph_id, query.algorithm
+                ).snapshot()
+                responses[i] = QueryResponse(
+                    query=query,
+                    ok=False,
+                    error=(
+                        f"circuit breaker {state['state']} for "
+                        f"({query.graph_id!r}, {query.algorithm!r}) after "
+                        f"{state['consecutive_failures']} consecutive failures"
+                    ),
+                )
+                self._emit_end(qid, responses[i])
+                continue
+            future = self._submit_query(query)
             in_flight[key] = (future, qid, t0)
             responses[i] = None  # filled in below
 
-        # collect misses in submission order
+        # collect misses in submission order, retrying transients per key
         settled: Dict[CacheKey, QueryResponse] = {}
         for i, query in enumerate(queries):
             if responses[i] is not None:
@@ -287,26 +373,7 @@ class QueryEngine:
             if entry is None:
                 continue
             future, qid, t0 = entry
-            try:
-                result = future.result(timeout=self.pool.timeout)
-                response = QueryResponse(
-                    query=query,
-                    ok=True,
-                    cache="miss",
-                    fingerprint=key[0],
-                    wall_seconds=time.perf_counter() - t0,
-                    **_summarise(result),
-                )
-                self.cache.put(key, result)
-            except Exception as exc:  # timeout, worker error, cancellation
-                future.cancel()
-                self._error_counter.inc()
-                message = (
-                    f"timeout after {self.pool.timeout}s"
-                    if isinstance(exc, (PoolTimeoutError, TimeoutError))
-                    else f"{type(exc).__name__}: {exc}"
-                )
-                response = QueryResponse(query=query, ok=False, error=message)
+            response = self._settle(query, key, future, qid, t0)
             self._query_timer.observe(response.wall_seconds)
             responses[i] = response
             settled[key] = response
@@ -327,6 +394,7 @@ class QueryEngine:
                 max_dist=primary.max_dist,
                 mean_dist=primary.mean_dist,
                 wall_seconds=primary.wall_seconds,
+                attempts=primary.attempts,
             )
             if not primary.ok:
                 self._error_counter.inc()
@@ -336,8 +404,127 @@ class QueryEngine:
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _emit_retry(
+        self, qid: int, attempt: int, error: str, delay: float
+    ) -> None:
+        if self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "query_retry",
+                    "qid": qid,
+                    "attempt": attempt,
+                    "error": error,
+                    "delay_seconds": round(delay, 4),
+                }
+            )
+
+    def _settle(
+        self,
+        query: SSSPQuery,
+        key: CacheKey,
+        future,
+        qid: int,
+        t0: float,
+    ) -> QueryResponse:
+        """Wait for one in-flight query, retrying transient failures.
+
+        Each attempt is bounded by the pool timeout.  A result must
+        pass sanity validation before it is cached or returned — a
+        corrupted result counts as a transient failure and is re-run.
+        Errors are **never** cached; the breaker hears about the final
+        verdict only (one corridor-level signal per query, not one per
+        attempt).
+        """
+        graph = self._graphs[query.graph_id]
+        attempt = 1
+        while True:
+            try:
+                result = future.result(timeout=self.pool.timeout)
+                validate_result(
+                    result,
+                    num_nodes=graph.num_nodes,
+                    source=int(query.source),
+                )
+                self.breakers.record_success(query.graph_id, query.algorithm)
+                response = QueryResponse(
+                    query=query,
+                    ok=True,
+                    cache="miss",
+                    fingerprint=key[0],
+                    wall_seconds=time.perf_counter() - t0,
+                    attempts=attempt,
+                    **_summarise(result),  # type: ignore[arg-type]
+                )
+                self.cache.put(key, result)
+                return response
+            except Exception as exc:
+                self.pool.abandon(future)
+                if isinstance(exc, BrokenExecutor):
+                    self.pool.recover()
+                timed_out = isinstance(
+                    exc, (PoolTimeoutError, TimeoutError, FutureTimeoutError)
+                )
+                message = (
+                    f"timeout after {self.pool.timeout}s"
+                    if timed_out
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                transient = classify_error(exc) == "transient"
+                if transient and attempt < self.retry.max_attempts:
+                    delay = self.retry.delay(attempt, key)
+                    self.retry_attempts += 1
+                    self._retry_counter.inc()
+                    self._emit_retry(qid, attempt, message, delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                    try:
+                        future = self._submit_query(query)
+                    except Exception as resubmit_exc:
+                        message = (
+                            f"{type(resubmit_exc).__name__}: {resubmit_exc}"
+                        )
+                        transient = False
+                    else:
+                        attempt += 1
+                        continue
+                self.breakers.record_failure(query.graph_id, query.algorithm)
+                self._error_counter.inc()
+                if transient:
+                    self.retry_exhausted += 1
+                    self._exhausted_counter.inc()
+                return QueryResponse(
+                    query=query,
+                    ok=False,
+                    error=message,
+                    attempts=attempt,
+                    wall_seconds=time.perf_counter() - t0,
+                )
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + breaker states + retry totals (the ``health`` op)."""
+        return {
+            "pool": {
+                "mode": self.pool.mode,
+                "max_workers": self.pool.max_workers,
+                "pending": self.pool.pending,
+                "alive": self.pool.alive,
+                "lost_workers": self.pool.lost_workers,
+                "rebuilds": self.pool.rebuilds,
+            },
+            "breakers": self.breakers.snapshot(),
+            "breakers_open": self.breakers.open_count(),
+            "retries": {
+                "attempts": self.retry_attempts,
+                "exhausted": self.retry_exhausted,
+                "max_attempts": self.retry.max_attempts,
+            },
+        }
+
     def stats(self) -> dict:
         """Engine-level counters, JSON-ready (the ``stats`` op)."""
         return {
@@ -348,5 +535,9 @@ class QueryEngine:
                 "mode": self.pool.mode,
                 "max_workers": self.pool.max_workers,
                 "pending": self.pool.pending,
+            },
+            "retries": {
+                "attempts": self.retry_attempts,
+                "exhausted": self.retry_exhausted,
             },
         }

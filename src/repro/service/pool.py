@@ -21,6 +21,26 @@ Per-task timeouts are enforced at result-collection time
 :class:`PoolTimeoutError`); :meth:`ExecutorPool.close` shuts down
 gracefully and can cancel not-yet-started work.
 
+**Timed-out thread tasks cannot be killed.**  ``Future.cancel()`` on a
+task that already started is a no-op for threads, so a hung thread
+task keeps its worker slot occupied until (unless) it returns.
+:meth:`abandon` makes that limitation explicit: it cancels what can be
+cancelled and *accounts* what cannot — the ``service.pool.lost_workers``
+gauge counts slots currently held by abandoned-but-running tasks
+(decremented if the straggler eventually finishes) and
+:attr:`lost_workers` exposes the same number in-process.  Process
+tasks do not leak slots this way (a worker can be torn down), but a
+*dead* process worker breaks the whole ``ProcessPoolExecutor``; the
+pool answers ``BrokenProcessPool`` by rebuilding the executor
+(:meth:`recover`, counted in ``service.pool.rebuilds``) and
+:meth:`run`/:meth:`map_ordered` transparently requeue the work that
+never ran.
+
+Deterministic sabotage for tests and chaos drills: pass a
+:class:`~repro.resilience.faults.FaultPlan` and the pool injects the
+planned fault (crash, hang, corrupt result, transient error, worker
+death) into each task by submission index.
+
 The pool publishes ``service.pool.queue_depth`` (gauge) and
 ``service.pool.tasks`` (counter) through the observability context
 active at construction (see :mod:`repro.obs.context`).
@@ -36,6 +56,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import (
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -47,6 +68,7 @@ import numpy as np
 
 from repro import obs
 from repro.graph.csr import CSRGraph
+from repro.resilience.faults import FaultPlan, FaultSpec, apply_fault
 
 __all__ = [
     "ExecutorPool",
@@ -95,6 +117,22 @@ def _run_on_worker_graph(graph_id: str, fn: Callable, args: tuple, kwargs: dict)
     return fn(graph, *args, **kwargs)
 
 
+def _run_faulted_on_worker_graph(
+    fault: FaultSpec, graph_id: str, fn: Callable, args: tuple, kwargs: dict
+):
+    return apply_fault(
+        fault,
+        lambda: _run_on_worker_graph(graph_id, fn, args, kwargs),
+        in_process_worker=True,
+    )
+
+
+def _run_faulted_in_thread(fault: FaultSpec, fn: Callable, graph, args, kwargs):
+    return apply_fault(
+        fault, lambda: fn(graph, *args, **kwargs), in_process_worker=False
+    )
+
+
 class ExecutorPool:
     """A thread or process pool over a fixed set of named graphs.
 
@@ -111,6 +149,10 @@ class ExecutorPool:
     timeout:
         Per-task timeout in seconds applied by :meth:`run` and
         :meth:`map_ordered` (``None`` = wait forever).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; when set,
+        each submission is sabotaged (or not) per the plan's seeded
+        decision for its submission index.
     """
 
     def __init__(
@@ -120,6 +162,7 @@ class ExecutorPool:
         mode: str = "thread",
         max_workers: Optional[int] = None,
         timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
@@ -131,13 +174,19 @@ class ExecutorPool:
         self.mode = mode
         self.max_workers = max_workers or default_max_workers()
         self.timeout = timeout
+        self.fault_plan = fault_plan
         self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None = None
         self._closed = False
         self._lock = threading.Lock()
         self._pending = 0
+        self._task_index = 0
+        self._lost_workers = 0
+        self.rebuilds = 0
         registry = obs.get_registry()
         self._depth_gauge = registry.gauge("service.pool.queue_depth")
         self._task_counter = registry.counter("service.pool.tasks")
+        self._lost_gauge = registry.gauge("service.pool.lost_workers")
+        self._rebuild_counter = registry.counter("service.pool.rebuilds")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -168,8 +217,44 @@ class ExecutorPool:
         """
         self._closed = True
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=cancel_pending)
+            # a broken process pool cannot wait for its (dead) workers
+            broken = getattr(self._executor, "_broken", False)
+            self._executor.shutdown(
+                wait=not broken, cancel_futures=cancel_pending or bool(broken)
+            )
             self._executor = None
+
+    @property
+    def alive(self) -> bool:
+        """Usable right now: not closed, executor absent or unbroken."""
+        if self._closed:
+            return False
+        executor = self._executor
+        return executor is None or not getattr(executor, "_broken", False)
+
+    @property
+    def lost_workers(self) -> int:
+        """Slots currently occupied by abandoned (timed-out) thread tasks."""
+        return self._lost_workers
+
+    def recover(self) -> None:
+        """Tear down a broken executor and lazily rebuild on next submit.
+
+        Called when a worker process died hard (``BrokenProcessPool``):
+        the executor object is unusable, but the graphs and the
+        configuration are not — a fresh executor (with fresh workers
+        re-initialised from the same graph payloads) restores service.
+        Futures already handed out by the broken executor stay failed;
+        callers requeue them (:meth:`run` / :meth:`map_ordered` do this
+        themselves, the query engine retries through its normal path).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.rebuilds += 1
+        self._rebuild_counter.inc()
 
     def __enter__(self) -> "ExecutorPool":
         return self
@@ -219,25 +304,76 @@ class ExecutorPool:
                 f"unknown graph {graph_id!r} (have {self.graph_ids})"
             )
         executor = self._ensure_executor()
+        fault = None
+        if self.fault_plan is not None:
+            with self._lock:
+                index = self._task_index
+                self._task_index += 1
+            fault = self.fault_plan.decide(index)
         if self.mode == "process":
-            future = executor.submit(
-                _run_on_worker_graph, graph_id, fn, args, kwargs
-            )
+            if fault is not None:
+                future = executor.submit(
+                    _run_faulted_on_worker_graph, fault, graph_id, fn, args, kwargs
+                )
+            else:
+                future = executor.submit(
+                    _run_on_worker_graph, graph_id, fn, args, kwargs
+                )
         else:
             graph = self._graphs[graph_id]
-            future = executor.submit(fn, graph, *args, **kwargs)
+            if fault is not None:
+                future = executor.submit(
+                    _run_faulted_in_thread, fault, fn, graph, args, kwargs
+                )
+            else:
+                future = executor.submit(fn, graph, *args, **kwargs)
         return self._track(future)
 
+    def abandon(self, future: Future) -> bool:
+        """Give up on a future; account the slot if it cannot be freed.
+
+        Returns True if the task was cancelled before starting.  A
+        task already running on a *thread* cannot be stopped — the
+        slot is counted lost (``service.pool.lost_workers`` gauge,
+        :attr:`lost_workers`) until the straggler finishes on its own,
+        if it ever does.
+        """
+        if future.cancel() or future.done():
+            return future.cancelled()
+        if self.mode == "thread":
+            with self._lock:
+                self._lost_workers += 1
+                self._lost_gauge.set(self._lost_workers)
+
+            def _finally_finished(_fut: Future) -> None:
+                with self._lock:
+                    self._lost_workers -= 1
+                    self._lost_gauge.set(self._lost_workers)
+
+            future.add_done_callback(_finally_finished)
+        return False
+
     def run(self, graph_id: str, fn: Callable, *args, **kwargs):
-        """Submit one task and wait for it (honouring the pool timeout)."""
+        """Submit one task and wait for it (honouring the pool timeout).
+
+        A dead process worker (``BrokenProcessPool``) triggers one
+        executor rebuild and one transparent resubmission; a second
+        break raises.
+        """
         future = self.submit(graph_id, fn, *args, **kwargs)
-        try:
-            return future.result(timeout=self.timeout)
-        except FutureTimeoutError:
-            future.cancel()
-            raise PoolTimeoutError(
-                f"task on graph {graph_id!r} exceeded {self.timeout}s"
-            ) from None
+        for attempt in range(2):
+            try:
+                return future.result(timeout=self.timeout)
+            except FutureTimeoutError:
+                self.abandon(future)
+                raise PoolTimeoutError(
+                    f"task on graph {graph_id!r} exceeded {self.timeout}s"
+                ) from None
+            except BrokenExecutor:
+                if attempt == 1:
+                    raise
+                self.recover()
+                future = self.submit(graph_id, fn, *args, **kwargs)
 
     def map_ordered(
         self,
@@ -251,17 +387,33 @@ class ExecutorPool:
         order, so a parallel batch is a drop-in replacement for the
         serial loop.  The pool timeout applies to each task
         individually; the first failing task raises (the remaining
-        futures are left to finish, then cancelled by ``close``).
+        futures are left to finish, then cancelled by ``close``).  A
+        broken process pool is rebuilt once, with every task that did
+        not complete requeued on the fresh executor.
         """
         futures = [self.submit(graph_id, fn, *args) for args in arg_tuples]
         results = []
-        for i, future in enumerate(futures):
+        recovered = False
+        i = 0
+        while i < len(futures):
             try:
-                results.append(future.result(timeout=self.timeout))
+                results.append(futures[i].result(timeout=self.timeout))
             except FutureTimeoutError:
                 for later in futures[i:]:
-                    later.cancel()
+                    self.abandon(later)
                 raise PoolTimeoutError(
                     f"task {i} on graph {graph_id!r} exceeded {self.timeout}s"
                 ) from None
+            except BrokenExecutor:
+                if recovered:
+                    raise
+                recovered = True
+                self.recover()
+                # requeue this task and everything after it that did
+                # not finish before the break
+                for j in range(i, len(futures)):
+                    if not (futures[j].done() and futures[j].exception() is None):
+                        futures[j] = self.submit(graph_id, fn, *arg_tuples[j])
+                continue
+            i += 1
         return results

@@ -1,23 +1,33 @@
 """The serve wire protocol: JSONL requests in, JSONL responses out.
 
-One JSON object per line.  Three operations (``op`` defaults to
+One JSON object per line.  Four operations (``op`` defaults to
 ``"query"`` so the common case is terse):
 
 * ``{"op": "query", "graph": "cal", "source": 0, "algorithm":
   "nearfar", "params": {"delta": 0.5}, "id": "q1"}`` — run (or serve
   from cache) one SSSP query.  ``id`` is echoed back untouched;
   ``algorithm`` defaults to ``"adaptive"``; ``params`` defaults to
-  ``{}``.
+  ``{}`` (at most :data:`MAX_PARAM_KEYS` keys — a param object large
+  enough to trip that bound is garbage, not a query).
 * ``{"op": "stats"}`` — engine counters: queries served, cache
-  hits/misses/evictions, pool occupancy.
+  hits/misses/evictions, pool occupancy, retry totals.
 * ``{"op": "graphs"}`` — the catalog: id, name, sizes, fingerprint.
+* ``{"op": "health"}`` — the resilience picture: pool liveness (mode,
+  workers, pending, ``alive``, ``lost_workers``, ``rebuilds``),
+  per-(graph, algorithm) circuit-breaker states, and retry totals.
 
 Every input line produces exactly one output line with an ``"ok"``
 key; malformed lines (bad JSON, missing fields, unknown graph or
 algorithm) produce ``{"ok": false, "error": ...}`` and the stream
 keeps going — a service must not die because one client sent garbage.
+The same holds for *engine* crashes: an unexpected exception while
+answering one line is caught by :func:`serve_stream` and answered as
+an error line, because one bad query must not end the session.
 Responses are flushed per line so ``tail -f`` (or a piped consumer)
 sees them live.
+
+Version history: v1 — query/stats/graphs; v2 — ``health`` op,
+``attempts`` on retried responses, param-size bound.
 """
 
 from __future__ import annotations
@@ -27,9 +37,20 @@ from typing import IO, Iterable, Optional
 
 from repro.service.engine import QueryEngine, SSSPQuery
 
-__all__ = ["PROTOCOL_VERSION", "parse_query", "handle_line", "serve_stream"]
+__all__ = [
+    "MAX_PARAM_KEYS",
+    "PROTOCOL_VERSION",
+    "parse_query",
+    "handle_line",
+    "serve_stream",
+]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+# params is a flat knob dict (delta, setpoint, k, ...); dozens of keys
+# means a malformed or hostile request, and the engine would only
+# reject them one ValueError at a time further in
+MAX_PARAM_KEYS = 16
 
 
 class ProtocolError(ValueError):
@@ -49,6 +70,10 @@ def parse_query(request: dict) -> SSSPQuery:
     params = request.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError(f"params must be an object, got {type(params).__name__}")
+    if len(params) > MAX_PARAM_KEYS:
+        raise ProtocolError(
+            f"params has {len(params)} keys (max {MAX_PARAM_KEYS})"
+        )
     request_id = request.get("id")
     return SSSPQuery(
         graph_id=str(request["graph"]),
@@ -85,7 +110,12 @@ def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
         return {"ok": True, "op": "stats", "v": PROTOCOL_VERSION, **engine.stats()}
     if op == "graphs":
         return {"ok": True, "op": "graphs", "graphs": engine.catalog.describe()}
-    return {"ok": False, "error": f"unknown op {op!r} (have query, stats, graphs)"}
+    if op == "health":
+        return {"ok": True, "op": "health", "v": PROTOCOL_VERSION, **engine.health()}
+    return {
+        "ok": False,
+        "error": f"unknown op {op!r} (have query, stats, graphs, health)",
+    }
 
 
 def serve_stream(
@@ -95,10 +125,21 @@ def serve_stream(
 
     This is the whole serve loop: the CLI hands it ``sys.stdin`` (or a
     file) and ``sys.stdout``; tests hand it lists and ``StringIO``.
+
+    Exceptions escaping the engine for one line — a bug, a resource
+    blip, anything :func:`handle_line` did not already turn into an
+    error response — are answered as ``{"ok": false, "error": ...}``
+    so a single poisoned request cannot end the session.
     """
     written = 0
     for line in lines:
-        response = handle_line(engine, line)
+        try:
+            response = handle_line(engine, line)
+        except Exception as exc:  # one bad query must not kill the loop
+            response = {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
         if response is None:
             continue
         out.write(json.dumps(response) + "\n")

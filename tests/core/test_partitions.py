@@ -127,6 +127,19 @@ class TestBoundaries:
         with pytest.raises(ValueError):
             fq.refresh_boundaries(1.0, 0.0)
 
+    @pytest.mark.parametrize("alpha", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_alpha(self, alpha):
+        """A NaN width would break the one-trailing-inf invariant
+        (``NaN < inf`` is false) and the next sweep would never
+        terminate — refuse it at the door."""
+        fq = _fq()
+        with pytest.raises(ValueError, match="finite"):
+            fq.refresh_boundaries(10.0, alpha)
+        with pytest.raises(ValueError, match="finite"):
+            fq.refresh_boundaries(alpha, 1.0)
+        # exactly one trailing +inf partition survives the rejection
+        assert sum(1 for b in fq.boundaries if math.isinf(b)) == 1
+
 
 class TestCurrentPartition:
     def test_current_tracks_first_nonempty(self):

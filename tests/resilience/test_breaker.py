@@ -1,0 +1,152 @@
+"""Unit tests for the circuit breaker, driven by a fake clock."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import BreakerBoard, BreakerConfig, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=3, reset=10.0):
+    return CircuitBreaker(
+        BreakerConfig(failure_threshold=threshold, reset_seconds=reset),
+        clock=clock,
+    )
+
+
+class TestCircuitBreaker:
+    def test_closed_allows(self, clock):
+        assert _breaker(clock).allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        b = _breaker(clock, threshold=3)
+        assert b.record_failure() is False
+        assert b.record_failure() is False
+        assert b.record_failure() is True  # this one opened it
+        assert b.state == "open"
+        assert not b.allow()
+
+    def test_success_resets_the_streak(self, clock):
+        b = _breaker(clock, threshold=3)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        assert b.record_failure() is False
+        assert b.state == "closed"
+
+    def test_half_open_after_reset_window(self, clock):
+        b = _breaker(clock, threshold=1, reset=10.0)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(10.0)
+        assert b.state == "half-open"
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        b = _breaker(clock, threshold=1, reset=10.0)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()  # the probe
+        assert not b.allow()  # everyone else waits for the verdict
+
+    def test_probe_success_closes(self, clock):
+        b = _breaker(clock, threshold=1, reset=10.0)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow() and b.allow()
+
+    def test_probe_failure_reopens_and_restarts_timer(self, clock):
+        b = _breaker(clock, threshold=5, reset=10.0)
+        for _ in range(5):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        # one failed probe re-opens even though 1 < threshold
+        assert b.record_failure() is True
+        assert b.state == "open"
+        clock.advance(5.0)
+        assert not b.allow()  # timer restarted at the probe failure
+        clock.advance(5.0)
+        assert b.allow()
+
+    def test_threshold_zero_never_opens(self, clock):
+        b = _breaker(clock, threshold=0)
+        for _ in range(100):
+            b.record_failure()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_snapshot_shape(self, clock):
+        b = _breaker(clock, threshold=1)
+        b.record_failure()
+        clock.advance(2.0)
+        snap = b.snapshot()
+        assert snap["state"] == "open"
+        assert snap["consecutive_failures"] == 1
+        assert snap["opens"] == 1
+        assert snap["open_for_seconds"] == pytest.approx(2.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=-1)
+        with pytest.raises(ValueError, match="reset_seconds"):
+            BreakerConfig(reset_seconds=0.0)
+
+
+class TestBreakerBoard:
+    def test_corridors_are_independent(self, clock):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), clock=clock)
+        board.record_failure("cal", "adaptive")
+        assert not board.allow("cal", "adaptive")
+        assert board.allow("cal", "dijkstra")
+        assert board.allow("wiki", "adaptive")
+
+    def test_snapshot_sorted_and_tagged(self, clock):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), clock=clock)
+        board.allow("wiki", "adaptive")
+        board.allow("cal", "dijkstra")
+        snap = board.snapshot()
+        assert [(s["graph"], s["algorithm"]) for s in snap] == [
+            ("cal", "dijkstra"),
+            ("wiki", "adaptive"),
+        ]
+
+    def test_open_count(self, clock):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), clock=clock)
+        board.record_failure("cal", "adaptive")
+        board.record_failure("wiki", "adaptive")
+        board.allow("cal", "dijkstra")
+        assert board.open_count() == 2
+
+    def test_metrics_and_events(self, clock):
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=registry, events=sink):
+            board = BreakerBoard(BreakerConfig(failure_threshold=1), clock=clock)
+            board.record_failure("cal", "adaptive")  # opens
+            assert not board.allow("cal", "adaptive")  # rejection
+            clock.advance(board.config.reset_seconds)
+            assert board.allow("cal", "adaptive")  # probe
+            board.record_success("cal", "adaptive")  # closes
+        assert registry.counter("service.breaker.opened").value == 1
+        assert registry.counter("service.breaker.closed").value == 1
+        assert registry.counter("service.breaker.rejections").value == 1
+        assert len(sink.of_type("breaker_open")) == 1
+        assert len(sink.of_type("breaker_close")) == 1

@@ -1,0 +1,150 @@
+"""The acceptance drills: a faulted 100-query batch and a divergent run.
+
+These are the end-to-end guarantees the resilience layer exists for:
+
+* under a seeded fault plan sabotaging ~30% of pool tasks, a 100-query
+  batch returns *correct distances for every query* (cross-checked
+  against clean Dijkstra runs) and the cache is never poisoned;
+* a run whose controller is forced to diverge (NaN deltas) completes
+  through the static-delta fallback with distances identical to plain
+  near-far.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import AdaptiveParams
+from repro.core.stepwise import AdaptiveNearFarStepper
+from repro.graph.generators import grid_road_network
+from repro.resilience import DivergentController, FaultPlan, RetryPolicy
+from repro.service import GraphCatalog, QueryEngine, SSSPQuery
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.nearfar import nearfar_sssp
+from repro.sssp.result import assert_distances_close
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_road_network(12, 12, seed=3)
+
+
+@pytest.fixture
+def catalog(graph):
+    cat = GraphCatalog()
+    cat.register("grid", graph)
+    return cat
+
+
+class TestChaosBatch:
+    def test_hundred_queries_under_faults_all_correct(self, catalog, graph):
+        plan = FaultPlan(
+            rate=0.3,
+            seed=11,
+            kinds=("transient", "crash", "hang", "corrupt"),
+            hang_seconds=0.005,
+        )
+        rng = np.random.default_rng(0)
+        queries = [
+            SSSPQuery("grid", int(s), "dijkstra")
+            for s in rng.integers(0, graph.num_nodes, size=100)
+        ]
+        with QueryEngine(
+            catalog,
+            max_workers=4,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=6, base_delay=0.001),
+        ) as engine:
+            responses = engine.run_many(queries)
+
+            bad = [r.error for r in responses if not r.ok]
+            assert not bad, f"unanswered queries under faults: {bad}"
+
+            # every answer — and every cached distance vector — must
+            # match a clean Dijkstra run on the same source
+            reference = {}
+            for query, response in zip(queries, responses):
+                if query.source not in reference:
+                    reference[query.source] = dijkstra(graph, query.source)
+                ref = reference[query.source]
+                assert response.reached == ref.num_reached
+                finite = ref.finite_distances()
+                assert response.max_dist == pytest.approx(float(finite.max()))
+                assert response.mean_dist == pytest.approx(float(finite.mean()))
+                cached = engine.cache.get(engine._cache_key(query))
+                assert cached is not None, "settled query missing from cache"
+                assert_distances_close(cached.dist, ref.dist)
+
+            # the drill was real: faults were injected and absorbed
+            assert engine.retry_attempts > 0
+            assert engine.retry_exhausted == 0
+            assert engine.breakers.open_count() == 0
+
+    def test_poisoned_attempts_never_cached(self, catalog, graph):
+        """Corrupt-only plan at rate 1.0: every first attempt is corrupt,
+        every retry is corrupt too — nothing may reach the cache."""
+        plan = FaultPlan(rate=1.0, seed=0, kinds=("corrupt",))
+        with QueryEngine(
+            catalog,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+        ) as engine:
+            response = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert not response.ok
+        assert response.attempts == 2
+        assert len(engine.cache) == 0
+        assert engine.retry_exhausted == 1
+
+
+class TestDivergentControllerRun:
+    def test_nan_controller_falls_back_and_stays_exact(self, graph):
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=registry, events=sink):
+            stepper = AdaptiveNearFarStepper(
+                graph, 0, AdaptiveParams(setpoint=300.0)
+            )
+            stepper.controller = DivergentController(stepper.controller, after=3)
+            result = stepper.run()
+
+        assert result.extra["controller_fallback"] is True
+        assert "non-finite" in result.extra["fallback_reason"]
+        assert np.isfinite(result.extra["final_delta"])
+
+        # distances identical to plain near-far (both are exact)
+        reference, _ = nearfar_sssp(graph, 0)
+        assert_distances_close(result, reference)
+        assert_distances_close(result, dijkstra(graph, 0))
+
+        assert registry.counter("controller.fallbacks").value == 1
+        events = sink.of_type("controller_fallback")
+        assert len(events) == 1
+        assert events[0]["fallback_delta"] == result.extra["final_delta"]
+
+    def test_oscillating_controller_trips_the_window_rule(self, graph):
+        stepper = AdaptiveNearFarStepper(
+            graph, 0, AdaptiveParams(setpoint=300.0, guard_window=4)
+        )
+        # swings violent enough for the window rule (mean |Δδ| > 1.5 ×
+        # mean δ) but small enough that the run lasts past the window
+        stepper.controller = DivergentController(
+            stepper.controller,
+            after=0,
+            schedule=itertools.cycle([stepper.initial_delta * 0.2,
+                                      stepper.initial_delta * 2.0]),
+        )
+        result = stepper.run()
+        assert result.extra["controller_fallback"] is True
+        assert_distances_close(result, dijkstra(graph, 0))
+
+    def test_guard_can_be_disabled(self, graph):
+        stepper = AdaptiveNearFarStepper(
+            graph, 0, AdaptiveParams(setpoint=300.0, use_guard=False)
+        )
+        assert stepper.guard is None
+        # a healthy controller completes exactly as before
+        result = stepper.run()
+        assert result.extra["controller_fallback"] is False
+        assert_distances_close(result, dijkstra(graph, 0))

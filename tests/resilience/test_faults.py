@@ -1,0 +1,160 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.controller import ControllerConfig, DeltaDecision, SetpointController
+from repro.resilience import (
+    FAULT_KINDS,
+    DivergentController,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedTransientError,
+    apply_fault,
+)
+from repro.sssp.result import SSSPResult
+
+
+class TestFaultPlan:
+    def test_decide_is_deterministic(self):
+        a = FaultPlan(rate=0.5, seed=42)
+        b = FaultPlan(rate=0.5, seed=42)
+        assert [a.decide(i) for i in range(50)] == [b.decide(i) for i in range(50)]
+
+    def test_decide_is_index_local(self):
+        """Calling decide out of order changes nothing — no hidden RNG state."""
+        plan = FaultPlan(rate=0.5, seed=7)
+        forward = [plan.decide(i) for i in range(20)]
+        backward = [plan.decide(i) for i in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_the_schedule(self):
+        a = FaultPlan(rate=0.5, seed=1)
+        b = FaultPlan(rate=0.5, seed=2)
+        assert [a.decide(i) for i in range(50)] != [b.decide(i) for i in range(50)]
+
+    def test_rate_extremes(self):
+        assert FaultPlan(rate=0.0).count(100) == 0
+        assert FaultPlan(rate=1.0).count(100) == 100
+
+    def test_count_roughly_tracks_rate(self):
+        assert 10 <= FaultPlan(rate=0.3, seed=0).count(100) <= 50
+
+    def test_kinds_drawn_from_pool(self):
+        plan = FaultPlan(rate=1.0, kinds=("crash",))
+        assert all(plan.decide(i).kind == "crash" for i in range(10))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan(rate=rate)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan(rate=0.5, kinds=("segfault",))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError, match="kinds"):
+            FaultPlan(rate=0.5, kinds=())
+
+    def test_parse_kinds(self):
+        assert FaultPlan.parse_kinds("crash, hang") == ("crash", "hang")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse_kinds("crash,nonsense")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+        with pytest.raises(ValueError, match="hang_seconds"):
+            FaultSpec(kind="hang", hang_seconds=-1.0)
+
+
+class TestApplyFault:
+    def test_none_runs_clean(self):
+        assert apply_fault(None, lambda: 41 + 1) == 42
+
+    def test_transient_raises_before_running(self):
+        ran = []
+        with pytest.raises(InjectedTransientError):
+            apply_fault(FaultSpec("transient"), lambda: ran.append(1))
+        assert not ran
+
+    def test_crash_raises(self):
+        with pytest.raises(InjectedCrashError):
+            apply_fault(FaultSpec("crash"), lambda: 1)
+
+    def test_poolbreak_degrades_to_crash_on_threads(self):
+        """Outside a process worker, poolbreak must NOT kill the host."""
+        with pytest.raises(InjectedCrashError, match="poolbreak"):
+            apply_fault(FaultSpec("poolbreak"), lambda: 1, in_process_worker=False)
+
+    def test_hang_delays_then_runs(self):
+        out = apply_fault(FaultSpec("hang", hang_seconds=0.0), lambda: "done")
+        assert out == "done"
+
+    def test_corrupt_negates_finite_distances(self):
+        result = SSSPResult(
+            dist=np.array([0.0, 1.0, np.inf]),
+            source=0,
+            iterations=1,
+            relaxations=2,
+            algorithm="dijkstra",
+        )
+        bad = apply_fault(FaultSpec("corrupt"), lambda: result)
+        assert (bad.dist[np.isfinite(bad.dist)] < 0).all()
+        assert np.isinf(bad.dist[2])
+
+    def test_corrupt_junk_for_non_results(self):
+        assert apply_fault(FaultSpec("corrupt"), lambda: 17) == "corrupted-result"
+
+
+_PLAN_KW = dict(
+    window_lower=0.0,
+    window_split=1.0,
+    far_total=100,
+    far_partition_size=10,
+    far_partition_upper=2.0,
+)
+
+
+class TestDivergentController:
+    def _controller(self):
+        return SetpointController(
+            ControllerConfig(setpoint=100.0), 1.0, initial_d=4.0
+        )
+
+    def test_sane_until_after(self):
+        inner = self._controller()
+        proxy = DivergentController(inner, after=2)
+        for k in range(2):
+            proxy.begin_iteration(10)
+            proxy.observe_advance(10, 40)
+            decision = proxy.plan(10, **_PLAN_KW)
+            assert math.isfinite(decision.delta)
+
+    def test_poisons_after_n_decisions(self):
+        proxy = DivergentController(self._controller(), after=1)
+        proxy.begin_iteration(10)
+        proxy.observe_advance(10, 40)
+        assert math.isfinite(proxy.plan(10, **_PLAN_KW).delta)
+        poisoned = proxy.plan(10, **_PLAN_KW)
+        assert isinstance(poisoned, DeltaDecision)
+        assert math.isnan(poisoned.delta)
+
+    def test_custom_schedule(self):
+        import itertools
+
+        proxy = DivergentController(
+            self._controller(), after=0, schedule=itertools.cycle([1e-12, 1e12])
+        )
+        assert proxy.plan(10, **_PLAN_KW).delta == 1e-12
+        assert proxy.plan(10, **_PLAN_KW).delta == 1e12
+
+    def test_delegates_everything_else(self):
+        inner = self._controller()
+        proxy = DivergentController(inner, after=3)
+        assert proxy.setpoint == inner.setpoint
+        assert proxy.delta == inner.delta

@@ -1,0 +1,104 @@
+"""Unit tests for the controller divergence watchdog."""
+
+import math
+
+import pytest
+
+from repro.resilience import DivergenceGuard, GuardConfig
+
+
+def _guard(initial=1.0, **kw):
+    return DivergenceGuard(initial, GuardConfig(**kw)) if kw else DivergenceGuard(initial)
+
+
+class TestTripConditions:
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf, 0.0, -1.0])
+    def test_non_finite_or_nonpositive_delta(self, bad):
+        guard = _guard()
+        assert guard.observe(bad, 100.0)
+        assert guard.diverged
+        assert "non-finite" in guard.reason
+
+    def test_runaway_high(self):
+        guard = _guard(initial=1.0)
+        assert guard.observe(2e9, 100.0)
+        assert "runaway" in guard.reason
+
+    def test_runaway_low(self):
+        guard = _guard(initial=1.0)
+        assert guard.observe(1e-10, 100.0)
+        assert "runaway" in guard.reason
+
+    def test_violent_delta_oscillation(self):
+        guard = _guard(window=8)
+        trips = [guard.observe(d, 100.0) for d in [0.1, 10.0] * 4]
+        assert trips[:-1] == [False] * 7
+        assert trips[-1] is True
+        assert "oscillating delta" in guard.reason
+
+    def test_violent_x2_oscillation(self):
+        guard = _guard(window=8)
+        # delta perfectly steady, workload slamming between extremes
+        trips = [guard.observe(1.0, x2) for x2 in [1.0, 1000.0] * 4]
+        assert trips[-1] is True
+        assert "X^(2)" in guard.reason
+
+
+class TestNoFalsePositives:
+    def test_settling_controller_is_tolerated(self):
+        """Damped alternation — the healthy convergence shape — must pass."""
+        guard = _guard(window=8)
+        delta, deltas = 2.0, []
+        for k in range(12):
+            deltas.append(delta)
+            delta = 1.3 + (delta - 1.3) * -0.5  # damped ringing around 1.3
+        for d in deltas:
+            assert not guard.observe(d, 100.0)
+        assert not guard.diverged
+
+    def test_steady_growth_is_tolerated(self):
+        guard = _guard(window=8)
+        for k in range(20):
+            assert not guard.observe(1.0 + 0.1 * k, 100.0 + k)
+
+    def test_constant_delta_is_tolerated(self):
+        guard = _guard(window=8)
+        for _ in range(20):
+            assert not guard.observe(1.0, 100.0)
+
+
+class TestLatching:
+    def test_latches_and_freezes_last_good(self):
+        guard = _guard()
+        assert not guard.observe(1.5, 10.0)
+        assert not guard.observe(2.0, 10.0)
+        assert guard.observe(math.nan, 10.0)
+        assert guard.last_good_delta == 2.0
+        # latched: sane observations afterwards change nothing
+        assert guard.observe(1.0, 10.0)
+        assert guard.last_good_delta == 2.0
+
+    def test_last_good_defaults_to_initial(self):
+        guard = _guard(initial=3.0)
+        assert guard.observe(math.nan, 10.0)
+        assert guard.last_good_delta == 3.0
+
+
+class TestValidation:
+    def test_initial_delta_must_be_finite_positive(self):
+        with pytest.raises(ValueError, match="initial_delta"):
+            DivergenceGuard(0.0)
+        with pytest.raises(ValueError, match="initial_delta"):
+            DivergenceGuard(math.nan)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 2},
+            {"max_ratio": 1.0},
+            {"oscillation_ratio": 0.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GuardConfig(**kwargs)

@@ -1,0 +1,123 @@
+"""Unit tests for the retry policy, classifier and result validation."""
+
+from concurrent.futures import BrokenExecutor, CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CorruptResultError,
+    InjectedCrashError,
+    InjectedTransientError,
+    RetryPolicy,
+    classify_error,
+    validate_result,
+)
+from repro.sssp.result import SSSPResult
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_backoff_caps_at_max(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.5, jitter=0.0)
+        assert policy.delay(10) == pytest.approx(2.5)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25, seed=3)
+        d1 = policy.delay(1, key="q")
+        assert 0.075 <= d1 <= 0.125
+        # same (seed, key, attempt) => same delay, on any run or host
+        assert RetryPolicy(base_delay=0.1, jitter=0.25, seed=3).delay(1, key="q") == d1
+
+    def test_distinct_keys_desynchronise(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25, seed=0)
+        assert policy.delay(1, key="a") != policy.delay(1, key="b")
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TimeoutError("t"),
+            FutureTimeoutError(),
+            BrokenExecutor("b"),
+            CancelledError(),
+            ConnectionError("c"),
+            InjectedCrashError("x"),
+            InjectedTransientError("x"),
+            CorruptResultError("x"),
+            MemoryError(),
+            OSError("disk"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert classify_error(exc) == "transient"
+
+    @pytest.mark.parametrize(
+        "exc", [ValueError("v"), KeyError("k"), TypeError("t"), RuntimeError("r")]
+    )
+    def test_permanent(self, exc):
+        assert classify_error(exc) == "permanent"
+
+    def test_transient_attribute_wins(self):
+        exc = RuntimeError("flaky")
+        exc.transient = True
+        assert classify_error(exc) == "transient"
+
+
+def _result(dist, source=0):
+    return SSSPResult(
+        dist=np.asarray(dist, dtype=float),
+        source=source,
+        iterations=1,
+        relaxations=1,
+        algorithm="dijkstra",
+    )
+
+
+class TestValidateResult:
+    def test_good_result_passes(self):
+        validate_result(_result([0.0, 1.0, np.inf]), num_nodes=3, source=0)
+
+    def test_not_a_result(self):
+        with pytest.raises(CorruptResultError, match="not an SSSP result"):
+            validate_result("garbage", num_nodes=3, source=0)
+
+    def test_wrong_shape(self):
+        with pytest.raises(CorruptResultError, match="shape"):
+            validate_result(_result([0.0, 1.0]), num_nodes=3, source=0)
+
+    def test_nonzero_source_distance(self):
+        with pytest.raises(CorruptResultError, match="source"):
+            validate_result(_result([0.5, 1.0, 2.0]), num_nodes=3, source=0)
+
+    def test_negative_distance(self):
+        with pytest.raises(CorruptResultError, match="negative"):
+            validate_result(_result([0.0, -1.0, 2.0]), num_nodes=3, source=0)
+
+    def test_nan_distance(self):
+        with pytest.raises(CorruptResultError, match="NaN"):
+            validate_result(_result([0.0, np.nan, 2.0]), num_nodes=3, source=0)

@@ -4,8 +4,18 @@ import numpy as np
 import pytest
 
 from repro import obs
+from repro.resilience import BreakerConfig, FaultPlan, RetryPolicy
 from repro.service import GraphCatalog, QueryEngine, SSSPQuery
 from repro.sssp.dijkstra import dijkstra
+
+
+def _plan_with_pattern(kinds, pattern, rate=0.5):
+    """The first seed whose fault/clean schedule matches ``pattern``."""
+    for seed in range(10_000):
+        plan = FaultPlan(rate=rate, seed=seed, kinds=kinds)
+        if [plan.decide(i) is not None for i in range(len(pattern))] == pattern:
+            return plan
+    raise AssertionError(f"no seed matches pattern {pattern}")
 
 
 class TestBasicQueries:
@@ -184,6 +194,112 @@ class TestObservability:
         assert stats["queries"] == 1
         assert stats["pool"]["max_workers"] == 2
         assert stats["cache"]["misses"] == 1
+
+
+class TestResilience:
+    def test_transient_fault_is_retried_then_cached(self, catalog, grid):
+        # attempt 0 faulted, attempt 1 clean
+        plan = _plan_with_pattern(("transient",), [True, False])
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=registry, events=sink):
+            with QueryEngine(
+                catalog,
+                fault_plan=plan,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            ) as engine:
+                response = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+
+        assert response.ok, response.error
+        assert response.attempts == 2
+        assert response.reached == dijkstra(grid, 0).num_reached
+        # the failed attempt was never cached; the good one was
+        assert engine.cache.stats()["size"] == 1
+        assert registry.counter("service.retries").value == 1
+        retries = sink.of_type("query_retry")
+        assert len(retries) == 1
+        assert retries[0]["attempt"] == 1
+        assert "transient" in retries[0]["error"]
+
+    def test_exhausted_retries_fail_without_caching(self, catalog):
+        plan = FaultPlan(rate=1.0, kinds=("crash",))
+        with QueryEngine(
+            catalog,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+        ) as engine:
+            response = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert not response.ok
+        assert response.attempts == 2
+        assert len(engine.cache) == 0
+        assert engine.retry_exhausted == 1
+
+    def test_breaker_opens_and_rejects_fast(self, catalog):
+        plan = FaultPlan(rate=1.0, kinds=("crash",))
+        with QueryEngine(
+            catalog,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerConfig(failure_threshold=2, reset_seconds=60.0),
+        ) as engine:
+            first = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+            second = engine.run(SSSPQuery("grid", 1, "dijkstra"))
+            third = engine.run(SSSPQuery("grid", 2, "dijkstra"))
+            health = engine.health()
+
+        assert not first.ok and "circuit breaker" not in first.error
+        assert not second.ok
+        assert not third.ok and "circuit breaker" in third.error
+        assert health["breakers_open"] == 1
+        # the rejected query never reached the pool
+        assert health["pool"]["pending"] == 0
+
+    def test_submission_recovers_from_async_pool_break(self, catalog, monkeypatch):
+        """A worker can die while *other* work is being submitted,
+        breaking the executor before this query's submit ran — the
+        engine must recover and submit again, not fail the query."""
+        from concurrent.futures import BrokenExecutor
+
+        with QueryEngine(catalog) as engine:
+            real_submit = engine.pool.submit
+            calls = {"n": 0}
+
+            def breaking_submit(*args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise BrokenExecutor("pool broke under our feet")
+                return real_submit(*args, **kwargs)
+
+            monkeypatch.setattr(engine.pool, "submit", breaking_submit)
+            response = engine.run(SSSPQuery("grid", 0, "dijkstra"))
+        assert response.ok, response.error
+        assert engine.pool.rebuilds == 1
+
+    def test_attempts_in_wire_dict_only_when_retried(self, catalog):
+        plan = _plan_with_pattern(("transient",), [True, False])
+        with QueryEngine(
+            catalog,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        ) as engine:
+            retried = engine.run(SSSPQuery("grid", 0, "dijkstra")).as_dict()
+            clean = engine.run(SSSPQuery("grid", 1, "dijkstra")).as_dict()
+        assert retried["attempts"] == 2
+        assert "attempts" not in clean
+
+    def test_health_shape(self, catalog):
+        with QueryEngine(catalog, max_workers=2) as engine:
+            engine.run(SSSPQuery("grid", 0, "dijkstra"))
+            health = engine.health()
+        assert health["pool"]["alive"] is True
+        assert health["pool"]["max_workers"] == 2
+        assert health["pool"]["lost_workers"] == 0
+        (corridor,) = health["breakers"]
+        assert (corridor["graph"], corridor["algorithm"]) == ("grid", "dijkstra")
+        assert corridor["state"] == "closed"
+        assert health["breakers_open"] == 0
+        assert health["retries"]["attempts"] == 0
+        assert health["retries"]["exhausted"] == 0
 
 
 class TestResponseWireFormat:

@@ -6,6 +6,7 @@ import pytest
 
 from repro import obs
 from repro.graph.generators import grid_road_network, path_graph
+from repro.resilience import FaultPlan, InjectedTransientError
 from repro.service.pool import ExecutorPool, PoolTimeoutError
 from repro.sssp.dijkstra import dijkstra
 
@@ -18,6 +19,20 @@ def _reached(graph, source):
 def _sleep_then(graph, source, seconds):
     time.sleep(seconds)
     return source
+
+
+def plan_with_pattern(kinds, pattern, rate=0.5):
+    """The first seed whose fault schedule matches ``pattern`` exactly.
+
+    Deterministic (FaultPlan.decide is a pure function of seed and
+    index), so tests get e.g. "task 0 faulted, task 1 clean" without
+    hard-coding magic seeds that silently rot.
+    """
+    for seed in range(10_000):
+        plan = FaultPlan(rate=rate, seed=seed, kinds=kinds)
+        if [plan.decide(i) is not None for i in range(len(pattern))] == pattern:
+            return plan
+    raise AssertionError(f"no seed matches pattern {pattern}")
 
 
 class TestConstruction:
@@ -90,6 +105,65 @@ class TestProcessMode:
             results = pool.map_ordered("grid", _reached, [(0,), (5,), (9,)])
         expected = [dijkstra(graph, s).num_reached for s in (0, 5, 9)]
         assert results == expected
+
+
+class TestAbandonAndLostWorkers:
+    def test_timeout_accounts_the_lost_thread_slot(self):
+        """The satellite fix: a timed-out thread task cannot be killed,
+        so its slot is counted lost until the straggler finishes."""
+        registry = obs.MetricsRegistry()
+        with obs.use(registry=registry):
+            pool = ExecutorPool({"p": path_graph(3)}, max_workers=1, timeout=0.05)
+        with pool:
+            with pytest.raises(PoolTimeoutError):
+                pool.run("p", _sleep_then, 0, 0.4)
+            assert pool.lost_workers == 1
+            assert registry.gauge("service.pool.lost_workers").value == 1
+            deadline = time.time() + 2.0
+            while pool.lost_workers and time.time() < deadline:
+                time.sleep(0.05)
+            # the straggler returned on its own: slot reclaimed
+            assert pool.lost_workers == 0
+            assert registry.gauge("service.pool.lost_workers").value == 0
+
+    def test_abandon_cancels_queued_work_without_accounting(self):
+        with ExecutorPool({"p": path_graph(3)}, max_workers=1) as pool:
+            blocker = pool.submit("p", _sleep_then, 0, 0.2)
+            queued = pool.submit("p", _sleep_then, 1, 0.0)
+            assert pool.abandon(queued) is True  # cancelled before starting
+            assert pool.lost_workers == 0
+            assert blocker.result() == 0
+
+
+class TestFaultInjection:
+    def test_planned_fault_raises_in_thread_mode(self):
+        plan = FaultPlan(rate=1.0, kinds=("transient",))
+        with ExecutorPool({"p": path_graph(3)}, fault_plan=plan) as pool:
+            with pytest.raises(InjectedTransientError):
+                pool.run("p", _reached, 0)
+
+    def test_clean_indices_run_clean(self):
+        plan = plan_with_pattern(("transient",), [False, True])
+        with ExecutorPool({"p": path_graph(3)}, fault_plan=plan) as pool:
+            assert pool.run("p", _reached, 0) == 3  # index 0 is clean
+            with pytest.raises(InjectedTransientError):
+                pool.run("p", _reached, 0)  # index 1 is not
+
+    def test_broken_process_pool_recovers_transparently(self):
+        # task 0 kills its worker (BrokenProcessPool); run() must
+        # rebuild the executor and requeue, task 1 runs clean
+        plan = plan_with_pattern(("poolbreak",), [True, False])
+        graph = grid_road_network(8, 8, seed=1)
+        registry = obs.MetricsRegistry()
+        with obs.use(registry=registry):
+            pool = ExecutorPool(
+                {"grid": graph}, mode="process", max_workers=1, fault_plan=plan
+            )
+        with pool:
+            assert pool.run("grid", _reached, 0) == dijkstra(graph, 0).num_reached
+            assert pool.rebuilds == 1
+            assert registry.counter("service.pool.rebuilds").value == 1
+            assert pool.alive
 
 
 class TestMetrics:

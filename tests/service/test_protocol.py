@@ -45,6 +45,16 @@ class TestParseQuery:
         with pytest.raises(ValueError, match=message):
             parse_query(request_)
 
+    def test_oversized_params_rejected(self):
+        params = {f"k{i}": i for i in range(17)}
+        with pytest.raises(ValueError, match=r"17 keys \(max 16\)"):
+            parse_query({"graph": "g", "source": 0, "params": params})
+
+    def test_params_at_the_bound_accepted(self):
+        params = {f"k{i}": i for i in range(16)}
+        q = parse_query({"graph": "g", "source": 0, "params": params})
+        assert len(dict(q.params)) == 16
+
 
 class TestHandleLine:
     @pytest.fixture
@@ -86,10 +96,21 @@ class TestHandleLine:
         assert response["ok"] is True
         assert [g["id"] for g in response["graphs"]] == ["grid"]
 
+    def test_health_op(self, engine):
+        response = handle_line(engine, '{"op": "health"}')
+        assert response["ok"] is True
+        assert response["op"] == "health"
+        assert response["v"] == 2
+        assert response["pool"]["alive"] is True
+        assert response["breakers"] == []
+        assert response["breakers_open"] == 0
+        assert response["retries"]["exhausted"] == 0
+
     def test_unknown_op(self, engine):
         response = handle_line(engine, '{"op": "shutdown"}')
         assert response["ok"] is False
         assert "unknown op" in response["error"]
+        assert "health" in response["error"]
 
 
 class TestServeStream:
@@ -122,4 +143,29 @@ class TestServeStream:
             assert serve_stream(engine, lines, out) == 2
         first, second = (json.loads(l) for l in out.getvalue().splitlines())
         assert first["ok"] is False
+        assert second["ok"] is True
+
+    def test_stream_survives_an_engine_crash(self, catalog, monkeypatch):
+        """The satellite guarantee: an unexpected exception while
+        answering one line is answered in-band, not raised."""
+        lines = [
+            '{"graph": "grid", "source": 0}',
+            '{"graph": "grid", "source": 1}',
+        ]
+        out = io.StringIO()
+        with QueryEngine(catalog) as engine:
+            real_run = engine.run
+            calls = {"n": 0}
+
+            def flaky_run(query):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("engine exploded")
+                return real_run(query)
+
+            monkeypatch.setattr(engine, "run", flaky_run)
+            assert serve_stream(engine, lines, out) == 2
+        first, second = (json.loads(l) for l in out.getvalue().splitlines())
+        assert first["ok"] is False
+        assert "internal error: RuntimeError: engine exploded" in first["error"]
         assert second["ok"] is True

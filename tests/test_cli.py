@@ -278,6 +278,77 @@ class TestQueryCommand:
             main(["query", "no-such-graph", "--scale", "0.003"])
 
 
+class TestFaultsCommand:
+    def test_drill_passes_and_reports(self, capsys):
+        rc = main(
+            [
+                "faults",
+                "--queries",
+                "8",
+                "--scale",
+                "0.003",
+                "--fault-rate",
+                "0.4",
+                "--retries",
+                "6",
+                "-q",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "answered 8/8 queries" in out
+        assert "all verified against Dijkstra" in out
+
+    def test_drill_without_verification(self, capsys):
+        rc = main(
+            [
+                "faults",
+                "--queries",
+                "4",
+                "--scale",
+                "0.003",
+                "--no-verify",
+                "-q",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "answered 4/4 queries" in out
+        assert "Dijkstra" not in out
+
+    def test_serve_accepts_resilience_flags(self, capsys, tmp_path):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"graph": "cal", "source": 0, "algorithm": "dijkstra"}\n'
+            '{"op": "health"}\n'
+        )
+        rc = main(
+            [
+                "serve",
+                "--input",
+                str(requests),
+                "--scale",
+                "0.003",
+                "--fault-rate",
+                "0.5",
+                "--fault-kinds",
+                "transient,crash",
+                "--retries",
+                "6",
+                "-q",
+            ]
+        )
+        assert rc == 0
+        query, health = (
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        )
+        assert query["ok"] is True
+        assert health["op"] == "health"
+        assert health["pool"]["alive"] is True
+
+
 class TestVersionCommand:
     def test_version(self, capsys):
         from repro import __version__
