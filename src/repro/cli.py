@@ -218,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="attempts per query on transient failures (1 disables)",
         )
         p.add_argument(
+            "--max-batch", type=int, default=16,
+            help="coalesce up to N concurrent same-corridor queries "
+            "into one batched kernel call (1 disables)",
+        )
+        p.add_argument(
             "--breaker-threshold", type=int, default=5,
             help="consecutive failures before a (graph, algorithm) "
             "circuit opens (0 disables)",
@@ -272,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--source", type=int, action="append", default=None,
         help="source vertex (repeatable; default: the max-degree hub)",
+    )
+    query.add_argument(
+        "--sources", default=None,
+        help="comma-separated source list, e.g. 3,17,42 — issued as "
+        "one engine batch (coalesced into batched kernel calls)",
     )
     query.add_argument(
         "--algorithm",
@@ -499,6 +509,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_workers=args.workers,
                 timeout=args.timeout,
                 cache_size=args.cache_size,
+                max_batch=args.max_batch,
                 **_resilience_kwargs(args),
             )
             with engine:
@@ -571,22 +582,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             timeout=args.timeout,
             cache_size=args.cache_size,
+            max_batch=args.max_batch,
             **_resilience_kwargs(args),
         )
         with engine:
             graph = engine.pool.graph(args.graph)
-            sources = args.source or [int(np.argmax(np.diff(graph.indptr)))]
+            sources = list(args.source or [])
+            if args.sources:
+                try:
+                    sources.extend(
+                        int(s) for s in args.sources.split(",") if s.strip()
+                    )
+                except ValueError:
+                    raise SystemExit(
+                        f"--sources expects a comma list of integers, "
+                        f"got {args.sources!r}"
+                    )
+            if not sources:
+                sources = [int(np.argmax(np.diff(graph.indptr)))]
             ok = True
             for _ in range(args.repeat):
-                for source in sources:
-                    response = engine.run(
-                        SSSPQuery(
-                            graph_id=args.graph,
-                            source=int(source),
-                            algorithm=args.algorithm,
-                            params=params,
-                        )
+                queries = [
+                    SSSPQuery(
+                        graph_id=args.graph,
+                        source=int(source),
+                        algorithm=args.algorithm,
+                        params=params,
                     )
+                    for source in sources
+                ]
+                for response in engine.run_many(queries):
                     ok = ok and response.ok
                     print(json.dumps(response.as_dict()))
     if registry is not None:
@@ -631,6 +656,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             timeout=args.timeout,
             cache_size=args.cache_size,
+            max_batch=args.max_batch,
             **kwargs,
         )
         with engine:

@@ -13,7 +13,11 @@ turns them into a serving stack:
 * :mod:`~repro.service.engine` — the query engine: fingerprint-keyed
   caching, in-flight dedup, pool fan-out, ``query_start``/``query_end``
   events;
-* :mod:`~repro.service.runners` — wire-name -> algorithm dispatch;
+* :mod:`~repro.service.scheduler` — the coalescing window: park
+  concurrent queries for up to ``max_wait_ms``, dispatch up to
+  ``max_batch`` of them as one batched kernel call;
+* :mod:`~repro.service.runners` — wire-name -> algorithm dispatch
+  (single-source and batched entry points);
 * :mod:`~repro.service.protocol` — the JSONL request/response format
   behind ``repro serve`` and ``repro query``.
 
@@ -29,17 +33,27 @@ from repro.service.catalog import GraphCatalog, default_catalog
 from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
 from repro.service.pool import ExecutorPool, PoolTimeoutError, default_max_workers
 from repro.service.protocol import (
+    MAX_BATCH_SOURCES,
     MAX_PARAM_KEYS,
     PROTOCOL_VERSION,
     handle_line,
     serve_stream,
 )
-from repro.service.runners import algorithm_names, run_algorithm
+from repro.service.runners import (
+    BATCHED_ALGORITHMS,
+    algorithm_names,
+    run_algorithm,
+    run_algorithm_batch,
+)
+from repro.service.scheduler import CoalescingScheduler
 
 __all__ = [
+    "BATCHED_ALGORITHMS",
+    "CoalescingScheduler",
     "ExecutorPool",
     "GraphCatalog",
     "LRUCache",
+    "MAX_BATCH_SOURCES",
     "MAX_PARAM_KEYS",
     "PROTOCOL_VERSION",
     "PoolTimeoutError",
@@ -51,5 +65,6 @@ __all__ = [
     "default_max_workers",
     "handle_line",
     "run_algorithm",
+    "run_algorithm_batch",
     "serve_stream",
 ]

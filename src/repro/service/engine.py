@@ -51,10 +51,16 @@ from repro.resilience.retry import (
     classify_error,
     validate_result,
 )
+from repro.resilience.retry import CorruptResultError
 from repro.service.cache import LRUCache
 from repro.service.catalog import GraphCatalog
 from repro.service.pool import ExecutorPool, PoolTimeoutError
-from repro.service.runners import run_algorithm, validate_params
+from repro.service.runners import (
+    BATCHED_ALGORITHMS,
+    run_algorithm,
+    run_algorithm_batch,
+    validate_params,
+)
 from repro.sssp.result import SSSPResult
 
 __all__ = ["SSSPQuery", "QueryResponse", "QueryEngine"]
@@ -134,6 +140,18 @@ def _summarise(result: SSSPResult) -> dict:
 
 CacheKey = Tuple[str, int, str, str]
 
+# one pending cache-miss: (request index, query, cache key, qid, start time)
+_Miss = Tuple[int, SSSPQuery, CacheKey, int, float]
+
+
+@dataclass
+class _Dispatch:
+    """One pool submission covering one or more pending misses."""
+
+    future: object
+    members: List[_Miss]
+    batched: bool = False
+
 
 class QueryEngine:
     """Serve SSSP queries against a catalog, with caching and a pool.
@@ -158,6 +176,13 @@ class QueryEngine:
     fault_plan:
         Optional deterministic sabotage for chaos drills, passed to
         the pool (see :class:`~repro.resilience.faults.FaultPlan`).
+    max_batch:
+        Coalescing width: concurrent cache-miss queries on the same
+        ``(graph, algorithm, params)`` corridor are dispatched as one
+        batched kernel call, at most ``max_batch`` sources per call
+        (only for algorithms with a multi-source kernel — see
+        :data:`~repro.service.runners.BATCHED_ALGORITHMS`).  1 (the
+        default) disables coalescing: every miss is its own pool task.
     """
 
     def __init__(
@@ -171,7 +196,10 @@ class QueryEngine:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        max_batch: int = 1,
     ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
         self.catalog = catalog
         self._graphs = catalog.load_all()
         self.pool = ExecutorPool(
@@ -184,6 +212,7 @@ class QueryEngine:
         self.cache = LRUCache(cache_size)
         self.retry = retry or RetryPolicy()
         self.breakers = BreakerBoard(breaker)
+        self.max_batch = int(max_batch)
         self._qid = 0
         self.retry_attempts = 0  # extra attempts beyond the first, total
         self.retry_exhausted = 0  # queries that failed after all attempts
@@ -194,6 +223,8 @@ class QueryEngine:
         self._query_timer = registry.timer("service.query_seconds")
         self._retry_counter = registry.counter("service.retries")
         self._exhausted_counter = registry.counter("service.retry_exhausted")
+        self._batch_size_hist = registry.histogram("service.batch.size")
+        self._batch_coalesced = registry.counter("service.batch.coalesced")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -300,16 +331,115 @@ class QueryEngine:
                 dict(query.params),
             )
 
+    def _submit_batch(self, queries: List[SSSPQuery]):
+        """Submit one coalesced batch task (same break-absorption as
+        :meth:`_submit_query`); all queries share graph/algorithm/params."""
+        lead = queries[0]
+        sources = [int(q.source) for q in queries]
+        try:
+            return self.pool.submit(
+                lead.graph_id,
+                run_algorithm_batch,
+                sources,
+                lead.algorithm,
+                dict(lead.params),
+            )
+        except BrokenExecutor:
+            self.pool.recover()
+            return self.pool.submit(
+                lead.graph_id,
+                run_algorithm_batch,
+                sources,
+                lead.algorithm,
+                dict(lead.params),
+            )
+
+    def _emit_batch_dispatch(self, chunk: List[_Miss]) -> None:
+        if self._events.enabled:
+            lead = chunk[0][1]
+            self._events.emit(
+                {
+                    "type": "batch_dispatch",
+                    "graph": lead.graph_id,
+                    "algorithm": lead.algorithm,
+                    "batch_size": len(chunk),
+                    "sources": [int(m[1].source) for m in chunk],
+                    "qids": [m[3] for m in chunk],
+                }
+            )
+
+    def _dispatch(self, misses: List[_Miss]) -> List[_Dispatch]:
+        """Turn pending misses into pool submissions.
+
+        With ``max_batch > 1``, misses on one ``(graph, algorithm,
+        params)`` corridor whose algorithm has a multi-source kernel
+        are coalesced into batch tasks of at most ``max_batch`` sources
+        (a corridor dispatches at its first member's position, so
+        submission order tracks request order); everything else is one
+        task per query, exactly as before.
+        """
+        groups: Dict[Tuple[str, str, str], List[_Miss]] = {}
+        plan: List[Tuple[str, object]] = []
+        for miss in misses:
+            query = miss[1]
+            if self.max_batch > 1 and query.algorithm in BATCHED_ALGORITHMS:
+                corridor = (
+                    query.graph_id,
+                    query.algorithm,
+                    query.canonical_params(),
+                )
+                if corridor not in groups:
+                    groups[corridor] = []
+                    plan.append(("group", corridor))
+                groups[corridor].append(miss)
+            else:
+                plan.append(("single", miss))
+
+        dispatches: List[_Dispatch] = []
+        for kind, payload in plan:
+            if kind == "single":
+                miss = payload  # type: ignore[assignment]
+                dispatches.append(
+                    _Dispatch(future=self._submit_query(miss[1]), members=[miss])
+                )
+                continue
+            members = groups[payload]  # type: ignore[index]
+            for start in range(0, len(members), self.max_batch):
+                chunk = members[start : start + self.max_batch]
+                if len(chunk) == 1:
+                    # a lone miss gains nothing from the batch entry point
+                    dispatches.append(
+                        _Dispatch(
+                            future=self._submit_query(chunk[0][1]),
+                            members=chunk,
+                        )
+                    )
+                    continue
+                future = self._submit_batch([m[1] for m in chunk])
+                self._batch_size_hist.observe(len(chunk))
+                self._batch_coalesced.inc(len(chunk) - 1)
+                self._emit_batch_dispatch(chunk)
+                dispatches.append(
+                    _Dispatch(future=future, members=chunk, batched=True)
+                )
+        return dispatches
+
     def run_many(self, queries: List[SSSPQuery]) -> List[QueryResponse]:
         """Answer a batch, deduplicating identical in-flight queries.
 
         Responses come back in request order.  Distinct queries run
         concurrently on the pool; identical ones (same graph content,
         source, algorithm and params) execute once and fan the result
-        back out with ``cache="coalesced"``.
+        back out with ``cache="coalesced"``.  With ``max_batch > 1``,
+        distinct cache-misses sharing a ``(graph, algorithm, params)``
+        corridor are dispatched as one batched kernel call
+        (``batch_dispatch`` event, ``service.batch.*`` metrics) while
+        keeping per-query caching, validation, breaker accounting and
+        ``query_start``/``query_end`` events.
         """
         responses: List[Optional[QueryResponse]] = [None] * len(queries)
-        in_flight: Dict[CacheKey, Tuple[object, int, float]] = {}
+        pending_keys: Dict[CacheKey, bool] = {}
+        misses: List[_Miss] = []
         coalesced: List[Tuple[int, CacheKey, int]] = []
 
         for i, query in enumerate(queries):
@@ -338,7 +468,7 @@ class QueryEngine:
                 responses[i] = response
                 self._emit_end(qid, response)
                 continue
-            if key in in_flight:
+            if key in pending_keys:
                 coalesced.append((i, key, qid))
                 continue
             if not self.breakers.allow(query.graph_id, query.algorithm):
@@ -357,27 +487,19 @@ class QueryEngine:
                 )
                 self._emit_end(qid, responses[i])
                 continue
-            future = self._submit_query(query)
-            in_flight[key] = (future, qid, t0)
+            pending_keys[key] = True
+            misses.append((i, query, key, qid, t0))
             responses[i] = None  # filled in below
 
-        # collect misses in submission order, retrying transients per key
+        # settle dispatches in submission order, retrying transients
         settled: Dict[CacheKey, QueryResponse] = {}
-        for i, query in enumerate(queries):
-            if responses[i] is not None:
-                continue
-            key = self._cache_key(query)
-            if key in settled:
-                continue  # a coalesced duplicate; resolved after this loop
-            entry = in_flight.get(key)
-            if entry is None:
-                continue
-            future, qid, t0 = entry
-            response = self._settle(query, key, future, qid, t0)
-            self._query_timer.observe(response.wall_seconds)
-            responses[i] = response
-            settled[key] = response
-            self._emit_end(qid, response)
+        for dispatch in self._dispatch(misses):
+            for miss, response in self._settle_dispatch(dispatch):
+                i, query, key, qid, t0 = miss
+                self._query_timer.observe(response.wall_seconds)
+                responses[i] = response
+                settled[key] = response
+                self._emit_end(qid, response)
 
         for i, key, qid in coalesced:
             primary = settled.get(key)
@@ -419,6 +541,125 @@ class QueryEngine:
                     "delay_seconds": round(delay, 4),
                 }
             )
+
+    def _settle_dispatch(
+        self, dispatch: _Dispatch
+    ) -> List[Tuple[_Miss, QueryResponse]]:
+        """Wait for one dispatch; one ``(miss, response)`` per member."""
+        if not dispatch.batched:
+            miss = dispatch.members[0]
+            _, query, key, qid, t0 = miss
+            return [(miss, self._settle(query, key, dispatch.future, qid, t0))]
+        return self._settle_batch(dispatch)
+
+    def _settle_batch(
+        self, dispatch: _Dispatch
+    ) -> List[Tuple[_Miss, QueryResponse]]:
+        """Wait for one coalesced batch task, retrying it whole.
+
+        Mirrors :meth:`_settle` per member: every member result is
+        validated before *any* of them can reach the cache (a single
+        corrupt member condemns the attempt — results of one kernel
+        pass stand or fall together), the breaker hears one
+        corridor-level verdict per member query, and failures are
+        never cached.
+        """
+        members = dispatch.members
+        lead = members[0][1]
+        graph = self._graphs[lead.graph_id]
+        future = dispatch.future
+        attempt = 1
+        while True:
+            try:
+                results = future.result(timeout=self.pool.timeout)
+                if (
+                    not isinstance(results, (list, tuple))
+                    or len(results) != len(members)
+                ):
+                    raise CorruptResultError(
+                        f"batch task returned {type(results).__name__}, "
+                        f"expected {len(members)} results"
+                    )
+                for miss, result in zip(members, results):
+                    validate_result(
+                        result,
+                        num_nodes=graph.num_nodes,
+                        source=int(miss[1].source),
+                    )
+                now = time.perf_counter()
+                out: List[Tuple[_Miss, QueryResponse]] = []
+                for miss, result in zip(members, results):
+                    _, query, key, _, t0 = miss
+                    self.breakers.record_success(
+                        query.graph_id, query.algorithm
+                    )
+                    response = QueryResponse(
+                        query=query,
+                        ok=True,
+                        cache="miss",
+                        fingerprint=key[0],
+                        wall_seconds=now - t0,
+                        attempts=attempt,
+                        **_summarise(result),  # type: ignore[arg-type]
+                    )
+                    self.cache.put(key, result)
+                    out.append((miss, response))
+                return out
+            except Exception as exc:
+                self.pool.abandon(future)
+                if isinstance(exc, BrokenExecutor):
+                    self.pool.recover()
+                timed_out = isinstance(
+                    exc, (PoolTimeoutError, TimeoutError, FutureTimeoutError)
+                )
+                message = (
+                    f"timeout after {self.pool.timeout}s"
+                    if timed_out
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                transient = classify_error(exc) == "transient"
+                if transient and attempt < self.retry.max_attempts:
+                    delay = self.retry.delay(attempt, members[0][2])
+                    self.retry_attempts += 1
+                    self._retry_counter.inc()
+                    for miss in members:
+                        self._emit_retry(miss[3], attempt, message, delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                    try:
+                        future = self._submit_batch([m[1] for m in members])
+                    except Exception as resubmit_exc:
+                        message = (
+                            f"{type(resubmit_exc).__name__}: {resubmit_exc}"
+                        )
+                        transient = False
+                    else:
+                        attempt += 1
+                        continue
+                now = time.perf_counter()
+                failed: List[Tuple[_Miss, QueryResponse]] = []
+                for miss in members:
+                    _, query, _, _, t0 = miss
+                    self.breakers.record_failure(
+                        query.graph_id, query.algorithm
+                    )
+                    self._error_counter.inc()
+                    if transient:
+                        self.retry_exhausted += 1
+                        self._exhausted_counter.inc()
+                    failed.append(
+                        (
+                            miss,
+                            QueryResponse(
+                                query=query,
+                                ok=False,
+                                error=message,
+                                attempts=attempt,
+                                wall_seconds=now - t0,
+                            ),
+                        )
+                    )
+                return failed
 
     def _settle(
         self,
@@ -530,6 +771,7 @@ class QueryEngine:
         return {
             "graphs": self.pool.graph_ids,
             "queries": self._qid,
+            "max_batch": self.max_batch,
             "cache": self.cache.stats(),
             "pool": {
                 "mode": self.pool.mode,

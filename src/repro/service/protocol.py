@@ -8,7 +8,13 @@ One JSON object per line.  Four operations (``op`` defaults to
   from cache) one SSSP query.  ``id`` is echoed back untouched;
   ``algorithm`` defaults to ``"adaptive"``; ``params`` defaults to
   ``{}`` (at most :data:`MAX_PARAM_KEYS` keys — a param object large
-  enough to trip that bound is garbage, not a query).
+  enough to trip that bound is garbage, not a query).  A request may
+  carry ``"sources": [0, 5, 9]`` *instead of* ``"source"`` (at most
+  :data:`MAX_BATCH_SOURCES`): the queries run as one engine batch —
+  same-corridor misses become one batched kernel dispatch — and the
+  single response line answers
+  ``{"ok": <all ok>, "count": N, "results": [<per-source response>,
+  ...]}`` in source order.
 * ``{"op": "stats"}`` — engine counters: queries served, cache
   hits/misses/evictions, pool occupancy, retry totals.
 * ``{"op": "graphs"}`` — the catalog: id, name, sizes, fingerprint.
@@ -27,7 +33,8 @@ Responses are flushed per line so ``tail -f`` (or a piped consumer)
 sees them live.
 
 Version history: v1 — query/stats/graphs; v2 — ``health`` op,
-``attempts`` on retried responses, param-size bound.
+``attempts`` on retried responses, param-size bound; v3 — ``sources``
+lists on query requests (batched dispatch, one ``results`` line).
 """
 
 from __future__ import annotations
@@ -38,35 +45,35 @@ from typing import IO, Iterable, Optional
 from repro.service.engine import QueryEngine, SSSPQuery
 
 __all__ = [
+    "MAX_BATCH_SOURCES",
     "MAX_PARAM_KEYS",
     "PROTOCOL_VERSION",
     "parse_query",
+    "parse_batch_query",
     "handle_line",
     "serve_stream",
 ]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 # params is a flat knob dict (delta, setpoint, k, ...); dozens of keys
 # means a malformed or hostile request, and the engine would only
 # reject them one ValueError at a time further in
 MAX_PARAM_KEYS = 16
 
+# one request line fanning out to thousands of kernel runs is a typo
+# or an attack, not a batch; big sweeps belong in `repro experiment`
+MAX_BATCH_SOURCES = 256
+
 
 class ProtocolError(ValueError):
     """A request line that cannot be turned into an operation."""
 
 
-def parse_query(request: dict) -> SSSPQuery:
-    """Build an :class:`SSSPQuery` from a decoded ``query`` request."""
+def _common_query_fields(request: dict) -> tuple:
+    """Validate the graph/params/id fields shared by both query shapes."""
     if "graph" not in request:
         raise ProtocolError("query is missing 'graph'")
-    if "source" not in request:
-        raise ProtocolError("query is missing 'source'")
-    try:
-        source = int(request["source"])
-    except (TypeError, ValueError):
-        raise ProtocolError(f"source must be an integer, got {request['source']!r}")
     params = request.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError(f"params must be an object, got {type(params).__name__}")
@@ -75,13 +82,60 @@ def parse_query(request: dict) -> SSSPQuery:
             f"params has {len(params)} keys (max {MAX_PARAM_KEYS})"
         )
     request_id = request.get("id")
-    return SSSPQuery(
-        graph_id=str(request["graph"]),
-        source=source,
-        algorithm=str(request.get("algorithm", "adaptive")),
-        params=params,
-        request_id=None if request_id is None else str(request_id),
+    return (
+        str(request["graph"]),
+        str(request.get("algorithm", "adaptive")),
+        params,
+        None if request_id is None else str(request_id),
     )
+
+
+def parse_query(request: dict) -> SSSPQuery:
+    """Build an :class:`SSSPQuery` from a decoded ``query`` request."""
+    graph_id, algorithm, params, request_id = _common_query_fields(request)
+    if "source" not in request:
+        raise ProtocolError("query is missing 'source'")
+    try:
+        source = int(request["source"])
+    except (TypeError, ValueError):
+        raise ProtocolError(f"source must be an integer, got {request['source']!r}")
+    return SSSPQuery(
+        graph_id=graph_id,
+        source=source,
+        algorithm=algorithm,
+        params=params,
+        request_id=request_id,
+    )
+
+
+def parse_batch_query(request: dict) -> list:
+    """Build one :class:`SSSPQuery` per entry of a ``sources`` list."""
+    graph_id, algorithm, params, request_id = _common_query_fields(request)
+    if "source" in request:
+        raise ProtocolError("pass either 'source' or 'sources', not both")
+    sources = request["sources"]
+    if not isinstance(sources, list) or not sources:
+        raise ProtocolError("sources must be a non-empty array of integers")
+    if len(sources) > MAX_BATCH_SOURCES:
+        raise ProtocolError(
+            f"sources has {len(sources)} entries (max {MAX_BATCH_SOURCES})"
+        )
+    queries = []
+    for raw in sources:
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            raise ProtocolError(
+                f"sources must be an array of integers, got {raw!r}"
+            )
+        queries.append(
+            SSSPQuery(
+                graph_id=graph_id,
+                source=raw,
+                algorithm=algorithm,
+                params=params,
+                request_id=request_id,
+            )
+        )
+    return queries
 
 
 def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
@@ -99,13 +153,24 @@ def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
     op = request.get("op", "query")
     if op == "query":
         try:
-            query = parse_query(request)
+            if "sources" in request:
+                queries = parse_batch_query(request)
+            else:
+                return engine.run(parse_query(request)).as_dict()
         except ProtocolError as exc:
             response = {"ok": False, "error": str(exc)}
             if request.get("id") is not None:
                 response["id"] = str(request["id"])
             return response
-        return engine.run(query).as_dict()
+        responses = engine.run_many(queries)
+        out = {
+            "ok": all(r.ok for r in responses),
+            "count": len(responses),
+            "results": [r.as_dict() for r in responses],
+        }
+        if request.get("id") is not None:
+            out["id"] = str(request["id"])
+        return out
     if op == "stats":
         return {"ok": True, "op": "stats", "v": PROTOCOL_VERSION, **engine.stats()}
     if op == "graphs":

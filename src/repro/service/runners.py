@@ -5,6 +5,13 @@ implementations with a uniform call shape::
 
     run_algorithm(graph, source, "nearfar", {"delta": 0.5}) -> SSSPResult
 
+:func:`run_algorithm_batch` is the coalesced-dispatch entry point: one
+pool task answering B sources at once.  For :data:`BATCHED_ALGORITHMS`
+it calls the true multi-source kernel
+(:func:`~repro.sssp.batch_kernels.batched_nearfar_sssp`); for every
+other algorithm it loops in-task, which still amortises pool submit
+overhead across the batch.
+
 Parameters are validated against a per-algorithm whitelist *before*
 the run starts, so a typo'd request fails fast with a message naming
 the accepted keys instead of dying mid-run.  Everything here is a
@@ -14,12 +21,18 @@ pickle the task (see :mod:`repro.service.pool`).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.csr import CSRGraph
 from repro.sssp.result import SSSPResult
 
-__all__ = ["ALGORITHM_PARAMS", "algorithm_names", "run_algorithm"]
+__all__ = [
+    "ALGORITHM_PARAMS",
+    "BATCHED_ALGORITHMS",
+    "algorithm_names",
+    "run_algorithm",
+    "run_algorithm_batch",
+]
 
 # algorithm -> accepted parameter names
 ALGORITHM_PARAMS: Dict[str, Tuple[str, ...]] = {
@@ -30,6 +43,9 @@ ALGORITHM_PARAMS: Dict[str, Tuple[str, ...]] = {
     "adaptive": ("setpoint",),
     "kla": ("k",),
 }
+
+# algorithms with a true multi-source kernel behind run_algorithm_batch
+BATCHED_ALGORITHMS: Tuple[str, ...] = ("nearfar",)
 
 
 def algorithm_names() -> Tuple[str, ...]:
@@ -104,3 +120,34 @@ def run_algorithm(
         graph, source, AdaptiveParams(setpoint=setpoint), collect_trace=False
     )
     return result
+
+
+def run_algorithm_batch(
+    graph: CSRGraph,
+    sources: Sequence[int],
+    algorithm: str,
+    params: Optional[Mapping] = None,
+) -> List[SSSPResult]:
+    """Answer B sources in one task; results come back in source order.
+
+    Algorithms in :data:`BATCHED_ALGORITHMS` go through the
+    multi-source kernel — one pass over the shared CSR arrays for the
+    whole batch.  The rest loop over :func:`run_algorithm` inside the
+    task, which amortises pool submission without changing per-query
+    semantics.  Either way each source gets its own independent
+    :class:`~repro.sssp.result.SSSPResult`.
+    """
+    params = validate_params(algorithm, params or {})
+    sources = [int(s) for s in sources]
+    if not sources:
+        raise ValueError("batch must contain at least one source")
+    for source in sources:
+        if not 0 <= source < graph.num_nodes:
+            raise ValueError(
+                f"source {source} out of range for {graph.num_nodes} nodes"
+            )
+    if algorithm in BATCHED_ALGORITHMS:
+        from repro.sssp.batch_kernels import batched_nearfar_sssp
+
+        return batched_nearfar_sssp(graph, sources, delta=params.get("delta"))
+    return [run_algorithm(graph, s, algorithm, params) for s in sources]

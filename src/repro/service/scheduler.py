@@ -1,0 +1,168 @@
+"""Cross-request coalescing: hold queries briefly, dispatch together.
+
+:class:`~repro.service.engine.QueryEngine` can only coalesce queries
+that arrive in the *same* ``run_many`` call.  Real traffic arrives one
+request at a time, from many client threads; this module supplies the
+missing accumulation window.  :class:`CoalescingScheduler` is the
+service-side analogue of continuous batching in an inference server:
+
+* :meth:`CoalescingScheduler.submit` parks a query and returns a
+  future immediately;
+* a flusher thread dispatches the parked batch when either bound
+  trips — ``max_batch`` queries are waiting (batch is full) or the
+  oldest has waited ``max_wait_ms`` (latency cap);
+* the flush is one :meth:`~repro.service.engine.QueryEngine.run_many`
+  call, where same-corridor misses become one batched kernel pass
+  (``batch_dispatch`` event, ``service.batch.*`` metrics) and every
+  per-query guarantee — cache, validation, retry, breaker accounting,
+  ``query_start``/``query_end`` events — applies unchanged.
+
+The trade is explicit: up to ``max_wait_ms`` of added latency per
+query buys one kernel pass for up to ``max_batch`` of them.  With
+``max_wait_ms=0`` the scheduler degenerates to a submit-side queue
+that still fuses whatever happens to be waiting at flush time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional, Tuple
+
+from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
+
+__all__ = ["CoalescingScheduler"]
+
+
+class CoalescingScheduler:
+    """Accumulate queries for a bounded window, flush as one batch.
+
+    Parameters
+    ----------
+    engine:
+        The engine that answers flushed batches.  Build it with
+        ``max_batch > 1`` or same-corridor queries will still run one
+        kernel pass each.
+    max_batch:
+        Flush as soon as this many queries are parked (>= 1).
+    max_wait_ms:
+        Flush no later than this many milliseconds after the first
+        parked query (>= 0; 0 flushes as fast as the flusher can spin).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.submitted = 0
+        self.flushes = 0
+        self._cond = threading.Condition()
+        self._pending: List[Tuple[SSSPQuery, Future]] = []
+        self._deadline: Optional[float] = None
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-coalesce", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, query: SSSPQuery) -> "Future[QueryResponse]":
+        """Park one query; the future resolves to its QueryResponse."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if not self._pending:
+                self._deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            self._pending.append((query, future))
+            self.submitted += 1
+            self._cond.notify_all()
+        return future
+
+    def run(self, query: SSSPQuery) -> QueryResponse:
+        """Submit and wait: the blocking convenience wrapper."""
+        return self.submit(query).result()
+
+    # ------------------------------------------------------------------
+    # flusher
+    # ------------------------------------------------------------------
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                # wait until the batch fills or the window expires
+                while (
+                    len(self._pending) < self.max_batch and not self._closed
+                ):
+                    assert self._deadline is not None
+                    remaining = self._deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+                if self._pending:
+                    # leftovers start a fresh window of their own
+                    self._deadline = (
+                        time.monotonic() + self.max_wait_ms / 1000.0
+                    )
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[Tuple[SSSPQuery, Future]]) -> None:
+        self.flushes += 1
+        queries = [query for query, _ in batch]
+        try:
+            responses = self.engine.run_many(queries)
+        except Exception as exc:  # engine bugs fail the waiters, not us
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        for (_, future), response in zip(batch, responses):
+            if not future.cancelled():
+                future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._cond:
+            pending = len(self._pending)
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "submitted": self.submitted,
+            "flushes": self.flushes,
+            "pending": pending,
+        }
+
+    def close(self) -> None:
+        """Flush whatever is parked, then stop the flusher thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._flusher.join()
+
+    def __enter__(self) -> "CoalescingScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -10,9 +10,13 @@
   (Davidson et al.) with the paper's four stages and ``X^(1..4)``
   workload counters; this is what the self-tuning algorithm in
   :mod:`repro.core` extends.
+* :mod:`~repro.sssp.batch_kernels` — batched multi-source near+far:
+  B queries in one pass over shared CSR arrays, composite
+  ``query_id * n + v`` keys, per-query windows and termination.
 * :mod:`~repro.sssp.frontier` — shared vectorised stage primitives.
 """
 
+from repro.sssp.batch_kernels import BatchedNearFarParams, batched_nearfar_sssp
 from repro.sssp.bellman_ford import NegativeCycleError, bellman_ford
 from repro.sssp.delta_stepping import delta_stepping
 from repro.sssp.dijkstra import dijkstra
@@ -21,10 +25,12 @@ from repro.sssp.nearfar import NearFarParams, nearfar_sssp, suggest_delta
 from repro.sssp.result import SSSPResult, assert_distances_close, extract_path
 
 __all__ = [
+    "BatchedNearFarParams",
     "NearFarParams",
     "NegativeCycleError",
     "SSSPResult",
     "assert_distances_close",
+    "batched_nearfar_sssp",
     "bellman_ford",
     "delta_stepping",
     "dijkstra",

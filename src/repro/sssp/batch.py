@@ -108,6 +108,7 @@ def batch_run(
     max_workers: int | None = None,
     mode: str = "thread",
     timeout: float | None = None,
+    delta: float | None = None,
 ) -> BatchRun:
     """Run ``runner`` from every source.
 
@@ -122,10 +123,31 @@ def batch_run(
     module-level function, not a lambda).  ``mode="thread"`` accepts
     any callable and overlaps the NumPy kernels, which release the
     GIL.  ``timeout`` bounds each source's run in seconds.
+
+    ``mode="batched"`` is the fast path: it ignores ``runner`` and
+    answers the whole batch with one multi-source near+far pass
+    (:func:`repro.sssp.batch_kernels.batched_nearfar_sssp`, optionally
+    tuned by ``delta``).  Distances are byte-identical to looping
+    ``nearfar_sssp`` over the sources; traces come back empty (the
+    batched kernel keeps counters, not per-iteration records).
     """
     sources = np.asarray(sources, dtype=np.int64)
     if sources.size == 0:
         raise ValueError("sources must be non-empty")
+
+    if mode == "batched":
+        from repro.sssp.batch_kernels import batched_nearfar_sssp
+
+        results = batched_nearfar_sssp(graph, sources, delta=delta)
+        traces = [
+            RunTrace(
+                algorithm="nearfar", graph_name=graph.name, source=int(s)
+            )
+            for s in sources
+        ]
+        return BatchRun(
+            label=label, sources=sources, results=results, traces=traces
+        )
 
     if parallel or max_workers is not None:
         from repro.service.pool import ExecutorPool

@@ -1,0 +1,240 @@
+"""Batched multi-source near+far SSSP: B queries, one kernel pass.
+
+:mod:`repro.sssp.nearfar` answers one ``(graph, source)`` pair per
+pass; a serving stack wants many.  This module runs **B sources
+simultaneously over the shared CSR arrays** — the request-batching
+lever of an inference server applied to stepping SSSP.  The per-sweep
+cost of a NumPy frontier stage is a fixed ufunc/dispatch overhead plus
+work proportional to the frontier; fusing B queries into one sweep
+pays the overhead once instead of B times, exactly the amortisation
+argument of bucket fusion (Dong et al. 2021) and wider per-step
+frontiers (Blelloch et al. 2016).
+
+Layout
+------
+* distances live in one flat ``dist[B * n]`` array (the ``dist[B, n]``
+  matrix, flattened);
+* the frontier and the far queue hold **composite keys**
+  ``query_id * n + v``, so every stage is a single ufunc sweep over
+  all queries at once (:func:`~repro.sssp.frontier.batched_advance`
+  relaxes with one ``np.minimum.at``);
+* each query keeps its own ``[lower, split)`` delta window, advanced
+  independently by :func:`~repro.sssp.frontier.batched_drain_far`;
+* a finished query simply stops contributing keys — it drops out of
+  the flattened frontier without blocking the rest of the batch.
+
+With ``B = 1`` the sweep sequence is operation-for-operation identical
+to :func:`~repro.sssp.nearfar.nearfar_sssp`, so batched distances are
+byte-exact against the single-source path (pinned by
+``tests/sssp/test_batch_kernels.py``).  Duplicate sources are allowed:
+each query owns a disjoint key range, so they run independently and
+return identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.obs import context as obs
+from repro.obs.events import EVENT_SCHEMA_VERSION
+from repro.sssp.frontier import (
+    batched_advance,
+    batched_bisect,
+    batched_drain_far,
+    batched_filter,
+)
+from repro.sssp.nearfar import suggest_delta
+from repro.sssp.result import SSSPResult
+
+__all__ = ["BatchedNearFarParams", "batched_nearfar_sssp"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class BatchedNearFarParams:
+    """Tuning parameters of the batched near+far engine.
+
+    ``delta`` may be a scalar (shared by every query) or a length-B
+    sequence (one window width per query).  ``max_sweeps`` bounds the
+    number of global sweeps (0 = unlimited) as a safety valve for
+    tests.
+    """
+
+    delta: float | Sequence[float] | None = None
+    max_sweeps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_sweeps < 0:
+            raise ValueError("max_sweeps must be >= 0")
+
+    def delta_array(self, graph: CSRGraph, num_queries: int) -> np.ndarray:
+        """Resolve ``delta`` into a validated float64[B] array."""
+        if self.delta is None:
+            value = np.full(num_queries, suggest_delta(graph))
+        else:
+            value = np.asarray(self.delta, dtype=np.float64)
+            if value.ndim == 0:
+                value = np.full(num_queries, float(value))
+            elif value.shape != (num_queries,):
+                raise ValueError(
+                    f"delta must be a scalar or length-{num_queries} "
+                    f"sequence, got shape {value.shape}"
+                )
+        if np.any(~np.isfinite(value)) or np.any(value <= 0):
+            raise ValueError("every delta must be finite and positive")
+        return value
+
+
+def batched_nearfar_sssp(
+    graph: CSRGraph,
+    sources: Sequence[int] | np.ndarray,
+    params: BatchedNearFarParams | None = None,
+    *,
+    delta: float | Sequence[float] | None = None,
+) -> List[SSSPResult]:
+    """Run fixed-delta near+far from every source in one batched pass.
+
+    Parameters
+    ----------
+    graph:
+        Problem instance (non-negative weights required).
+    sources:
+        The B source vertices; duplicates are allowed and answered
+        independently.
+    params / delta:
+        Either a full :class:`BatchedNearFarParams` or a bare ``delta``
+        (mutually exclusive); defaults to
+        :func:`~repro.sssp.nearfar.suggest_delta`.
+
+    Returns
+    -------
+    list of :class:`~repro.sssp.result.SSSPResult`, in source order,
+    each with its own per-query iteration and relaxation counts (a
+    query's iteration count is the number of sweeps in which it still
+    had frontier work).  ``extra`` records ``delta``, ``batch_size``
+    and ``batched=True``.
+    """
+    if params is not None and delta is not None:
+        raise ValueError("pass either params or delta, not both")
+    if params is None:
+        params = BatchedNearFarParams(delta=delta)
+
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1 or sources.size == 0:
+        raise ValueError("sources must be a non-empty 1-D sequence")
+    n = graph.num_nodes
+    if np.any((sources < 0) | (sources >= n)):
+        bad = sources[(sources < 0) | (sources >= n)]
+        raise ValueError(f"source {int(bad[0])} out of range for {n} nodes")
+    if graph.has_negative_weights():
+        raise ValueError("near+far requires non-negative edge weights")
+
+    B = int(sources.size)
+    deltas = params.delta_array(graph, B)
+
+    dist = np.full(B * n, np.inf)
+    origin = np.arange(B, dtype=np.int64) * n + sources
+    dist[origin] = 0.0
+    frontier = origin  # strictly increasing in query id, one key each
+    far = _EMPTY
+    lower = np.zeros(B)
+    split = deltas.copy()
+
+    iterations = np.zeros(B, dtype=np.int64)
+    relaxations = np.zeros(B, dtype=np.int64)
+    sweeps = 0
+
+    ctx = obs.current()
+    reg, events = ctx.registry, ctx.events
+    m_sweeps = reg.counter("sssp.batch.sweeps")
+    m_active = reg.histogram("sssp.batch.active")
+    m_frontier = reg.histogram("sssp.batch.frontier")
+    m_relaxations = reg.counter("sssp.batch.relaxations")
+    if events.enabled:
+        events.emit(
+            {
+                "type": "batch_run_start",
+                "v": EVENT_SCHEMA_VERSION,
+                "algorithm": "nearfar-batch",
+                "graph": graph.name,
+                "batch_size": B,
+                "sources": sources.tolist(),
+            }
+        )
+
+    while frontier.size:
+        sweeps += 1
+        # queries with frontier work this sweep age by one iteration
+        active = np.zeros(B, dtype=bool)
+        active[frontier // n] = True
+        iterations[active] += 1
+
+        # stage 1+2: advance all queries' edges in one sweep, then filter
+        adv = batched_advance(graph, frontier, dist, B)
+        relaxations += adv.relaxations_per_query
+        improved = batched_filter(adv.improved)
+
+        # stage 3: bisect against each query's own window
+        near, far_add = batched_bisect(improved, dist, split, n)
+        if far_add.size:
+            far = np.concatenate([far, far_add]) if far.size else far_add
+        frontier = near
+
+        # stage 4: per-query bisect-far-queue for starved queries only
+        if far.size:
+            has_near = np.zeros(B, dtype=bool)
+            if frontier.size:
+                has_near[frontier // n] = True
+            fq = far // n
+            has_far = np.zeros(B, dtype=bool)
+            has_far[fq] = True
+            need = ~has_near & has_far
+            if need.any():
+                pulled, far, lower, split, _ = batched_drain_far(
+                    far, dist, n, lower, split, deltas, need, far_q=fq
+                )
+                if pulled.size:
+                    frontier = (
+                        np.concatenate([frontier, pulled])
+                        if frontier.size
+                        else pulled
+                    )
+
+        m_sweeps.inc()
+        m_active.observe(int(active.sum()))
+        m_frontier.observe(int(frontier.size))
+        m_relaxations.inc(int(adv.relaxations_per_query.sum()))
+        if params.max_sweeps and sweeps >= params.max_sweeps:
+            break
+
+    results = [
+        SSSPResult(
+            dist=dist[q * n : (q + 1) * n].copy(),
+            source=int(sources[q]),
+            iterations=int(iterations[q]),
+            relaxations=int(relaxations[q]),
+            algorithm="nearfar",
+            extra={
+                "delta": float(deltas[q]),
+                "batch_size": B,
+                "batched": True,
+            },
+        )
+        for q in range(B)
+    ]
+    if events.enabled:
+        events.emit(
+            {
+                "type": "batch_run_end",
+                "batch_size": B,
+                "sweeps": sweeps,
+                "relaxations": int(relaxations.sum()),
+                "reached": [r.num_reached for r in results],
+            }
+        )
+    return results

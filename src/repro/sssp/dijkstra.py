@@ -1,8 +1,21 @@
 """Binary-heap Dijkstra — the correctness oracle.
 
 Deliberately simple and obviously-correct (lazy deletion heap); every
-parallel algorithm in the package is property-tested against it.  Not
-vectorised: its job is trust, not speed.
+parallel algorithm in the package is property-tested against it.  The
+settled order stays strictly sequential, but the per-edge relaxation
+is degree-adaptive: a vertex whose adjacency list reaches
+``_SLICE_THRESHOLD`` out-edges is relaxed as one CSR slice (a NumPy
+gather + vectorised candidate/improvement computation), while
+low-degree vertices take a tight Python loop over pre-converted lists.
+
+Why not slice everything?  On road-like graphs (average degree ~4)
+the fixed NumPy dispatch cost per pop is ~4x *slower* than the scalar
+loop; on power-law graphs the hubs are exactly where slicing wins.
+The hybrid is faster on both families, and the oracle backs the chaos
+drills and the batched acceptance tests where it dominated runtime.
+Both branches perform the identical ``du + w`` float64 additions and
+keep sequential duplicate-edge semantics, so distances are unchanged
+bit for bit versus the classic per-edge loop.
 """
 
 from __future__ import annotations
@@ -15,6 +28,10 @@ from repro.graph.csr import CSRGraph
 from repro.sssp.result import SSSPResult
 
 __all__ = ["dijkstra"]
+
+# Degree at which a NumPy CSR-slice relaxation beats the scalar loop
+# (measured on cal_like/wiki_like; the crossover is broad, not sharp).
+_SLICE_THRESHOLD = 32
 
 
 def dijkstra(graph: CSRGraph, source: int, *, with_pred: bool = False) -> SSSPResult:
@@ -29,26 +46,61 @@ def dijkstra(graph: CSRGraph, source: int, *, with_pred: bool = False) -> SSSPRe
     if graph.has_negative_weights():
         raise ValueError("Dijkstra requires non-negative edge weights")
 
-    dist = np.full(n, np.inf)
+    dist = np.full(n, np.inf)  # NumPy mirror, used for vector gathers
     pred = np.full(n, -1, dtype=np.int64) if with_pred else None
     dist[source] = 0.0
+    if graph.indptr[source] == graph.indptr[source + 1]:
+        # isolated source: skip the O(m) list conversions entirely
+        return SSSPResult(
+            dist=dist,
+            source=source,
+            pred=pred,
+            iterations=0,
+            relaxations=0,
+            algorithm="dijkstra",
+        )
+    dl = dist.tolist()  # Python-scalar copy for the tight loop
     heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
     relaxations = 0
 
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    indices, weights = graph.indices, graph.weights
+    indptr_l = graph.indptr.tolist()
+    indices_l = indices.tolist()
+    weights_l = weights.tolist()
     while heap:
-        du, u = heapq.heappop(heap)
-        if du > dist[u]:
+        du, u = pop(heap)
+        if du > dl[u]:
             continue  # stale entry
-        for e in range(indptr[u], indptr[u + 1]):
-            v = indices[e]
-            relaxations += 1
-            cand = du + weights[e]
-            if cand < dist[v]:
-                dist[v] = cand
-                if pred is not None:
-                    pred[v] = u
-                heapq.heappush(heap, (cand, int(v)))
+        lo = indptr_l[u]
+        hi = indptr_l[u + 1]
+        deg = hi - lo
+        relaxations += deg
+        if deg < _SLICE_THRESHOLD:
+            for e in range(lo, hi):
+                v = indices_l[e]
+                cand = du + weights_l[e]
+                if cand < dl[v]:
+                    dl[v] = cand
+                    dist[v] = cand
+                    if pred is not None:
+                        pred[v] = u
+                    push(heap, (cand, v))
+        else:
+            vs = indices[lo:hi]
+            cand = du + weights[lo:hi]
+            improved = cand < dist[vs]
+            if improved.any():
+                # re-check against dl so parallel edges to the same
+                # target resolve exactly as the sequential loop does
+                for c, v in zip(cand[improved].tolist(), vs[improved].tolist()):
+                    if c < dl[v]:
+                        dl[v] = c
+                        dist[v] = c
+                        if pred is not None:
+                            pred[v] = u
+                        push(heap, (c, v))
 
     return SSSPResult(
         dist=dist,

@@ -13,6 +13,16 @@ the paper instruments (Section 3.1):
   the phase window until the frontier is non-empty, dropping stale
   far-queue entries.
 
+The ``batched_*`` variants generalise each stage to **B simultaneous
+queries** over the same CSR arrays.  State lives in a flat
+``dist[B * n]`` array and vertices are addressed by *composite keys*
+``query_id * n + v``, so one ``np.minimum.at`` sweep relaxes every
+query's edges at once — the multi-source analogue of bucket fusion
+(Dong et al. 2021): per-stage ufunc overhead is paid once per sweep,
+not once per query.  With ``B = 1`` the batched stages perform exactly
+the same floating-point operations in the same order as the
+single-source ones, which the acceptance tests pin byte-for-byte.
+
 Hot paths contain no per-vertex Python loops; everything is CSR slicing
 plus ufunc reductions, per the scientific-python optimisation guides.
 """
@@ -29,10 +39,15 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "AdvanceOutput",
+    "BatchedAdvanceOutput",
     "advance",
-    "filter_frontier",
+    "batched_advance",
+    "batched_bisect",
+    "batched_drain_far",
+    "batched_filter",
     "bisect",
     "drain_far_queue",
+    "filter_frontier",
     "ragged_arange",
 ]
 
@@ -143,3 +158,170 @@ def drain_far_queue(
     drains = max(1, int(math.ceil((split - lower) / delta)))
     near_mask = d < split
     return far[near_mask], far[~near_mask], lower, split, drains
+
+
+# ----------------------------------------------------------------------
+# batched (multi-source) stage primitives
+# ----------------------------------------------------------------------
+@dataclass
+class BatchedAdvanceOutput:
+    """What one batched advance sweep produced, per query and pooled."""
+
+    improved: np.ndarray  # improved composite keys (duplicates included)
+    x2: int  # pooled neighbour-list length across every query
+    relaxations_per_query: np.ndarray  # int64[B], edges relaxed per query
+
+
+def batched_advance(
+    graph: CSRGraph, frontier: np.ndarray, dist: np.ndarray, num_queries: int
+) -> BatchedAdvanceOutput:
+    """Relax the out-edges of a flattened multi-query frontier.
+
+    ``frontier`` holds composite keys ``q * n + u``; ``dist`` is the
+    flat ``B * n`` distance array.  One gather builds every query's
+    edge candidates, one ``np.minimum.at`` commits them — atomicMin
+    semantics identical to :func:`advance`, shared across all B
+    queries.  Keys of distinct queries can never collide (they live in
+    disjoint ``[q*n, (q+1)*n)`` ranges), so queries stay independent.
+    """
+    n = graph.num_nodes
+    B = int(num_queries)
+    if frontier.size == 0:
+        return BatchedAdvanceOutput(
+            improved=_EMPTY, x2=0,
+            relaxations_per_query=np.zeros(B, dtype=np.int64),
+        )
+    q, u = np.divmod(frontier, n)
+    starts = graph.indptr[u]
+    counts = graph.indptr[u + 1] - starts
+    x2 = int(counts.sum())
+    relax = np.zeros(B, dtype=np.int64)
+    np.add.at(relax, q, counts)
+    if x2 == 0:
+        return BatchedAdvanceOutput(
+            improved=_EMPTY, x2=0, relaxations_per_query=relax
+        )
+
+    # offsets = repeat(starts, counts) + ragged_arange(counts), fused
+    # into a single edge-sized repeat (this is the hottest line of the
+    # batched pass; every temporary here is edge-sized)
+    shift = np.empty(counts.size, dtype=np.int64)
+    shift[0] = 0
+    np.cumsum(counts[:-1], out=shift[1:])
+    np.subtract(starts, shift, out=shift)
+    offsets = np.repeat(shift, counts)
+    offsets += np.arange(x2, dtype=np.int64)
+    v = graph.indices[offsets]
+    w = graph.weights[offsets]
+    cand = np.repeat(dist[frontier], counts)
+    cand += w
+    vkeys = np.repeat(q * n, counts)
+    vkeys += v
+
+    old = dist[vkeys]  # pre-sweep snapshot (atomic-read-before-write)
+    np.minimum.at(dist, vkeys, cand)
+    improved = vkeys[cand < old]
+    return BatchedAdvanceOutput(
+        improved=improved, x2=x2, relaxations_per_query=relax
+    )
+
+
+def _dedup_sorted(keys: np.ndarray) -> np.ndarray:
+    """Sort + adjacent-diff dedup: ``np.unique`` output without its
+    hash-table path, which dominates the batched sweep profile."""
+    if keys.size == 0:
+        return _EMPTY
+    keys = np.sort(keys)
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+def batched_filter(improved: np.ndarray) -> np.ndarray:
+    """Deduplicate improved composite keys across every query at once.
+
+    Sorting composite keys is simultaneously a global sort and a
+    per-query dedup, because each query owns a disjoint key range — for
+    ``B = 1`` the result is identical to :func:`filter_frontier`.
+    """
+    return _dedup_sorted(improved)
+
+
+def batched_bisect(
+    keys: np.ndarray, dist: np.ndarray, splits: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split composite ``keys`` into (near, far) by *per-query* windows.
+
+    ``splits[q]`` is query ``q``'s current split value; a key goes near
+    when its distance falls below its own query's split.
+    """
+    if keys.size == 0:
+        return _EMPTY, _EMPTY
+    mask = dist[keys] < splits[keys // n]
+    return keys[mask], keys[~mask]
+
+
+def batched_drain_far(
+    far: np.ndarray,
+    dist: np.ndarray,
+    n: int,
+    lower: np.ndarray,
+    split: np.ndarray,
+    delta: np.ndarray,
+    need: np.ndarray,
+    far_q: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query bisect-far-queue over a flattened multi-query far set.
+
+    Mirrors :func:`drain_far_queue` independently for every query whose
+    ``need`` flag is set (near queue empty, far queue not), in one
+    vectorised pass: stale entries are dropped, each draining query's
+    window jumps to ``max(split + delta, d_min + delta)`` (its own
+    ``d_min``, via ``np.minimum.at``), and entries now inside the new
+    window become that query's next frontier.  Entries of queries not
+    in ``need`` pass through untouched.  A draining query with only
+    stale entries keeps its window (nothing to pull) and simply loses
+    the stale entries, finishing the query.
+
+    Returns ``(frontier, far_remaining, lower, split, drains_per_query)``
+    with ``lower``/``split`` as fresh arrays.  ``far_q`` may carry a
+    precomputed ``far // n`` (callers that already derived it avoid a
+    second far-sized division).
+    """
+    if np.any(delta[need] <= 0):
+        raise ValueError("delta must be positive to drain the far queue")
+    lower = lower.copy()
+    split = split.copy()
+    B = lower.size
+    drains = np.zeros(B, dtype=np.int64)
+    if far.size == 0:
+        return _EMPTY, _EMPTY, lower, split, drains
+
+    sel = need[far // n if far_q is None else far_q]
+    keep = far[~sel]
+    cand = _dedup_sorted(far[sel])
+    qc = cand // n
+    scanned = np.zeros(B, dtype=bool)
+    scanned[qc] = True  # draining queries that had entries to look at
+    d = dist[cand]
+    live = d >= split[qc]  # entries below the split are stale duplicates
+    cand, qc, d = cand[live], qc[live], d[live]
+
+    dmin = np.full(B, np.inf)
+    np.minimum.at(dmin, qc, d)
+    advanced = need & np.isfinite(dmin)  # draining queries with live entries
+    new_split = np.where(
+        advanced, np.maximum(split + delta, dmin + delta), split
+    )
+    lower[advanced] = split[advanced]
+    drains[advanced] = np.maximum(
+        1, np.ceil((new_split[advanced] - lower[advanced]) / delta[advanced])
+    ).astype(np.int64)
+    drains[scanned & ~advanced] = 1  # all-stale drains still count one scan
+    split = new_split
+
+    near_mask = d < split[qc]
+    frontier = cand[near_mask]
+    far_remaining = np.concatenate([keep, cand[~near_mask]])
+    return frontier, far_remaining, lower, split, drains

@@ -329,3 +329,140 @@ class TestResponseWireFormat:
             d = engine.run(SSSPQuery("nope", 0)).as_dict()
         assert d["ok"] is False
         assert "error" in d and "fingerprint" not in d
+
+
+class TestBatching:
+    """Coalescing concurrent same-corridor queries into one kernel call."""
+
+    def _queries(self, sources, algorithm="nearfar"):
+        return [SSSPQuery("grid", s, algorithm) for s in sources]
+
+    def test_batched_results_match_singles(self, catalog, grid):
+        with QueryEngine(catalog, max_batch=8) as engine:
+            batched = engine.run_many(self._queries([0, 5, 9, 20]))
+        with QueryEngine(catalog, max_batch=1) as engine:
+            singles = engine.run_many(self._queries([0, 5, 9, 20]))
+        for b, s in zip(batched, singles):
+            assert b.ok and s.ok
+            assert b.reached == s.reached
+            assert b.iterations == s.iterations
+        oracle = dijkstra(grid, 0)
+        assert batched[0].reached == oracle.num_reached
+
+    def test_batch_dispatch_event_and_metrics(self, catalog):
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=registry, events=sink):
+            with QueryEngine(catalog, max_batch=8) as engine:
+                responses = engine.run_many(self._queries([0, 5, 9]))
+        assert all(r.ok for r in responses)
+        [dispatch] = sink.of_type("batch_dispatch")
+        assert dispatch["graph"] == "grid"
+        assert dispatch["algorithm"] == "nearfar"
+        assert dispatch["batch_size"] == 3
+        assert dispatch["sources"] == [0, 5, 9]
+        # every member still gets its own lifecycle events
+        assert len(sink.of_type("query_start")) == 3
+        assert len(sink.of_type("query_end")) == 3
+        hist = registry.histogram("service.batch.size")
+        assert hist.count == 1 and hist.values == [3]
+        # 3 queries answered by 1 kernel call: 2 pool tasks saved
+        assert registry.counter("service.batch.coalesced").value == 2
+
+    def test_duplicate_sources_coalesce_not_batch(self, catalog):
+        sink = obs.ListSink()
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=8) as engine:
+                responses = engine.run_many(self._queries([0, 5, 0]))
+        assert all(r.ok for r in responses)
+        assert responses[2].cache == "coalesced"
+        [dispatch] = sink.of_type("batch_dispatch")
+        assert dispatch["batch_size"] == 2  # the duplicate rode along
+
+    def test_each_member_cached_individually(self, catalog):
+        with QueryEngine(catalog, max_batch=8) as engine:
+            engine.run_many(self._queries([0, 5, 9]))
+            assert engine.cache.stats()["size"] == 3
+            again = engine.run(SSSPQuery("grid", 5, "nearfar"))
+        assert again.cache == "hit"
+
+    def test_max_batch_one_disables(self, catalog):
+        sink = obs.ListSink()
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=1) as engine:
+                responses = engine.run_many(self._queries([0, 5]))
+        assert all(r.ok for r in responses)
+        assert sink.of_type("batch_dispatch") == []
+
+    def test_unbatchable_algorithm_not_batched(self, catalog):
+        sink = obs.ListSink()
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=8) as engine:
+                responses = engine.run_many(self._queries([0, 5], "dijkstra"))
+        assert all(r.ok for r in responses)
+        assert sink.of_type("batch_dispatch") == []
+
+    def test_mixed_corridors_split(self, catalog):
+        """Different params -> different corridors -> separate dispatches."""
+        sink = obs.ListSink()
+        queries = [
+            SSSPQuery("grid", 0, "nearfar"),
+            SSSPQuery("grid", 5, "nearfar", params={"delta": 4.0}),
+            SSSPQuery("grid", 9, "nearfar"),
+        ]
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=8) as engine:
+                responses = engine.run_many(queries)
+        assert all(r.ok for r in responses)
+        [dispatch] = sink.of_type("batch_dispatch")
+        assert dispatch["sources"] == [0, 9]  # the delta=4 query went solo
+
+    def test_chunking_respects_max_batch(self, catalog):
+        sink = obs.ListSink()
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=2) as engine:
+                responses = engine.run_many(self._queries([0, 5, 9, 20]))
+        assert all(r.ok for r in responses)
+        sizes = [e["batch_size"] for e in sink.of_type("batch_dispatch")]
+        assert sizes == [2, 2]
+
+    def test_whole_batch_retried_on_transient(self, catalog, grid):
+        # task 0 (the batch) faulted, task 1 (the resubmission) clean
+        plan = _plan_with_pattern(("transient",), [True, False])
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=registry, events=sink):
+            with QueryEngine(
+                catalog,
+                max_batch=8,
+                fault_plan=plan,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            ) as engine:
+                responses = engine.run_many(self._queries([0, 5]))
+        assert all(r.ok for r in responses), [r.error for r in responses]
+        assert all(r.attempts == 2 for r in responses)
+        assert responses[0].reached == dijkstra(grid, 0).num_reached
+        # one resubmission, but every member reports its retry
+        assert registry.counter("service.retries").value == 1
+        assert len(sink.of_type("query_retry")) == 2
+
+    def test_batch_failure_fails_all_members(self, catalog):
+        plan = FaultPlan(rate=1.0, kinds=("crash",))
+        with QueryEngine(
+            catalog,
+            max_batch=8,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+        ) as engine:
+            responses = engine.run_many(self._queries([0, 5]))
+        assert all(not r.ok for r in responses)
+        assert len(engine.cache) == 0
+        assert engine.retry_exhausted == 2
+
+    def test_stats_reports_max_batch(self, catalog):
+        with QueryEngine(catalog, max_batch=4) as engine:
+            assert engine.stats()["max_batch"] == 4
+
+    def test_invalid_max_batch_rejected(self, catalog):
+        with pytest.raises(ValueError, match="max_batch"):
+            QueryEngine(catalog, max_batch=0)

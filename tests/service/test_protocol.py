@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.service import QueryEngine, handle_line, serve_stream
-from repro.service.protocol import parse_query
+from repro.service.protocol import parse_batch_query, parse_query
 
 
 class TestParseQuery:
@@ -100,7 +100,7 @@ class TestHandleLine:
         response = handle_line(engine, '{"op": "health"}')
         assert response["ok"] is True
         assert response["op"] == "health"
-        assert response["v"] == 2
+        assert response["v"] == 3
         assert response["pool"]["alive"] is True
         assert response["breakers"] == []
         assert response["breakers_open"] == 0
@@ -169,3 +169,76 @@ class TestServeStream:
         assert first["ok"] is False
         assert "internal error: RuntimeError: engine exploded" in first["error"]
         assert second["ok"] is True
+
+
+class TestBatchQueries:
+    """Protocol v3: the ``sources`` list form."""
+
+    @pytest.fixture
+    def engine(self, catalog):
+        with QueryEngine(catalog, max_batch=8) as e:
+            yield e
+
+    def test_parse_batch(self):
+        queries = parse_batch_query(
+            {"graph": "g", "sources": [1, 2, 3], "algorithm": "nearfar"}
+        )
+        assert [q.source for q in queries] == [1, 2, 3]
+        assert all(q.graph_id == "g" for q in queries)
+        assert all(q.algorithm == "nearfar" for q in queries)
+
+    @pytest.mark.parametrize(
+        "request_, message",
+        [
+            ({"graph": "g", "sources": []}, "non-empty"),
+            ({"graph": "g", "sources": 3}, "non-empty array"),
+            ({"graph": "g", "sources": [1], "source": 1}, "not both"),
+            ({"graph": "g", "sources": [1, "x"]}, "integer"),
+            ({"graph": "g", "sources": [1, True]}, "integer"),
+            ({"graph": "g", "sources": list(range(257))}, "max 256"),
+        ],
+    )
+    def test_rejections(self, request_, message):
+        with pytest.raises(ValueError, match=message):
+            parse_batch_query(request_)
+
+    def test_handle_line_sources(self, engine):
+        response = handle_line(
+            engine,
+            '{"graph": "grid", "sources": [0, 5, 9], '
+            '"algorithm": "nearfar", "id": "b1"}',
+        )
+        assert response["ok"] is True
+        assert response["count"] == 3
+        assert response["id"] == "b1"
+        assert len(response["results"]) == 3
+        for entry in response["results"]:
+            assert entry["ok"] is True
+            assert entry["reached"] > 1
+
+    def test_handle_line_sources_partial_failure(self, engine):
+        big = 10_000_000
+        response = handle_line(
+            engine,
+            f'{{"graph": "grid", "sources": [0, {big}], "algorithm": "nearfar"}}',
+        )
+        assert response["ok"] is False  # all-ok conjunction
+        assert response["count"] == 2
+        assert response["results"][0]["ok"] is True
+        assert response["results"][1]["ok"] is False
+
+    def test_handle_line_sources_parse_error_echoes_id(self, engine):
+        response = handle_line(
+            engine, '{"graph": "grid", "sources": [], "id": "e"}'
+        )
+        assert response["ok"] is False
+        assert response["id"] == "e"
+
+    def test_duplicate_sources_one_line(self, engine):
+        response = handle_line(
+            engine,
+            '{"graph": "grid", "sources": [0, 0, 5], "algorithm": "nearfar"}',
+        )
+        assert response["ok"] is True
+        caches = [entry["cache"] for entry in response["results"]]
+        assert caches.count("coalesced") == 1

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.service.runners import algorithm_names, run_algorithm, validate_params
+import numpy as np
+
+from repro.service.runners import (
+    BATCHED_ALGORITHMS,
+    algorithm_names,
+    run_algorithm,
+    run_algorithm_batch,
+    validate_params,
+)
 from repro.sssp.dijkstra import dijkstra
 from repro.sssp.result import assert_distances_close
 
@@ -45,3 +53,53 @@ class TestDispatch:
     def test_defaults_apply(self, small_grid):
         result = run_algorithm(small_grid, 0, "nearfar")
         assert result.num_reached > 1
+
+
+class TestBatchDispatch:
+    def test_nearfar_is_batched(self):
+        assert "nearfar" in BATCHED_ALGORITHMS
+
+    def test_batched_kernel_matches_singles(self, small_grid):
+        sources = [0, 7, 21]
+        batch = run_algorithm_batch(small_grid, sources, "nearfar")
+        for s, result in zip(sources, batch):
+            single = run_algorithm(small_grid, s, "nearfar")
+            assert np.array_equal(result.dist, single.dist)
+            assert result.extra["batched"] is True
+
+    def test_delta_param_threads_through(self, small_grid):
+        [result] = run_algorithm_batch(
+            small_grid, [0], "nearfar", {"delta": 2.5}
+        )
+        assert result.extra["delta"] == 2.5
+        single = run_algorithm(small_grid, 0, "nearfar", {"delta": 2.5})
+        assert np.array_equal(result.dist, single.dist)
+
+    def test_unbatched_algorithm_loops(self, small_grid):
+        sources = [0, 5]
+        batch = run_algorithm_batch(small_grid, sources, "dijkstra")
+        assert len(batch) == 2
+        for s, result in zip(sources, batch):
+            assert result.algorithm == "dijkstra"
+            assert "batched" not in result.extra
+            assert_distances_close(dijkstra(small_grid, s), result)
+
+    def test_results_in_source_order(self, small_grid):
+        sources = [13, 2, 40]
+        batch = run_algorithm_batch(small_grid, sources, "nearfar")
+        for s, result in zip(sources, batch):
+            assert result.source == s
+
+    def test_empty_batch_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="at least one"):
+            run_algorithm_batch(small_grid, [], "nearfar")
+
+    def test_bad_source_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="out of range"):
+            run_algorithm_batch(
+                small_grid, [0, small_grid.num_nodes], "nearfar"
+            )
+
+    def test_bad_params_rejected(self, small_grid):
+        with pytest.raises(ValueError, match=r"\['setpoint'\]"):
+            run_algorithm_batch(small_grid, [0], "nearfar", {"setpoint": 1})

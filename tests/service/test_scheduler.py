@@ -1,0 +1,107 @@
+"""Tests for the coalescing scheduler's bounded batching window."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.service import CoalescingScheduler, QueryEngine, SSSPQuery
+from repro.sssp.dijkstra import dijkstra
+
+
+@pytest.fixture
+def engine(catalog):
+    with QueryEngine(catalog, max_batch=8) as eng:
+        yield eng
+
+
+class TestCoalescingScheduler:
+    def test_full_window_flushes_as_one_batch(self, catalog, grid):
+        sink = obs.ListSink()
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=8) as engine:
+                with CoalescingScheduler(
+                    engine, max_batch=3, max_wait_ms=10_000.0
+                ) as sched:
+                    futures = [
+                        sched.submit(SSSPQuery("grid", s, "nearfar"))
+                        for s in (0, 5, 9)
+                    ]
+                    responses = [f.result(timeout=30) for f in futures]
+        assert all(r.ok for r in responses)
+        assert responses[0].reached == dijkstra(grid, 0).num_reached
+        [dispatch] = sink.of_type("batch_dispatch")
+        assert dispatch["batch_size"] == 3
+        assert sched.stats()["flushes"] == 1
+
+    def test_deadline_flushes_partial_window(self, engine):
+        with CoalescingScheduler(engine, max_batch=64, max_wait_ms=5.0) as sched:
+            future = sched.submit(SSSPQuery("grid", 0, "nearfar"))
+            response = future.result(timeout=30)
+        assert response.ok
+        assert sched.stats()["flushes"] >= 1
+
+    def test_close_flushes_pending(self, engine):
+        sched = CoalescingScheduler(engine, max_batch=64, max_wait_ms=60_000.0)
+        future = sched.submit(SSSPQuery("grid", 4, "nearfar"))
+        sched.close()
+        assert future.result(timeout=30).ok
+        assert sched.stats()["pending"] == 0
+
+    def test_run_is_submit_plus_wait(self, engine, grid):
+        with CoalescingScheduler(engine, max_batch=4, max_wait_ms=5.0) as sched:
+            response = sched.run(SSSPQuery("grid", 0, "nearfar"))
+        assert response.ok
+        assert response.reached == dijkstra(grid, 0).num_reached
+
+    def test_concurrent_submitters_share_a_batch(self, catalog):
+        sink = obs.ListSink()
+        results = {}
+        barrier = threading.Barrier(3)
+
+        def worker(src):
+            barrier.wait()
+            results[src] = sched.run(SSSPQuery("grid", src, "nearfar"))
+
+        with obs.use(events=sink):
+            with QueryEngine(catalog, max_batch=8) as engine:
+                with CoalescingScheduler(
+                    engine, max_batch=3, max_wait_ms=10_000.0
+                ) as sched:
+                    threads = [
+                        threading.Thread(target=worker, args=(s,))
+                        for s in (0, 5, 9)
+                    ]
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join(timeout=30)
+        assert all(r.ok for r in results.values())
+        [dispatch] = sink.of_type("batch_dispatch")
+        assert sorted(dispatch["sources"]) == [0, 5, 9]
+
+    def test_error_queries_resolve_not_hang(self, engine):
+        with CoalescingScheduler(engine, max_batch=4, max_wait_ms=5.0) as sched:
+            response = sched.run(SSSPQuery("nope", 0, "nearfar"))
+        assert not response.ok
+        assert "unknown graph" in response.error
+
+    def test_stats_shape(self, engine):
+        with CoalescingScheduler(engine, max_batch=4, max_wait_ms=2.0) as sched:
+            sched.run(SSSPQuery("grid", 0, "nearfar"))
+            stats = sched.stats()
+        assert stats["max_batch"] == 4
+        assert stats["max_wait_ms"] == 2.0
+        assert stats["submitted"] == 1
+
+    def test_submit_after_close_rejected(self, engine):
+        sched = CoalescingScheduler(engine, max_batch=4, max_wait_ms=2.0)
+        sched.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sched.submit(SSSPQuery("grid", 0, "nearfar"))
+
+    def test_invalid_window_rejected(self, engine):
+        with pytest.raises(ValueError):
+            CoalescingScheduler(engine, max_batch=0)
+        with pytest.raises(ValueError):
+            CoalescingScheduler(engine, max_wait_ms=-1.0)

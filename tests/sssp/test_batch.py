@@ -176,3 +176,50 @@ class TestParallelBatch:
         for a, b in zip(serial.results, parallel.results):
             assert_distances_close(a, b)
             assert a.iterations == b.iterations
+
+
+class TestBatchedMode:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return grid_road_network(16, 16, seed=5)
+
+    def test_matches_serial_loop(self, grid):
+        sources = sample_sources(grid, 5, seed=7)
+        serial = batch_run(grid, sources, _nearfar_runner, label="loop")
+        batched = batch_run(grid, sources, _nearfar_runner, mode="batched")
+        for loop, multi in zip(serial.results, batched.results):
+            assert np.array_equal(loop.dist, multi.dist)
+
+    def test_runner_is_ignored(self, grid):
+        def exploding_runner(g, s):
+            raise AssertionError("batched mode must not call the runner")
+
+        batch = batch_run(grid, [0, 3], exploding_runner, mode="batched")
+        assert batch.count == 2
+        for s, result in zip(batch.sources, batch.results):
+            assert_distances_close(dijkstra(grid, int(s)), result)
+
+    def test_traces_are_empty_placeholders(self, grid):
+        batch = batch_run(grid, [0, 9], _nearfar_runner, mode="batched")
+        assert len(batch.traces) == 2
+        for s, trace in zip(batch.sources, batch.traces):
+            assert len(trace) == 0
+            assert trace.source == int(s)
+            assert trace.algorithm == "nearfar"
+
+    def test_delta_override(self, grid):
+        batch = batch_run(
+            grid, [0], _nearfar_runner, mode="batched", delta=4.0
+        )
+        assert batch.results[0].extra["delta"] == 4.0
+        assert_distances_close(dijkstra(grid, 0), batch.results[0])
+
+    def test_as_row_still_works(self, grid):
+        batch = batch_run(grid, [0, 5, 9], _nearfar_runner, mode="batched")
+        row = batch.as_row()
+        assert row["sources"] == 3
+        assert batch.iterations().min() > 0
+
+    def test_empty_sources_rejected(self, grid):
+        with pytest.raises(ValueError, match="non-empty"):
+            batch_run(grid, [], _nearfar_runner, mode="batched")

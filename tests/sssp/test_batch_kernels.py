@@ -1,0 +1,157 @@
+"""Unit tests for the batched multi-source near+far engine."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_road_network, path_graph, rmat
+from repro.sssp.batch_kernels import BatchedNearFarParams, batched_nearfar_sssp
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.nearfar import NearFarParams, nearfar_sssp
+
+
+class TestExactness:
+    def test_matches_dijkstra(self, small_grid):
+        sources = [0, 5, 17, 40]
+        results = batched_nearfar_sssp(small_grid, sources)
+        for src, res in zip(sources, results):
+            oracle = dijkstra(small_grid, src)
+            assert np.array_equal(res.dist, oracle.dist)
+
+    def test_b1_byte_exact_with_single_source(self, small_grid):
+        """B=1 runs the identical float ops in the identical order."""
+        for src in (0, 13, 63):
+            single, _ = nearfar_sssp(small_grid, src, collect_trace=False)
+            [batched] = batched_nearfar_sssp(small_grid, [src])
+            assert np.array_equal(single.dist, batched.dist)
+            assert single.iterations == batched.iterations
+            assert single.relaxations == batched.relaxations
+
+    def test_multi_source_byte_exact_with_loop(self, small_rmat):
+        sources = [0, 3, 9, 21, 40]
+        looped = [
+            nearfar_sssp(small_rmat, s, collect_trace=False)[0] for s in sources
+        ]
+        batched = batched_nearfar_sssp(small_rmat, sources)
+        for single, multi in zip(looped, batched):
+            assert np.array_equal(single.dist, multi.dist)
+            assert single.iterations == multi.iterations
+            assert single.relaxations == multi.relaxations
+
+    def test_duplicate_sources_in_one_batch(self, small_grid):
+        """Each query owns a disjoint key range, duplicates included."""
+        results = batched_nearfar_sssp(small_grid, [7, 3, 7, 7])
+        first, _, third, fourth = results
+        assert np.array_equal(first.dist, third.dist)
+        assert np.array_equal(first.dist, fourth.dist)
+        assert first.iterations == third.iterations == fourth.iterations
+        assert first.relaxations == third.relaxations
+        oracle = dijkstra(small_grid, 7)
+        assert np.array_equal(first.dist, oracle.dist)
+
+    def test_finished_query_amid_active_ones(self):
+        """A query that drains early stops contributing keys, silently.
+
+        Source n-1 of a directed path finishes immediately (no
+        out-edges); source 0 walks the whole path.  Both must stay
+        exact and the early finisher must not age extra iterations.
+        """
+        graph = path_graph(40)
+        last = graph.num_nodes - 1
+        results = batched_nearfar_sssp(graph, [0, last, 20])
+        for src, res in zip((0, last, 20), results):
+            assert np.array_equal(res.dist, dijkstra(graph, src).dist)
+        solo = batched_nearfar_sssp(graph, [last])[0]
+        assert results[1].iterations == solo.iterations
+        assert results[1].relaxations == solo.relaxations == 0
+
+    def test_explicit_delta_matches_single(self, small_grid):
+        delta = 3.5
+        single, _ = nearfar_sssp(
+            small_grid, 2, NearFarParams(delta=delta), collect_trace=False
+        )
+        [batched] = batched_nearfar_sssp(small_grid, [2], delta=delta)
+        assert np.array_equal(single.dist, batched.dist)
+        assert batched.extra["delta"] == delta
+
+    def test_per_query_deltas(self, small_grid):
+        results = batched_nearfar_sssp(small_grid, [0, 1], delta=[2.0, 9.0])
+        assert results[0].extra["delta"] == 2.0
+        assert results[1].extra["delta"] == 9.0
+        for src, res in zip((0, 1), results):
+            assert np.array_equal(res.dist, dijkstra(small_grid, src).dist)
+
+    def test_result_metadata(self, small_grid):
+        results = batched_nearfar_sssp(small_grid, [4, 8])
+        for res in results:
+            assert res.algorithm == "nearfar"
+            assert res.extra["batched"] is True
+            assert res.extra["batch_size"] == 2
+
+
+class TestValidation:
+    def test_empty_sources_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="non-empty"):
+            batched_nearfar_sssp(small_grid, [])
+
+    def test_source_out_of_range(self, small_grid):
+        with pytest.raises(ValueError, match="out of range"):
+            batched_nearfar_sssp(small_grid, [0, small_grid.num_nodes])
+
+    def test_negative_source(self, small_grid):
+        with pytest.raises(ValueError, match="out of range"):
+            batched_nearfar_sssp(small_grid, [-1])
+
+    def test_params_and_delta_exclusive(self, small_grid):
+        with pytest.raises(ValueError, match="not both"):
+            batched_nearfar_sssp(
+                small_grid, [0], BatchedNearFarParams(delta=1.0), delta=1.0
+            )
+
+    def test_wrong_delta_length(self, small_grid):
+        with pytest.raises(ValueError, match="length-2"):
+            batched_nearfar_sssp(small_grid, [0, 1], delta=[1.0, 2.0, 3.0])
+
+    def test_nonpositive_delta(self, small_grid):
+        with pytest.raises(ValueError, match="finite and positive"):
+            batched_nearfar_sssp(small_grid, [0], delta=0.0)
+
+    def test_negative_weights_rejected(self):
+        graph = CSRGraph.from_edges(2, src=[0], dst=[1], weight=[-1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            batched_nearfar_sssp(graph, [0])
+
+    def test_negative_max_sweeps_rejected(self):
+        with pytest.raises(ValueError, match="max_sweeps"):
+            BatchedNearFarParams(max_sweeps=-1)
+
+    def test_max_sweeps_truncates(self, small_grid):
+        truncated = batched_nearfar_sssp(
+            small_grid, [0], BatchedNearFarParams(max_sweeps=1)
+        )[0]
+        full = batched_nearfar_sssp(small_grid, [0])[0]
+        assert truncated.iterations == 1
+        assert truncated.relaxations <= full.relaxations
+
+
+class TestObservability:
+    def test_events_and_metrics(self, small_grid):
+        reg = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        with obs.use(registry=reg, events=sink):
+            batched_nearfar_sssp(small_grid, [0, 9])
+        [start] = sink.of_type("batch_run_start")
+        assert start["batch_size"] == 2
+        assert start["sources"] == [0, 9]
+        [end] = sink.of_type("batch_run_end")
+        assert end["sweeps"] > 0
+        assert len(end["reached"]) == 2
+        snap = reg.snapshot()
+        assert snap["sssp.batch.sweeps"]["value"] == end["sweeps"]
+        assert snap["sssp.batch.relaxations"]["value"] == end["relaxations"]
+        assert snap["sssp.batch.active"]["count"] == end["sweeps"]
+
+    def test_silent_without_context(self, small_grid):
+        results = batched_nearfar_sssp(small_grid, [0])
+        assert results[0].num_reached > 1

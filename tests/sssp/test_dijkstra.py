@@ -126,3 +126,60 @@ class TestOptimality:
     def test_relaxation_count_positive(self, small_grid):
         r = dijkstra(small_grid, 0)
         assert r.relaxations >= small_grid.num_edges // 2
+
+
+class TestSlicedRelaxation:
+    """The degree-adaptive CSR-slice branch (degree >= _SLICE_THRESHOLD)."""
+
+    def _hub_graph(self, leaves=64):
+        """A hub whose adjacency takes the vectorised branch."""
+        src = [0] * leaves + list(range(1, leaves + 1))
+        dst = list(range(1, leaves + 1)) + [leaves + 1] * leaves
+        weight = [float(1 + (i % 7)) for i in range(leaves)] + [1.0] * leaves
+        return CSRGraph.from_edges(leaves + 2, src, dst, weight)
+
+    def test_hub_matches_bellman_ford(self):
+        from repro.sssp.bellman_ford import bellman_ford
+
+        g = self._hub_graph()
+        r = dijkstra(g, 0)
+        assert np.array_equal(r.dist, bellman_ford(g, 0).dist)
+        assert r.relaxations == g.num_edges
+
+    def test_hub_with_pred_consistent(self):
+        g = self._hub_graph()
+        r = dijkstra(g, 0, with_pred=True)
+        # every reached non-source vertex has a pred that explains its dist
+        for v in range(1, g.num_nodes):
+            u = r.pred[v]
+            assert u >= 0
+            lo, hi = g.indptr[u], g.indptr[u + 1]
+            edges = [
+                g.weights[e] for e in range(lo, hi) if g.indices[e] == v
+            ]
+            assert any(r.dist[u] + w == r.dist[v] for w in edges)
+
+    def test_parallel_edges_inside_one_slice(self):
+        """Duplicate targets in a sliced adjacency keep the minimum."""
+        leaves = 40
+        src = [0] * (leaves + 2)
+        dst = list(range(1, leaves + 1)) + [1, 1]  # two extra edges to 1
+        weight = [9.0] * leaves + [3.0, 6.0]
+        g = CSRGraph.from_edges(leaves + 1, src, dst, weight)
+        r = dijkstra(g, 0, with_pred=True)
+        assert r.dist[1] == 3.0
+        assert r.pred[1] == 0
+        assert r.relaxations == leaves + 2
+
+    def test_isolated_source_early_out(self):
+        g = CSRGraph.from_edges(3, [0], [1], [1.0])
+        r = dijkstra(g, 2)  # vertex 2 has no out-edges
+        assert r.dist[2] == 0.0
+        assert np.isinf(r.dist[0]) and np.isinf(r.dist[1])
+        assert r.relaxations == 0
+
+    def test_star_hub_beyond_threshold(self):
+        g = star_graph(100)  # hub degree 99 > threshold
+        r = dijkstra(g, 0)
+        assert np.all(np.isfinite(r.dist))
+        assert r.dist[0] == 0.0

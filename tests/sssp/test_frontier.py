@@ -7,6 +7,10 @@ from repro.graph.csr import CSRGraph
 from repro.graph.generators import star_graph
 from repro.sssp.frontier import (
     advance,
+    batched_advance,
+    batched_bisect,
+    batched_drain_far,
+    batched_filter,
     bisect,
     drain_far_queue,
     filter_frontier,
@@ -163,3 +167,159 @@ class TestDrainFarQueue:
     def test_rejects_nonpositive_delta(self):
         with pytest.raises(ValueError):
             drain_far_queue(np.asarray([0]), np.zeros(1), 0.0, 1.0, 0.0)
+
+
+class TestRaggedArangeZeroRows:
+    def test_trailing_zero_rows(self):
+        assert list(ragged_arange(np.asarray([2, 0, 0]))) == [0, 1]
+
+    def test_leading_zero_rows(self):
+        assert list(ragged_arange(np.asarray([0, 0, 3]))) == [0, 1, 2]
+
+    def test_single_zero(self):
+        assert ragged_arange(np.asarray([0])).size == 0
+
+
+class TestBatchedAdvance:
+    def _flat(self, graph, sources):
+        n = graph.num_nodes
+        dist = np.full(len(sources) * n, np.inf)
+        keys = np.asarray([q * n + s for q, s in enumerate(sources)])
+        dist[keys] = 0.0
+        return dist, keys
+
+    def test_two_queries_relax_independently(self, diamond):
+        n = diamond.num_nodes
+        dist, frontier = self._flat(diamond, [0, 0])
+        out = batched_advance(diamond, frontier, dist, 2)
+        assert out.x2 == 4  # both copies explored vertex 0's two edges
+        assert list(out.relaxations_per_query) == [2, 2]
+        assert sorted(out.improved.tolist()) == [1, 2, n + 1, n + 2]
+        # each query's block got the same single-source update
+        assert dist[1] == dist[n + 1] == 4.0
+        assert dist[2] == dist[n + 2] == 1.0
+
+    def test_matches_single_source_advance(self, small_grid):
+        n = small_grid.num_nodes
+        sdist = np.full(n, np.inf)
+        sdist[3] = 0.0
+        single = advance(small_grid, np.asarray([3]), sdist)
+        bdist, frontier = self._flat(small_grid, [3])
+        batched = batched_advance(small_grid, frontier, bdist, 1)
+        assert batched.x2 == single.x2
+        assert np.array_equal(np.sort(batched.improved), np.sort(single.improved))
+        assert np.array_equal(bdist, sdist)
+
+    def test_empty_frontier(self, diamond):
+        dist = np.full(2 * diamond.num_nodes, np.inf)
+        out = batched_advance(diamond, EMPTY, dist, 2)
+        assert out.x2 == 0
+        assert out.improved.size == 0
+        assert list(out.relaxations_per_query) == [0, 0]
+
+    def test_frontier_of_sinks(self, small_path):
+        n = small_path.num_nodes
+        dist = np.full(n, 1.0)
+        out = batched_advance(small_path, np.asarray([n - 1]), dist, 1)
+        assert out.x2 == 0 and out.improved.size == 0
+
+
+class TestBatchedFilter:
+    def test_dedups_and_sorts(self):
+        keys = np.asarray([9, 2, 9, 2, 5, 9])
+        assert list(batched_filter(keys)) == [2, 5, 9]
+
+    def test_empty(self):
+        assert batched_filter(EMPTY).size == 0
+
+    def test_already_unique_preserved(self):
+        assert list(batched_filter(np.asarray([4, 1, 3]))) == [1, 3, 4]
+
+
+class TestBatchedBisect:
+    def test_per_query_windows(self):
+        n = 4
+        dist = np.asarray([0.0, 1.0, 5.0, np.inf, 0.0, 1.0, 5.0, np.inf])
+        keys = np.asarray([1, 2, n + 1, n + 2])
+        near, far = batched_bisect(keys, dist, np.asarray([2.0, 10.0]), n)
+        # query 0 splits at 2: vertex 2 (d=5) goes far; query 1 at 10: both near
+        assert list(near) == [1, n + 1, n + 2]
+        assert list(far) == [2]
+
+    def test_empty(self):
+        near, far = batched_bisect(EMPTY, np.zeros(4), np.asarray([1.0]), 4)
+        assert near.size == 0 and far.size == 0
+
+
+class TestBatchedDrainFar:
+    def test_starved_query_advances_window_only(self):
+        n = 4
+        # query 0 starved with far entries at d=6,8; query 1 not in need
+        dist = np.asarray([0.0, 6.0, 8.0, np.inf, 0.0, 6.0, 8.0, np.inf])
+        far = np.asarray([1, 2, n + 1])
+        lower = np.zeros(2)
+        split = np.asarray([2.0, 2.0])
+        delta = np.asarray([2.0, 2.0])
+        need = np.asarray([True, False])
+        frontier, far_rem, new_lower, new_split, drains = batched_drain_far(
+            far, dist, n, lower, split, delta, need
+        )
+        # window jumps to max(split+delta, dmin+delta) = max(4, 8) = 8
+        assert new_split[0] == 8.0 and new_lower[0] == 2.0
+        assert new_split[1] == 2.0 and new_lower[1] == 0.0  # untouched
+        assert list(frontier) == [1]  # d=6 < 8 pulled near
+        assert n + 1 in far_rem and 2 in far_rem  # other query passes through
+        assert drains[0] >= 1 and drains[1] == 0
+
+    def test_stale_entries_dropped(self):
+        n = 3
+        dist = np.asarray([0.0, 0.5, np.inf])  # vertex 1 improved below split
+        far = np.asarray([1])
+        frontier, far_rem, _, new_split, drains = batched_drain_far(
+            far,
+            dist,
+            n,
+            np.zeros(1),
+            np.asarray([1.0]),
+            np.asarray([1.0]),
+            np.asarray([True]),
+        )
+        assert frontier.size == 0 and far_rem.size == 0
+        assert new_split[0] == 1.0  # all-stale: window holds
+        assert drains[0] == 1  # but the scan still counts
+
+    def test_precomputed_far_q_equivalent(self):
+        n = 4
+        dist = np.asarray([0.0, 6.0, 8.0, np.inf, 0.0, 6.0, 8.0, np.inf])
+        far = np.asarray([1, 2, n + 1])
+        args = (np.zeros(2), np.asarray([2.0, 2.0]), np.asarray([2.0, 2.0]))
+        need = np.asarray([True, True])
+        base = batched_drain_far(far, dist, n, *args, need)
+        pre = batched_drain_far(far, dist, n, *args, need, far_q=far // n)
+        for a, b in zip(base, pre):
+            assert np.array_equal(a, b)
+
+    def test_nonpositive_delta_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            batched_drain_far(
+                np.asarray([1]),
+                np.zeros(2),
+                2,
+                np.zeros(1),
+                np.ones(1),
+                np.zeros(1),
+                np.asarray([True]),
+            )
+
+    def test_empty_far(self):
+        frontier, far_rem, lower, split, drains = batched_drain_far(
+            EMPTY,
+            np.zeros(2),
+            2,
+            np.zeros(1),
+            np.ones(1),
+            np.ones(1),
+            np.asarray([True]),
+        )
+        assert frontier.size == 0 and far_rem.size == 0
+        assert drains[0] == 0

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Execute every fenced shell block in the README and docs/.
+
+Documentation examples rot silently; this tool makes them executable
+contracts.  It extracts every fenced code block tagged ``bash``,
+``sh`` or ``shell`` from the given markdown files (default:
+``README.md`` and ``docs/*.md``), and runs each one under
+``bash -euo pipefail`` in a shared scratch directory — shared, so a
+block may use files an earlier block in the same document generated
+(the trace-CLI walkthrough relies on this).
+
+A block can opt out by placing an HTML comment on the line directly
+above its opening fence::
+
+    <!-- docs-smoke: skip (why it is excluded) -->
+    ```bash
+    pytest benchmarks/ --benchmark-only
+    ```
+
+Skips are reported, never silent.  ``python -m repro`` works inside
+blocks because the repository's ``src/`` is prepended to
+``PYTHONPATH``.  Exit status is non-zero if any block fails, with the
+failing block's source, stdout and stderr echoed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SHELL_TAGS = {"bash", "sh", "shell"}
+SKIP_RE = re.compile(r"<!--\s*docs-smoke:\s*skip\s*(?:\((?P<why>[^)]*)\))?\s*-->")
+FENCE_RE = re.compile(r"^```(?P<tag>[A-Za-z0-9_-]*)\s*$")
+
+__all__ = ["extract_blocks", "run_blocks", "main"]
+
+
+@dataclass
+class Block:
+    """One fenced shell block, with enough context to report it."""
+
+    path: Path
+    start_line: int  # 1-based line of the opening fence
+    source: str
+    skip_reason: str | None = None  # non-None: excluded, with the why
+
+    @property
+    def label(self) -> str:
+        return f"{self.path}:{self.start_line}"
+
+
+def extract_blocks(path: Path) -> List[Block]:
+    """All shell blocks of one markdown file, in document order."""
+    blocks: List[Block] = []
+    lines = path.read_text().splitlines()
+    in_fence = False
+    tag = ""
+    body: List[str] = []
+    fence_line = 0
+    pending_skip: str | None = None
+    for lineno, line in enumerate(lines, start=1):
+        if not in_fence:
+            fence = FENCE_RE.match(line.strip())
+            if fence:
+                in_fence = True
+                tag = fence.group("tag").lower()
+                body = []
+                fence_line = lineno
+                continue
+            skip = SKIP_RE.search(line)
+            if skip:
+                pending_skip = skip.group("why") or "marked skip"
+            elif line.strip():
+                pending_skip = None  # markers only bind to the next fence
+        else:
+            if line.strip() == "```":
+                in_fence = False
+                if tag in SHELL_TAGS:
+                    blocks.append(
+                        Block(
+                            path=path,
+                            start_line=fence_line,
+                            source="\n".join(body),
+                            skip_reason=pending_skip,
+                        )
+                    )
+                pending_skip = None
+            else:
+                body.append(line)
+    return blocks
+
+
+def run_blocks(blocks: List[Block], *, timeout: float) -> int:
+    """Run every non-skipped block; return the failure count."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    failures = 0
+    # one scratch dir per *document*, so blocks can build on each other
+    # without leaking artifacts between documents (or into the repo)
+    per_doc: dict[Path, str] = {}
+    with tempfile.TemporaryDirectory(prefix="docs-smoke-") as scratch_root:
+        for block in blocks:
+            if block.skip_reason is not None:
+                print(f"SKIP {block.label} — {block.skip_reason}")
+                continue
+            workdir = per_doc.setdefault(
+                block.path,
+                tempfile.mkdtemp(prefix=block.path.stem + "-", dir=scratch_root),
+            )
+            try:
+                proc = subprocess.run(
+                    ["bash", "-euo", "pipefail", "-c", block.source],
+                    cwd=workdir,
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    timeout=timeout,
+                )
+                code: object = proc.returncode
+            except subprocess.TimeoutExpired as exc:
+                proc = exc  # has .stdout/.stderr
+                code = f"timeout after {timeout:.0f}s"
+            if code == 0:
+                print(f"PASS {block.label}")
+            else:
+                failures += 1
+                print(f"FAIL {block.label} (exit {code})")
+                print("  --- block ---")
+                for line in block.source.splitlines():
+                    print(f"  {line}")
+                for stream in ("stdout", "stderr"):
+                    text = getattr(proc, stream) or ""
+                    if isinstance(text, bytes):
+                        text = text.decode(errors="replace")
+                    if text.strip():
+                        print(f"  --- {stream} ---")
+                        for line in text.strip().splitlines():
+                            print(f"  {line}")
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files (default: README.md and docs/*.md)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-block timeout in seconds (default 300)",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or [
+        REPO_ROOT / "README.md",
+        *sorted((REPO_ROOT / "docs").glob("*.md")),
+    ]
+    blocks: List[Block] = []
+    for path in files:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        blocks.extend(extract_blocks(path))
+
+    failures = run_blocks(blocks, timeout=args.timeout)
+    ran = sum(1 for b in blocks if b.skip_reason is None)
+    skipped = len(blocks) - ran
+    print(
+        f"docs-smoke: {ran} block(s) ran, {skipped} skipped, "
+        f"{failures} failed across {len(files)} file(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

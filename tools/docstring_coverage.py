@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API.
+
+Walks every module under ``src/repro`` and counts docstrings on the
+public surface: modules, public classes, and public
+functions/methods (names not starting with ``_``, plus ``__init__``
+is exempt — its class carries the contract).  ``--min PCT`` turns the
+measurement into a CI gate: coverage below the floor fails.
+
+The floor ratchets: it is set just under the measured coverage at the
+time a change lands, so documentation can only stay level or improve.
+Run with ``--list-missing`` to see what to document next.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+__all__ = ["iter_api", "measure", "main"]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_api(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified_name, has_docstring)`` for one module's surface."""
+    yield module, ast.get_docstring(tree) is not None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            yield f"{module}.{node.name}", ast.get_docstring(node) is not None
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not _is_public(item.name) or item.name == "__init__":
+                        continue
+                    if any(
+                        isinstance(d, ast.Name) and d.id == "overload"
+                        for d in item.decorator_list
+                    ):
+                        continue
+                    yield (
+                        f"{module}.{node.name}.{item.name}",
+                        ast.get_docstring(item) is not None,
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # module-level functions only; methods handled above
+            parent_is_module = any(node is n for n in tree.body)
+            if parent_is_module and _is_public(node.name):
+                yield f"{module}.{node.name}", ast.get_docstring(node) is not None
+
+
+def measure(package_root: Path) -> Tuple[List[str], int, int]:
+    """Return ``(missing, documented, total)`` over the package."""
+    missing: List[str] = []
+    documented = 0
+    total = 0
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root.parent)
+        module = ".".join(rel.with_suffix("").parts)
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for name, has_doc in iter_api(tree, module):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(name)
+    return missing, documented, total
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if coverage (percent) falls below this floor",
+    )
+    parser.add_argument(
+        "--list-missing",
+        action="store_true",
+        help="print every undocumented public name",
+    )
+    args = parser.parse_args(argv)
+
+    missing, documented, total = measure(PACKAGE_ROOT)
+    pct = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} public names "
+        f"documented ({pct:.1f}%)"
+    )
+    if args.list_missing:
+        for name in missing:
+            print(f"  missing: {name}")
+    if args.min is not None and pct < args.min:
+        print(
+            f"FAIL: coverage {pct:.1f}% is below the floor {args.min:.1f}% "
+            f"— document what you add (or run with --list-missing)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
