@@ -13,13 +13,22 @@
 * ``info <graph-file>`` — print a graph's Table-1-style statistics;
 * ``trace record|show|diff`` — observability: record a run with a
   streamed JSONL event log and metrics summary, inspect a saved
-  trace, or diff two saved runs (iterations, parallelism
-  distribution, controller settling);
+  trace **or a ``.events.jsonl`` event log** (queries, batch
+  dispatches, spans), or diff two saved runs (iterations,
+  parallelism distribution, controller settling);
 * ``serve`` — run a long-lived query engine: JSONL requests from
   stdin (or a file) in, JSONL responses out, with a result cache and
   a worker pool (see the README's *Query service* section);
+  ``--metrics FILE --metrics-interval N`` keeps a live metrics
+  snapshot on disk for ``repro top``;
 * ``query`` — issue one-shot queries against the graph catalog and
   print the JSONL responses;
+* ``metrics <file>`` — summarise a metrics JSON file (``serve
+  --metrics`` output or ``benchmarks/results/metrics.json``);
+  ``--prometheus`` prints Prometheus text exposition instead;
+* ``top <file>`` — live terminal view of a serving session (QPS,
+  cache hit rate, latency percentiles, breaker states, pool depth)
+  off the file ``serve --metrics-interval`` maintains;
 * ``faults`` — chaos drill: run a batch of queries through the engine
   under a seeded fault plan (crashes, hangs, transients, corrupted
   results), verify every answer against Dijkstra, and report retries,
@@ -176,9 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     show = tsub.add_parser(
-        "show", parents=[common], help="summarise a saved trace"
+        "show", parents=[common],
+        help="summarise a saved trace or a .events.jsonl event log",
     )
-    show.add_argument("trace_file", help="trace JSON written by record/--save-trace")
+    show.add_argument(
+        "trace_file",
+        help="trace JSON written by record/--save-trace, or a JSONL "
+        "event log (trace record / serve --events output)",
+    )
 
     diff = tsub.add_parser(
         "diff", parents=[common], help="compare two saved traces"
@@ -266,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None,
         help="write a metrics snapshot to this JSON file on exit",
     )
+    serve.add_argument(
+        "--metrics-interval", type=float, default=0.0,
+        help="also rewrite the --metrics file every N seconds while "
+        "serving (0 disables; feeds 'repro top')",
+    )
+    serve.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="fraction of query lines whose trace ships spans/events "
+        "(deterministic head sampling; metrics always count)",
+    )
 
     query = sub.add_parser(
         "query",
@@ -294,6 +318,38 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--repeat", type=int, default=1,
         help="issue each query N times (repeats hit the result cache)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        parents=[common],
+        help="summarise a metrics JSON file (or emit Prometheus text)",
+    )
+    metrics.add_argument(
+        "file",
+        help="metrics JSON: serve --metrics output, trace record's "
+        "<out>.metrics.json, or benchmarks/results/metrics.json",
+    )
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="print Prometheus text exposition instead of a summary",
+    )
+
+    top = sub.add_parser(
+        "top",
+        parents=[common],
+        help="live serving dashboard off a serve --metrics-interval file",
+    )
+    top.add_argument(
+        "file", help="the JSON file 'serve --metrics-interval' maintains"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
     )
 
     faults = sub.add_parser(
@@ -344,10 +400,16 @@ def _print_metrics_snapshot(snapshot: Dict[str, dict]) -> None:
         if data["type"] in ("counter", "gauge"):
             print(f"  {name} = {data['value']:g}")
         else:
-            print(
+            line = (
                 f"  {name}: count={data['count']} sum={data['sum']:.6g} "
                 f"mean={data['mean']:.6g}"
             )
+            if data.get("p50") is not None:
+                line += (
+                    f" p50={data['p50']:.6g} p95={data['p95']:.6g} "
+                    f"p99={data['p99']:.6g}"
+                )
+            print(line)
 
 
 def _cmd_sssp(args: argparse.Namespace) -> int:
@@ -494,15 +556,44 @@ def _resilience_kwargs(args: argparse.Namespace, *, default_rate: float = 0.0) -
     }
 
 
+def _write_serve_metrics(path: Path, engine, registry, spans) -> None:
+    """Rewrite the serve metrics file atomically (schema 2).
+
+    Written whole into a temp file then renamed, so a concurrent
+    ``repro top`` never reads a half-written snapshot.
+    """
+    payload = {
+        "schema": 2,
+        "ts": time.time(),
+        "stats": engine.stats(),
+        "health": engine.health(),
+        "metrics": registry.snapshot(),
+        "spans": [st.as_dict() for st in spans.profile()],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
     from repro import obs
+    from repro.obs.telemetry import TraceSampler
     from repro.service import QueryEngine, serve_stream
 
     registry = obs.MetricsRegistry()
+    spans = obs.SpanRecorder()
     sink = obs.JsonlSink(args.events) if args.events else None
+    sampler = (
+        TraceSampler(args.sample_rate) if args.sample_rate < 1.0 else None
+    )
     catalog = _service_catalog(args)
+    metrics_path = Path(args.metrics) if args.metrics else None
+    stop_writer = threading.Event()
+    writer = None
     try:
-        with obs.use(registry=registry, events=sink):
+        with obs.use(registry=registry, events=sink, spans=spans):
             engine = QueryEngine(
                 catalog,
                 mode=args.pool_mode,
@@ -521,13 +612,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         f"cache {args.cache_size}); one JSON request per line",
                         file=sys.stderr,
                     )
+                if metrics_path is not None and args.metrics_interval > 0:
+
+                    def _writer_loop() -> None:
+                        while not stop_writer.wait(args.metrics_interval):
+                            _write_serve_metrics(
+                                metrics_path, engine, registry, spans
+                            )
+
+                    writer = threading.Thread(
+                        target=_writer_loop,
+                        name="serve-metrics-writer",
+                        daemon=True,
+                    )
+                    writer.start()
                 if args.input:
                     with open(args.input) as fh:
-                        count = serve_stream(engine, fh, sys.stdout)
+                        count = serve_stream(
+                            engine, fh, sys.stdout, sampler=sampler
+                        )
                 else:
-                    count = serve_stream(engine, sys.stdin, sys.stdout)
-            stats = engine.stats()
+                    count = serve_stream(
+                        engine, sys.stdin, sys.stdout, sampler=sampler
+                    )
+                stop_writer.set()
+                if writer is not None:
+                    writer.join(timeout=5.0)
+                stats = engine.stats()
+                if metrics_path is not None:
+                    _write_serve_metrics(metrics_path, engine, registry, spans)
     finally:
+        stop_writer.set()
         if sink is not None:
             sink.close()
     if not args.quiet:
@@ -538,17 +653,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{cache['evictions']} evictions)",
             file=sys.stderr,
         )
-    if args.metrics:
-        Path(args.metrics).write_text(
-            json.dumps(
-                {"schema": 1, "stats": stats, "metrics": registry.snapshot()},
-                indent=2,
-                sort_keys=True,
-            )
-            + "\n"
-        )
-        if not args.quiet:
-            print(f"metrics written to {args.metrics}", file=sys.stderr)
+        if metrics_path is not None:
+            print(f"metrics written to {metrics_path}", file=sys.stderr)
     if args.verbose:
         _print_metrics_snapshot(registry.snapshot())
     return 0
@@ -617,6 +723,144 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if registry is not None:
         _print_metrics_snapshot(registry.snapshot())
     return 0 if ok else 1
+
+
+def _load_metric_snapshot(path: str) -> Dict[str, dict]:
+    """The metric snapshot inside any of the repo's metrics JSON files.
+
+    Accepts the three shapes in the wild: ``serve --metrics`` /
+    ``trace record`` files (snapshot under ``"metrics"``),
+    ``benchmarks/results/metrics.json`` (ditto), and a bare snapshot
+    dict (e.g. saved straight from ``registry.snapshot()``).
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"metrics file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid metrics JSON in {path}: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path} does not contain a JSON object")
+    snapshot = data.get("metrics", data)
+    if not isinstance(snapshot, dict):
+        raise SystemExit(f"{path} has no metric snapshot")
+    return snapshot
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.exposition import format_prometheus
+
+    snapshot = _load_metric_snapshot(args.file)
+    if args.prometheus:
+        sys.stdout.write(format_prometheus(snapshot))
+        return 0
+    if not snapshot:
+        print("(no metrics recorded)")
+        return 0
+    _print_metrics_snapshot(snapshot)
+    return 0
+
+
+def _latency_rows(snapshot: Dict[str, dict]) -> list:
+    """One row per labelled ``service.query.latency`` histogram."""
+    from repro.obs.registry import parse_name
+
+    rows = []
+    for key in sorted(snapshot):
+        base, labels = parse_name(key)
+        if base != "service.query.latency":
+            continue
+        data = snapshot[key]
+        if not data.get("count"):
+            continue
+        rows.append(
+            {
+                "graph": labels.get("graph", "-"),
+                "algorithm": labels.get("algorithm", "-"),
+                "count": data["count"],
+                "p50 ms": round(1e3 * data.get("p50", 0.0), 2),
+                "p95 ms": round(1e3 * data.get("p95", 0.0), 2),
+                "p99 ms": round(1e3 * data.get("p99", 0.0), 2),
+            }
+        )
+    return rows
+
+
+def _render_top_frame(data: dict, prev: dict | None) -> str:
+    """One ``repro top`` frame from a serve metrics file (schema 2)."""
+    from repro.experiments.report import format_table
+
+    lines = []
+    stats = data.get("stats", {})
+    health = data.get("health", {})
+    cache = stats.get("cache", {})
+    pool = health.get("pool", stats.get("pool", {}))
+    queries = stats.get("queries", 0)
+    qps = None
+    if prev is not None:
+        dt = float(data.get("ts", 0)) - float(prev.get("ts", 0))
+        if dt > 0:
+            qps = (queries - prev.get("stats", {}).get("queries", 0)) / dt
+    hits = cache.get("hits", 0)
+    lookups = hits + cache.get("misses", 0)
+    hit_rate = f"{100.0 * hits / lookups:.1f}%" if lookups else "n/a"
+    lines.append(
+        f"queries {queries}"
+        + (f"  |  {qps:.1f} qps" if qps is not None else "")
+        + f"  |  cache hit rate {hit_rate}"
+        + f"  |  pool {pool.get('mode', '?')}"
+        f" x{pool.get('max_workers', '?')}"
+        f", depth {pool.get('pending', 0)}"
+    )
+    retries = health.get("retries", stats.get("retries", {}))
+    lines.append(
+        f"retries {retries.get('attempts', 0)} "
+        f"(exhausted {retries.get('exhausted', 0)})"
+        f"  |  workers lost {pool.get('lost_workers', 0)}"
+        f", rebuilds {pool.get('rebuilds', 0)}"
+        f"  |  breakers open {health.get('breakers_open', 0)}"
+    )
+    open_breakers = [
+        f"{b.get('graph')}/{b.get('algorithm')}:{b.get('state')}"
+        for b in health.get("breakers", [])
+        if b.get("state") != "closed"
+    ]
+    if open_breakers:
+        lines.append("breakers: " + ", ".join(open_breakers))
+    rows = _latency_rows(data.get("metrics", {}))
+    if rows:
+        lines.append("")
+        lines.append(format_table(rows))
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        raise SystemExit("--interval must be > 0")
+    path = Path(args.file)
+    prev: dict | None = None
+    try:
+        while True:
+            try:
+                data = json.loads(path.read_text())
+            except FileNotFoundError:
+                frame = f"waiting for {path} (is serve --metrics-interval on?)"
+                data = None
+            except json.JSONDecodeError:
+                frame = f"{path}: partial write, retrying"
+                data = None
+            if data is not None:
+                frame = _render_top_frame(data, prev)
+                prev = data
+            if args.once:
+                print(frame)
+                return 0
+            # ANSI clear-screen + home keeps the frame in place
+            sys.stdout.write("\033[2J\033[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -856,12 +1100,120 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_event(event: dict) -> str | None:
+    """One human-readable line for a known event type, None otherwise.
+
+    Covers the serving vocabulary (``query_*``, ``batch_dispatch``)
+    and the kernel batch events (``batch_run_start`` / ``batch_run_end``)
+    that used to fall through to raw dicts, plus v2 ``span`` events.
+    """
+    etype = event.get("type")
+    trace_tag = f" trace={event['trace'][:8]}" if event.get("trace") else ""
+    worker_tag = " [worker]" if event.get("worker") else ""
+    if etype == "query_start":
+        return (
+            f"query_start   qid={event.get('qid')} "
+            f"{event.get('graph')}/{event.get('algorithm')} "
+            f"source={event.get('source')} "
+            f"depth={event.get('queue_depth')}{trace_tag}"
+        )
+    if etype == "query_end":
+        status = "ok" if event.get("ok") else f"ERR {event.get('error')}"
+        cache = f" cache={event['cache']}" if event.get("cache") else ""
+        return (
+            f"query_end     qid={event.get('qid')} {status}{cache} "
+            f"wall={event.get('wall_seconds')}s{trace_tag}"
+        )
+    if etype == "query_retry":
+        return (
+            f"query_retry   qid={event.get('qid')} "
+            f"attempt={event.get('attempt')} after {event.get('error')!r} "
+            f"(delay {event.get('delay_seconds')}s)"
+        )
+    if etype == "batch_dispatch":
+        return (
+            f"batch_dispatch {event.get('graph')}/{event.get('algorithm')} "
+            f"size={event.get('batch_size')} "
+            f"sources={event.get('sources')} qids={event.get('qids')}"
+            f"{trace_tag}"
+        )
+    if etype == "batch_run_start":
+        return (
+            f"batch_run_start {event.get('algorithm')} "
+            f"on {event.get('graph')} size={event.get('batch_size')} "
+            f"sources={event.get('sources')}{worker_tag}{trace_tag}"
+        )
+    if etype == "batch_run_end":
+        return (
+            f"batch_run_end  size={event.get('batch_size')} "
+            f"sweeps={event.get('sweeps')} "
+            f"relaxations={event.get('relaxations'):,} "
+            f"reached={event.get('reached')}{worker_tag}{trace_tag}"
+        )
+    if etype == "span":
+        parent = f" parent={event['parent'][:8]}" if event.get("parent") else ""
+        return (
+            f"span          {event.get('name')} "
+            f"{event.get('seconds')}s{parent}{worker_tag}{trace_tag}"
+        )
+    if etype == "run_start":
+        return (
+            f"run_start     {event.get('algorithm')} "
+            f"on {event.get('graph')} source={event.get('source')}"
+            f"{worker_tag}{trace_tag}"
+        )
+    if etype == "run_end":
+        return (
+            f"run_end       iterations={event.get('iterations')} "
+            f"relaxations={event.get('relaxations'):,} "
+            f"reached={event.get('reached')}{worker_tag}{trace_tag}"
+        )
+    return None
+
+
+def _show_event_log(path: Path, quiet: bool) -> int:
+    """Summarise a ``.events.jsonl`` log: counts, then rendered lines.
+
+    ``iteration`` events (one per SSSP iteration — often thousands)
+    are counted but not listed; everything else prints one line each,
+    unknown types as raw JSON so nothing is silently dropped.
+    """
+    counts: Dict[str, int] = {}
+    lines = []
+    with path.open() as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                counts["<malformed>"] = counts.get("<malformed>", 0) + 1
+                continue
+            etype = str(event.get("type"))
+            counts[etype] = counts.get(etype, 0) + 1
+            if etype == "iteration":
+                continue
+            rendered = _render_event(event)
+            lines.append(rendered if rendered is not None else raw)
+    if not quiet:
+        total = sum(counts.values())
+        by_type = ", ".join(f"{t}={n}" for t, n in sorted(counts.items()))
+        print(f"{total} events in {path} ({by_type})")
+    for line in lines:
+        print(line)
+    return 0
+
+
 def _cmd_trace_show(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
     from repro.instrument.serialize import load_trace
 
+    path = Path(args.trace_file)
+    if path.suffix == ".jsonl":
+        return _show_event_log(path, args.quiet)
     trace = load_trace(args.trace_file)
-    print(format_table([_trace_summary_rows(Path(args.trace_file).name, trace)]))
+    print(format_table([_trace_summary_rows(path.name, trace)]))
     return 0
 
 
@@ -910,6 +1262,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "metrics": _cmd_metrics,
+        "top": _cmd_top,
         "faults": _cmd_faults,
         "version": _cmd_version,
     }

@@ -10,9 +10,15 @@ Three channels, all off (and near-zero-cost) by default:
 * **events** — a streamed JSONL log, one event per SSSP iteration
   (:mod:`repro.obs.events`).
 
+On top of the three channels, :mod:`repro.obs.telemetry` threads a
+per-query :class:`~repro.obs.telemetry.TraceContext` through the
+serving stack (protocol -> engine -> pool -> worker) and ships
+worker-side metric deltas, spans and events back for merging, and
+:mod:`repro.obs.exposition` renders any snapshot as Prometheus text.
+
 Activate any subset with :func:`repro.obs.use`; inspect a recorded run
 with ``python -m repro trace``.  Metric names and the event schema are
-documented in the README's *Observability* section.
+documented in ``docs/trace-and-metrics.md``.
 """
 
 from repro.obs.context import (
@@ -24,6 +30,8 @@ from repro.obs.context import (
     get_spans,
     use,
 )
+from repro.obs.exposition import format_prometheus
+from repro.obs.telemetry import TraceContext, TraceSampler
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     EventSink,
@@ -58,7 +66,10 @@ __all__ = [
     "SpanRecorder",
     "SpanStat",
     "Timer",
+    "TraceContext",
+    "TraceSampler",
     "current",
+    "format_prometheus",
     "get_events",
     "get_registry",
     "get_spans",

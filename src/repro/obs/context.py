@@ -1,10 +1,9 @@
 """The active observability context.
 
-One process-global :class:`ObsContext` bundles the three channels —
-metrics registry, event sink, span recorder — and defaults to the
-all-null context, so instrumented code is free to call
-:func:`get_registry` / :func:`get_events` / :func:`get_spans`
-unconditionally.
+One :class:`ObsContext` bundles the three channels — metrics registry,
+event sink, span recorder — and defaults to the all-null context, so
+instrumented code is free to call :func:`get_registry` /
+:func:`get_events` / :func:`get_spans` unconditionally.
 
 Enable observability for a region with :func:`use`::
 
@@ -20,15 +19,26 @@ Instrumented call sites grab their handles from the context active
 context swap mid-run does not retarget a running algorithm — by
 design: a run observes one context.
 
-The global is intentionally simple (no thread-local indirection): the
-package's algorithms are single-threaded NumPy code, and a process
-observing itself wants one place to look.
+Two scopes:
+
+* ``scope="process"`` (the default) installs the context globally —
+  one place to look for a process observing itself, exactly as before.
+* ``scope="thread"`` installs a thread-local override that shadows the
+  process context **for the calling thread only**.  This is what lets
+  a pool worker thread run under a private, buffered context (see
+  :mod:`repro.obs.telemetry`) without retargeting its siblings: the
+  worker's kernel metrics land in the buffer, ship back with the
+  result, and merge into the serving registry, instead of racing every
+  other worker on the shared one.
+
+:func:`current` resolves thread-local first, then the process global.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.obs.events import NULL_EVENTS, EventSink
@@ -56,6 +66,7 @@ class ObsContext:
 
     @property
     def enabled(self) -> bool:
+        """True if any of the three channels is live."""
         return (
             self.registry.enabled or self.events.enabled or self.spans.enabled
         )
@@ -64,23 +75,32 @@ class ObsContext:
 NULL_CONTEXT = ObsContext()
 
 _active: ObsContext = NULL_CONTEXT
+_thread_local = threading.local()
 
 
 def current() -> ObsContext:
-    """The active context (the null context unless inside :func:`use`)."""
-    return _active
+    """The active context for this thread.
+
+    A thread-scoped override (``use(..., scope="thread")``) wins;
+    otherwise the process-global context; otherwise the null context.
+    """
+    override = getattr(_thread_local, "ctx", None)
+    return override if override is not None else _active
 
 
 def get_registry():
-    return _active.registry
+    """The active context's metrics registry."""
+    return current().registry
 
 
 def get_events() -> EventSink:
-    return _active.events
+    """The active context's event sink."""
+    return current().events
 
 
 def get_spans():
-    return _active.spans
+    """The active context's span recorder."""
+    return current().spans
 
 
 @contextmanager
@@ -88,21 +108,36 @@ def use(
     registry: Optional[MetricsRegistry] = None,
     events: Optional[EventSink] = None,
     spans: Optional[SpanRecorder] = None,
+    *,
+    scope: str = "process",
 ) -> Iterator[ObsContext]:
     """Install an observability context for the enclosed region.
 
     Omitted channels stay null.  The previous context is restored on
-    exit (contexts nest but do not merge).
+    exit (contexts nest but do not merge).  ``scope="process"`` (the
+    default) swaps the process-global context; ``scope="thread"``
+    shadows it for the calling thread only — the isolation pool worker
+    threads need to buffer their telemetry per task.
     """
-    global _active
+    if scope not in ("process", "thread"):
+        raise ValueError(f"scope must be 'process' or 'thread', got {scope!r}")
     ctx = ObsContext(
         registry=registry if registry is not None else NULL_REGISTRY,
         events=events if events is not None else NULL_EVENTS,
         spans=spans if spans is not None else NULL_SPANS,
     )
-    previous = _active
+    if scope == "thread":
+        previous = getattr(_thread_local, "ctx", None)
+        _thread_local.ctx = ctx
+        try:
+            yield ctx
+        finally:
+            _thread_local.ctx = previous
+        return
+    global _active
+    previous_global = _active
     _active = ctx
     try:
         yield ctx
     finally:
-        _active = previous
+        _active = previous_global

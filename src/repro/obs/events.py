@@ -16,6 +16,13 @@ README's *Observability* section):
   estimates; ``null`` before the first update).
 * ``run_end`` — ``{"type", "iterations", "relaxations", "reached"}``.
 
+Schema **v2** adds the telemetry vocabulary: ``span`` events (one per
+closed trace span — ``{"type", "trace", "span", "parent", "name",
+"seconds", ...}``) and an optional ``"trace"`` field on serving-path
+events (``query_start`` / ``query_end`` / ``batch_dispatch``), plus
+``"worker": true`` on events replayed from a worker-shipped telemetry
+payload.  See ``docs/trace-and-metrics.md`` for the full vocabulary.
+
 Sinks share a tiny interface: ``emit(dict)``, ``close()``, and an
 ``enabled`` flag instrumented code checks before building the event
 dict (so the disabled path allocates nothing).
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
 from typing import IO, List, Optional, Union
 
@@ -37,7 +45,7 @@ __all__ = [
     "NULL_EVENTS",
 ]
 
-EVENT_SCHEMA_VERSION = 1
+EVENT_SCHEMA_VERSION = 2
 
 
 def _jsonable(value):
@@ -88,7 +96,12 @@ class ListSink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Writes one JSON line per event, flushing so the stream is live."""
+    """Writes one JSON line per event, flushing so the stream is live.
+
+    Emission is lock-guarded: a serving engine's worker threads may
+    emit concurrently, and interleaved *lines* are fine but interleaved
+    *bytes* are not.
+    """
 
     def __init__(self, target: Union[str, Path, IO[str]]):
         if hasattr(target, "write"):
@@ -100,12 +113,15 @@ class JsonlSink(EventSink):
             self._file = self.path.open("w")
             self._owns = True
         self.count = 0
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
         clean = {k: _jsonable(v) for k, v in event.items()}
-        self._file.write(json.dumps(clean) + "\n")
-        self._file.flush()
-        self.count += 1
+        line = json.dumps(clean) + "\n"
+        with self._lock:
+            self._file.write(line)
+            self._file.flush()
+            self.count += 1
 
     def close(self) -> None:
         if self._owns and not self._file.closed:

@@ -22,9 +22,10 @@ goes through the active context's recorder, which defaults to
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Mapping
 
 __all__ = ["SpanStat", "SpanRecorder", "NullSpanRecorder", "NULL_SPANS"]
 
@@ -67,13 +68,20 @@ class _Span:
 
 
 class SpanRecorder:
-    """Accumulates nested span timings into a flat path-keyed profile."""
+    """Accumulates nested span timings into a flat path-keyed profile.
+
+    The span *stack* is intentionally single-threaded (one recorder
+    belongs to one run), but the accumulated *profile* is lock-guarded
+    so a serving engine can :meth:`merge` worker-shipped profiles from
+    its settle path while another thread reads :meth:`profile`.
+    """
 
     enabled = True
 
     def __init__(self):
         self._stack: List[str] = []
         self._stats: Dict[str, List[float]] = {}  # path -> [count, seconds]
+        self._lock = threading.Lock()
 
     def span(self, name: str) -> _Span:
         if "/" in name:
@@ -87,12 +95,35 @@ class SpanRecorder:
 
     def _pop(self, elapsed: float) -> None:
         path = self._stack.pop()
-        stat = self._stats.get(path)
-        if stat is None:
-            self._stats[path] = [1, elapsed]
-        else:
-            stat[0] += 1
-            stat[1] += elapsed
+        self._add(path, 1, elapsed)
+
+    def _add(self, path: str, count: int, seconds: float) -> None:
+        with self._lock:
+            stat = self._stats.get(path)
+            if stat is None:
+                self._stats[path] = [count, seconds]
+            else:
+                stat[0] += count
+                stat[1] += seconds
+
+    def merge(
+        self,
+        profile: Iterable[Mapping],
+        *,
+        prefix: str = "",
+    ) -> None:
+        """Fold a shipped profile (``[{path, count, seconds}, ...]``) in.
+
+        ``prefix`` re-roots the shipped paths (``prefix="worker"``
+        turns ``"run/kernel"`` into ``"worker/run/kernel"``), which is
+        how worker-side span profiles nest under the serving engine's
+        own accounting (see :mod:`repro.obs.telemetry`).
+        """
+        for row in profile:
+            path = row["path"]
+            if prefix:
+                path = f"{prefix}/{path}"
+            self._add(path, int(row["count"]), float(row["seconds"]))
 
     # -- reporting ------------------------------------------------------
     def total(self, path: str) -> float:
@@ -111,9 +142,11 @@ class SpanRecorder:
 
     def profile(self) -> List[SpanStat]:
         """The flat profile, sorted by path (parents before children)."""
+        with self._lock:
+            items = sorted(self._stats.items())
         return [
             SpanStat(path=path, count=stat[0], seconds=stat[1])
-            for path, stat in sorted(self._stats.items())
+            for path, stat in items
         ]
 
 
@@ -138,15 +171,22 @@ class NullSpanRecorder:
     total_seconds = 0.0
 
     def span(self, name: str) -> _NullSpan:
+        """The shared no-op span."""
         return _NULL_SPAN
 
     def total(self, path: str) -> float:
+        """Always 0.0."""
         return 0.0
 
     def count(self, path: str) -> int:
+        """Always 0."""
         return 0
 
+    def merge(self, profile, *, prefix: str = "") -> None:
+        """Dropped: a disabled recorder absorbs nothing."""
+
     def profile(self) -> List[SpanStat]:
+        """Always empty."""
         return []
 
 

@@ -19,7 +19,10 @@ turns them into a serving stack:
 * :mod:`~repro.service.runners` — wire-name -> algorithm dispatch
   (single-source and batched entry points);
 * :mod:`~repro.service.protocol` — the JSONL request/response format
-  behind ``repro serve`` and ``repro query``.
+  behind ``repro serve`` and ``repro query``; also where per-request
+  traces are minted (see :mod:`repro.obs.telemetry`) and where the
+  ``metrics`` op exposes the serving registry (JSON or Prometheus
+  text).
 
 Resilience (retry/backoff, circuit breaking, fault injection, result
 validation) lives in :mod:`repro.resilience` and is wired through the
@@ -44,6 +47,8 @@ from repro.service.runners import (
     algorithm_names,
     run_algorithm,
     run_algorithm_batch,
+    run_algorithm_batch_traced,
+    run_algorithm_traced,
 )
 from repro.service.scheduler import CoalescingScheduler
 
@@ -66,5 +71,7 @@ __all__ = [
     "handle_line",
     "run_algorithm",
     "run_algorithm_batch",
+    "run_algorithm_batch_traced",
+    "run_algorithm_traced",
     "serve_stream",
 ]

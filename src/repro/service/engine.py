@@ -30,6 +30,18 @@ serve session's hit rate, queue depth, retry totals and latency
 distribution are one ``snapshot()`` away; :meth:`QueryEngine.health`
 bundles pool liveness, breaker states and retry counters for the
 ``health`` protocol op.
+
+When that context is live, every query also carries a
+:class:`~repro.obs.telemetry.TraceContext`: the engine derives a child
+of the query's (protocol-minted) trace, threads a grandchild through
+the task envelope into the pool worker, and the worker ships its
+metric deltas, span profile and buffered events back with the result
+(see :mod:`repro.obs.telemetry`).  Merged worker payloads feed the
+labelled ``service.query.latency`` / ``service.query.queue_wait`` /
+``service.query.compute`` histograms — per ``(graph, algorithm)`` —
+whose p50/p95/p99 the ``metrics`` protocol op exposes.  With a null
+context the engine runs the exact pre-telemetry code path: bare
+runner tasks, no envelopes, no per-query overhead.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs.telemetry import TraceContext, emit_span, merge_payload
 from repro.resilience.breaker import BreakerBoard, BreakerConfig
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import (
@@ -59,6 +72,8 @@ from repro.service.runners import (
     BATCHED_ALGORITHMS,
     run_algorithm,
     run_algorithm_batch,
+    run_algorithm_batch_traced,
+    run_algorithm_traced,
     validate_params,
 )
 from repro.sssp.result import SSSPResult
@@ -75,6 +90,10 @@ class SSSPQuery:
     algorithm: str = "adaptive"
     params: Mapping = field(default_factory=dict)
     request_id: Optional[str] = None
+    # the caller's trace (protocol-minted); identity-only, so excluded
+    # from equality — two identical queries on different traces still
+    # coalesce onto one execution
+    trace: Optional[TraceContext] = field(default=None, compare=False)
 
     def canonical_params(self) -> str:
         """Params as sorted JSON — the cache-key component."""
@@ -97,6 +116,7 @@ class QueryResponse:
     mean_dist: Optional[float] = None
     wall_seconds: float = 0.0
     attempts: int = 1
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> dict:
         out: dict = {"ok": self.ok}
@@ -107,6 +127,8 @@ class QueryResponse:
             source=self.query.source,
             algorithm=self.query.algorithm,
         )
+        if self.trace_id is not None:
+            out["trace"] = self.trace_id
         if not self.ok:
             out["error"] = self.error
             if self.attempts > 1:
@@ -140,8 +162,9 @@ def _summarise(result: SSSPResult) -> dict:
 
 CacheKey = Tuple[str, int, str, str]
 
-# one pending cache-miss: (request index, query, cache key, qid, start time)
-_Miss = Tuple[int, SSSPQuery, CacheKey, int, float]
+# one pending cache-miss:
+# (request index, query, cache key, qid, start time, engine trace ctx)
+_Miss = Tuple[int, SSSPQuery, CacheKey, int, float, Optional[TraceContext]]
 
 
 @dataclass
@@ -217,7 +240,12 @@ class QueryEngine:
         self.retry_attempts = 0  # extra attempts beyond the first, total
         self.retry_exhausted = 0  # queries that failed after all attempts
         registry = obs.get_registry()
+        self._registry = registry
         self._events = obs.get_events()
+        self._spans = obs.get_spans()
+        # captured once at construction: with a null context this stays
+        # False and every query runs the bare (envelope-free) task path
+        self._telemetry = obs.current().enabled
         self._query_counter = registry.counter("service.queries")
         self._error_counter = registry.counter("service.errors")
         self._query_timer = registry.timer("service.query_seconds")
@@ -225,6 +253,103 @@ class QueryEngine:
         self._exhausted_counter = registry.counter("service.retry_exhausted")
         self._batch_size_hist = registry.histogram("service.batch.size")
         self._batch_coalesced = registry.counter("service.batch.coalesced")
+        # labelled per-(graph, algorithm) histogram handles, cached so
+        # the hot path does one dict lookup instead of a registry call
+        self._query_hist_cache: Dict[
+            Tuple[str, str], Tuple[object, object, object]
+        ] = {}
+
+    def _query_hists(
+        self, graph_id: str, algorithm: str
+    ) -> Tuple[object, object, object]:
+        """The ``(latency, queue_wait, compute)`` histogram triple for
+        one ``(graph, algorithm)`` label pair."""
+        cached = self._query_hist_cache.get((graph_id, algorithm))
+        if cached is None:
+            labels = {"graph": graph_id, "algorithm": algorithm}
+            cached = (
+                self._registry.histogram("service.query.latency", labels=labels),
+                self._registry.histogram(
+                    "service.query.queue_wait", labels=labels
+                ),
+                self._registry.histogram("service.query.compute", labels=labels),
+            )
+            self._query_hist_cache[(graph_id, algorithm)] = cached
+        return cached
+
+    def _observe_latency(self, query: SSSPQuery, response: QueryResponse) -> None:
+        """Record end-to-end latency for one answered query."""
+        if self._telemetry and response.ok:
+            latency, _, _ = self._query_hists(query.graph_id, query.algorithm)
+            latency.observe(response.wall_seconds)
+
+    def _mint_ctx(self, query: SSSPQuery) -> Optional[TraceContext]:
+        """The engine-side trace context for one query, or None.
+
+        A protocol-minted trace gains an engine child span; a bare
+        engine call (no protocol in front) mints its own root so
+        direct :meth:`run` users still get traced.
+        """
+        if not self._telemetry:
+            return None
+        if query.trace is not None:
+            return query.trace.child()
+        return TraceContext.mint()
+
+    def _absorb_payload(
+        self, payload: Optional[Mapping], query: SSSPQuery
+    ) -> None:
+        """Fold one worker telemetry payload into the serving context."""
+        if not payload:
+            return
+        merge_payload(
+            payload,
+            registry=self._registry,
+            events=self._events,
+            spans=self._spans,
+        )
+        _, queue_hist, compute_hist = self._query_hists(
+            query.graph_id, query.algorithm
+        )
+        queue_wait = payload.get("queue_wait_seconds")
+        if queue_wait is not None:
+            queue_hist.observe(float(queue_wait))
+        compute = payload.get("compute_seconds")
+        if compute is not None:
+            compute_hist.observe(float(compute))
+
+    def _unwrap(self, raw):
+        """Split a pool return into ``(result, payload)``.
+
+        With telemetry off tasks return bare results — pass through.
+        With telemetry on every task is a traced wrapper returning a
+        ``(result, payload-dict)`` pair; anything else (e.g. a fault
+        plan's corrupted envelope) is a corrupt result, which
+        :func:`~repro.resilience.retry.classify_error` treats as
+        transient — same retry behaviour a corrupted bare result gets.
+        """
+        if not self._telemetry:
+            return raw, None
+        if (
+            not isinstance(raw, tuple)
+            or len(raw) != 2
+            or not isinstance(raw[1], dict)
+        ):
+            raise CorruptResultError(
+                f"task returned {type(raw).__name__}, "
+                "expected a (result, telemetry) pair"
+            )
+        return raw
+
+    @property
+    def telemetry(self) -> bool:
+        """True when the engine was built under a live obs context."""
+        return self._telemetry
+
+    @property
+    def events(self):
+        """The event sink the engine publishes to (protocol spans use it)."""
+        return self._events
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -254,33 +379,55 @@ class QueryEngine:
         self._qid += 1
         return self._qid
 
-    def _emit_start(self, qid: int, query: SSSPQuery) -> None:
+    def _emit_start(
+        self,
+        qid: int,
+        query: SSSPQuery,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         if self._events.enabled:
-            self._events.emit(
-                {
-                    "type": "query_start",
-                    "qid": qid,
-                    "graph": query.graph_id,
-                    "source": int(query.source),
-                    "algorithm": query.algorithm,
-                    "queue_depth": self.pool.pending,
-                }
-            )
+            event = {
+                "type": "query_start",
+                "qid": qid,
+                "graph": query.graph_id,
+                "source": int(query.source),
+                "algorithm": query.algorithm,
+                "queue_depth": self.pool.pending,
+            }
+            if ctx is not None:
+                event["trace"] = ctx.trace_id
+            self._events.emit(event)
 
-    def _emit_end(self, qid: int, response: QueryResponse) -> None:
+    def _emit_end(
+        self,
+        qid: int,
+        response: QueryResponse,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         if self._events.enabled:
-            self._events.emit(
-                {
-                    "type": "query_end",
-                    "qid": qid,
-                    "ok": response.ok,
-                    "cache": response.cache if response.ok else None,
-                    "error": response.error,
-                    "reached": response.reached,
-                    "iterations": response.iterations,
-                    "wall_seconds": round(response.wall_seconds, 6),
-                }
-            )
+            event = {
+                "type": "query_end",
+                "qid": qid,
+                "ok": response.ok,
+                "cache": response.cache if response.ok else None,
+                "error": response.error,
+                "reached": response.reached,
+                "iterations": response.iterations,
+                "wall_seconds": round(response.wall_seconds, 6),
+            }
+            if ctx is not None:
+                event["trace"] = ctx.trace_id
+            self._events.emit(event)
+        emit_span(
+            self._events,
+            ctx,
+            "engine/query",
+            response.wall_seconds,
+            qid=qid,
+            graph=response.query.graph_id,
+            algorithm=response.query.algorithm,
+            cache=response.cache if response.ok else None,
+        )
 
     def _validate(self, query: SSSPQuery) -> Optional[str]:
         """A human-readable rejection reason, or None if runnable."""
@@ -305,7 +452,19 @@ class QueryEngine:
         """Answer one query (cache -> pool), never raising for bad input."""
         return self.run_many([query])[0]
 
-    def _submit_query(self, query: SSSPQuery):
+    def _envelope(self, ctx: Optional[TraceContext]) -> dict:
+        """The telemetry envelope for one pool task: the worker's trace
+        context (a pool-hop child of the engine span) plus the enqueue
+        timestamp queue-wait is measured against.  A retry mints a
+        fresh envelope — new span, new enqueue time."""
+        return {
+            "ctx": ctx.child().to_wire() if ctx is not None else None,
+            "enqueue_ts": time.time(),
+        }
+
+    def _submit_query(
+        self, query: SSSPQuery, ctx: Optional[TraceContext] = None
+    ):
         """Submit to the pool, absorbing one asynchronous break.
 
         A process worker can die (``poolbreak``, OOM kill, ...) while
@@ -313,60 +472,73 @@ class QueryEngine:
         executor broken before this submission ever ran — recover and
         submit again rather than blaming this query for it.
         """
-        try:
-            return self.pool.submit(
-                query.graph_id,
+        if self._telemetry:
+            args = (
+                run_algorithm_traced,
+                self._envelope(ctx),
+                int(query.source),
+                query.algorithm,
+                dict(query.params),
+            )
+        else:
+            args = (
                 run_algorithm,
                 int(query.source),
                 query.algorithm,
                 dict(query.params),
             )
+        try:
+            return self.pool.submit(query.graph_id, *args)
         except BrokenExecutor:
             self.pool.recover()
-            return self.pool.submit(
-                query.graph_id,
-                run_algorithm,
-                int(query.source),
-                query.algorithm,
-                dict(query.params),
-            )
+            return self.pool.submit(query.graph_id, *args)
 
-    def _submit_batch(self, queries: List[SSSPQuery]):
+    def _submit_batch(
+        self,
+        queries: List[SSSPQuery],
+        ctx: Optional[TraceContext] = None,
+    ):
         """Submit one coalesced batch task (same break-absorption as
-        :meth:`_submit_query`); all queries share graph/algorithm/params."""
+        :meth:`_submit_query`); all queries share graph/algorithm/params.
+        The worker payload attaches to the lead query's trace."""
         lead = queries[0]
         sources = [int(q.source) for q in queries]
-        try:
-            return self.pool.submit(
-                lead.graph_id,
+        if self._telemetry:
+            args = (
+                run_algorithm_batch_traced,
+                self._envelope(ctx),
+                sources,
+                lead.algorithm,
+                dict(lead.params),
+            )
+        else:
+            args = (
                 run_algorithm_batch,
                 sources,
                 lead.algorithm,
                 dict(lead.params),
             )
+        try:
+            return self.pool.submit(lead.graph_id, *args)
         except BrokenExecutor:
             self.pool.recover()
-            return self.pool.submit(
-                lead.graph_id,
-                run_algorithm_batch,
-                sources,
-                lead.algorithm,
-                dict(lead.params),
-            )
+            return self.pool.submit(lead.graph_id, *args)
 
     def _emit_batch_dispatch(self, chunk: List[_Miss]) -> None:
         if self._events.enabled:
             lead = chunk[0][1]
-            self._events.emit(
-                {
-                    "type": "batch_dispatch",
-                    "graph": lead.graph_id,
-                    "algorithm": lead.algorithm,
-                    "batch_size": len(chunk),
-                    "sources": [int(m[1].source) for m in chunk],
-                    "qids": [m[3] for m in chunk],
-                }
-            )
+            lead_ctx = chunk[0][5]
+            event = {
+                "type": "batch_dispatch",
+                "graph": lead.graph_id,
+                "algorithm": lead.algorithm,
+                "batch_size": len(chunk),
+                "sources": [int(m[1].source) for m in chunk],
+                "qids": [m[3] for m in chunk],
+            }
+            if lead_ctx is not None:
+                event["trace"] = lead_ctx.trace_id
+            self._events.emit(event)
 
     def _dispatch(self, misses: List[_Miss]) -> List[_Dispatch]:
         """Turn pending misses into pool submissions.
@@ -400,7 +572,10 @@ class QueryEngine:
             if kind == "single":
                 miss = payload  # type: ignore[assignment]
                 dispatches.append(
-                    _Dispatch(future=self._submit_query(miss[1]), members=[miss])
+                    _Dispatch(
+                        future=self._submit_query(miss[1], miss[5]),
+                        members=[miss],
+                    )
                 )
                 continue
             members = groups[payload]  # type: ignore[index]
@@ -410,12 +585,16 @@ class QueryEngine:
                     # a lone miss gains nothing from the batch entry point
                     dispatches.append(
                         _Dispatch(
-                            future=self._submit_query(chunk[0][1]),
+                            future=self._submit_query(
+                                chunk[0][1], chunk[0][5]
+                            ),
                             members=chunk,
                         )
                     )
                     continue
-                future = self._submit_batch([m[1] for m in chunk])
+                future = self._submit_batch(
+                    [m[1] for m in chunk], chunk[0][5]
+                )
                 self._batch_size_hist.observe(len(chunk))
                 self._batch_coalesced.inc(len(chunk) - 1)
                 self._emit_batch_dispatch(chunk)
@@ -440,17 +619,25 @@ class QueryEngine:
         responses: List[Optional[QueryResponse]] = [None] * len(queries)
         pending_keys: Dict[CacheKey, bool] = {}
         misses: List[_Miss] = []
-        coalesced: List[Tuple[int, CacheKey, int]] = []
+        coalesced: List[
+            Tuple[int, CacheKey, int, Optional[TraceContext]]
+        ] = []
 
         for i, query in enumerate(queries):
             qid = self._next_qid()
             self._query_counter.inc()
-            self._emit_start(qid, query)
+            ctx = self._mint_ctx(query)
+            self._emit_start(qid, query, ctx)
             reason = self._validate(query)
             if reason is not None:
                 self._error_counter.inc()
-                responses[i] = QueryResponse(query=query, ok=False, error=reason)
-                self._emit_end(qid, responses[i])
+                responses[i] = QueryResponse(
+                    query=query,
+                    ok=False,
+                    error=reason,
+                    trace_id=ctx.trace_id if ctx else None,
+                )
+                self._emit_end(qid, responses[i], ctx)
                 continue
             key = self._cache_key(query)
             t0 = time.perf_counter()
@@ -462,14 +649,16 @@ class QueryEngine:
                     cache="hit",
                     fingerprint=key[0],
                     wall_seconds=time.perf_counter() - t0,
+                    trace_id=ctx.trace_id if ctx else None,
                     **_summarise(cached),  # type: ignore[arg-type]
                 )
                 self._query_timer.observe(response.wall_seconds)
+                self._observe_latency(query, response)
                 responses[i] = response
-                self._emit_end(qid, response)
+                self._emit_end(qid, response, ctx)
                 continue
             if key in pending_keys:
-                coalesced.append((i, key, qid))
+                coalesced.append((i, key, qid, ctx))
                 continue
             if not self.breakers.allow(query.graph_id, query.algorithm):
                 self._error_counter.inc()
@@ -484,24 +673,26 @@ class QueryEngine:
                         f"({query.graph_id!r}, {query.algorithm!r}) after "
                         f"{state['consecutive_failures']} consecutive failures"
                     ),
+                    trace_id=ctx.trace_id if ctx else None,
                 )
-                self._emit_end(qid, responses[i])
+                self._emit_end(qid, responses[i], ctx)
                 continue
             pending_keys[key] = True
-            misses.append((i, query, key, qid, t0))
+            misses.append((i, query, key, qid, t0, ctx))
             responses[i] = None  # filled in below
 
         # settle dispatches in submission order, retrying transients
         settled: Dict[CacheKey, QueryResponse] = {}
         for dispatch in self._dispatch(misses):
             for miss, response in self._settle_dispatch(dispatch):
-                i, query, key, qid, t0 = miss
+                i, query, key, qid, t0, ctx = miss
                 self._query_timer.observe(response.wall_seconds)
+                self._observe_latency(query, response)
                 responses[i] = response
                 settled[key] = response
-                self._emit_end(qid, response)
+                self._emit_end(qid, response, ctx)
 
-        for i, key, qid in coalesced:
+        for i, key, qid, ctx in coalesced:
             primary = settled.get(key)
             assert primary is not None
             response = QueryResponse(
@@ -517,11 +708,12 @@ class QueryEngine:
                 mean_dist=primary.mean_dist,
                 wall_seconds=primary.wall_seconds,
                 attempts=primary.attempts,
+                trace_id=ctx.trace_id if ctx else None,
             )
             if not primary.ok:
                 self._error_counter.inc()
             responses[i] = response
-            self._emit_end(qid, response)
+            self._emit_end(qid, response, ctx)
 
         return responses  # type: ignore[return-value]
 
@@ -548,8 +740,10 @@ class QueryEngine:
         """Wait for one dispatch; one ``(miss, response)`` per member."""
         if not dispatch.batched:
             miss = dispatch.members[0]
-            _, query, key, qid, t0 = miss
-            return [(miss, self._settle(query, key, dispatch.future, qid, t0))]
+            _, query, key, qid, t0, ctx = miss
+            return [
+                (miss, self._settle(query, key, dispatch.future, qid, t0, ctx))
+            ]
         return self._settle_batch(dispatch)
 
     def _settle_batch(
@@ -566,12 +760,14 @@ class QueryEngine:
         """
         members = dispatch.members
         lead = members[0][1]
+        lead_ctx = members[0][5]
         graph = self._graphs[lead.graph_id]
         future = dispatch.future
         attempt = 1
         while True:
             try:
-                results = future.result(timeout=self.pool.timeout)
+                raw = future.result(timeout=self.pool.timeout)
+                results, payload = self._unwrap(raw)
                 if (
                     not isinstance(results, (list, tuple))
                     or len(results) != len(members)
@@ -586,10 +782,11 @@ class QueryEngine:
                         num_nodes=graph.num_nodes,
                         source=int(miss[1].source),
                     )
+                self._absorb_payload(payload, lead)
                 now = time.perf_counter()
                 out: List[Tuple[_Miss, QueryResponse]] = []
                 for miss, result in zip(members, results):
-                    _, query, key, _, t0 = miss
+                    _, query, key, _, t0, ctx = miss
                     self.breakers.record_success(
                         query.graph_id, query.algorithm
                     )
@@ -600,6 +797,7 @@ class QueryEngine:
                         fingerprint=key[0],
                         wall_seconds=now - t0,
                         attempts=attempt,
+                        trace_id=ctx.trace_id if ctx else None,
                         **_summarise(result),  # type: ignore[arg-type]
                     )
                     self.cache.put(key, result)
@@ -627,7 +825,9 @@ class QueryEngine:
                     if delay > 0:
                         time.sleep(delay)
                     try:
-                        future = self._submit_batch([m[1] for m in members])
+                        future = self._submit_batch(
+                            [m[1] for m in members], lead_ctx
+                        )
                     except Exception as resubmit_exc:
                         message = (
                             f"{type(resubmit_exc).__name__}: {resubmit_exc}"
@@ -639,7 +839,7 @@ class QueryEngine:
                 now = time.perf_counter()
                 failed: List[Tuple[_Miss, QueryResponse]] = []
                 for miss in members:
-                    _, query, _, _, t0 = miss
+                    _, query, _, _, t0, ctx = miss
                     self.breakers.record_failure(
                         query.graph_id, query.algorithm
                     )
@@ -656,6 +856,7 @@ class QueryEngine:
                                 error=message,
                                 attempts=attempt,
                                 wall_seconds=now - t0,
+                                trace_id=ctx.trace_id if ctx else None,
                             ),
                         )
                     )
@@ -668,6 +869,7 @@ class QueryEngine:
         future,
         qid: int,
         t0: float,
+        ctx: Optional[TraceContext] = None,
     ) -> QueryResponse:
         """Wait for one in-flight query, retrying transient failures.
 
@@ -682,12 +884,14 @@ class QueryEngine:
         attempt = 1
         while True:
             try:
-                result = future.result(timeout=self.pool.timeout)
+                raw = future.result(timeout=self.pool.timeout)
+                result, payload = self._unwrap(raw)
                 validate_result(
                     result,
                     num_nodes=graph.num_nodes,
                     source=int(query.source),
                 )
+                self._absorb_payload(payload, query)
                 self.breakers.record_success(query.graph_id, query.algorithm)
                 response = QueryResponse(
                     query=query,
@@ -696,6 +900,7 @@ class QueryEngine:
                     fingerprint=key[0],
                     wall_seconds=time.perf_counter() - t0,
                     attempts=attempt,
+                    trace_id=ctx.trace_id if ctx else None,
                     **_summarise(result),  # type: ignore[arg-type]
                 )
                 self.cache.put(key, result)
@@ -721,7 +926,7 @@ class QueryEngine:
                     if delay > 0:
                         time.sleep(delay)
                     try:
-                        future = self._submit_query(query)
+                        future = self._submit_query(query, ctx)
                     except Exception as resubmit_exc:
                         message = (
                             f"{type(resubmit_exc).__name__}: {resubmit_exc}"
@@ -741,6 +946,7 @@ class QueryEngine:
                     error=message,
                     attempts=attempt,
                     wall_seconds=time.perf_counter() - t0,
+                    trace_id=ctx.trace_id if ctx else None,
                 )
 
     # ------------------------------------------------------------------
@@ -772,6 +978,7 @@ class QueryEngine:
             "graphs": self.pool.graph_ids,
             "queries": self._qid,
             "max_batch": self.max_batch,
+            "telemetry": self._telemetry,
             "cache": self.cache.stats(),
             "pool": {
                 "mode": self.pool.mode,
@@ -783,3 +990,12 @@ class QueryEngine:
                 "exhausted": self.retry_exhausted,
             },
         }
+
+    def metrics_snapshot(self) -> dict:
+        """The serving registry's full snapshot (the ``metrics`` op).
+
+        Empty when the engine was built under a null context — the
+        ``metrics`` protocol op then reports ``{}`` rather than erroring,
+        so a client can probe whether telemetry is on.
+        """
+        return self._registry.snapshot()

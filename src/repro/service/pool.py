@@ -45,10 +45,13 @@ The pool publishes ``service.pool.queue_depth`` (gauge) and
 ``service.pool.tasks`` (counter) through the observability context
 active at construction (see :mod:`repro.obs.context`).
 
-Worker processes start with the *null* observability context: metrics
-published inside a process worker stay in that process.  Callers that
-need per-query accounting record it engine-side (wall time, cache
-status), which is what :mod:`repro.service.engine` does.
+Worker processes start with the *null* observability context, so
+metrics a task publishes would stay in that process — which is why
+the engine's traced task wrappers
+(:func:`~repro.service.runners.run_algorithm_traced`) run each task
+under a private buffered context and ship the deltas back with the
+result (see :mod:`repro.obs.telemetry`).  The pool itself stays
+telemetry-agnostic: an envelope is just another pickled argument.
 """
 
 from __future__ import annotations

@@ -21,6 +21,22 @@ One JSON object per line.  Four operations (``op`` defaults to
 * ``{"op": "health"}`` — the resilience picture: pool liveness (mode,
   workers, pending, ``alive``, ``lost_workers``, ``rebuilds``),
   per-(graph, algorithm) circuit-breaker states, and retry totals.
+* ``{"op": "metrics"}`` — the serving registry's metric snapshot
+  (labelled ``service.query.*`` histograms with p50/p95/p99, cache and
+  breaker counters, merged worker-side kernel metrics).  With
+  ``"format": "prometheus"`` the snapshot is rendered as Prometheus
+  text exposition in the response's ``"text"`` field (see
+  :mod:`repro.obs.exposition`).  ``{}`` when the engine was built
+  without observability.
+
+The protocol layer is also where a request's **trace** begins: when
+the engine has telemetry, each query line mints a root
+:class:`~repro.obs.telemetry.TraceContext` (one per line — a
+``sources`` batch shares its line's trace), threads it through the
+queries, stamps the response with ``"trace"``, and emits the
+``protocol`` span closing the request.  An optional
+:class:`~repro.obs.telemetry.TraceSampler` decides, per line, whether
+that trace ships spans and events (metric deltas always count).
 
 Every input line produces exactly one output line with an ``"ok"``
 key; malformed lines (bad JSON, missing fields, unknown graph or
@@ -34,14 +50,19 @@ sees them live.
 
 Version history: v1 — query/stats/graphs; v2 — ``health`` op,
 ``attempts`` on retried responses, param-size bound; v3 — ``sources``
-lists on query requests (batched dispatch, one ``results`` line).
+lists on query requests (batched dispatch, one ``results`` line);
+v4 — ``metrics`` op, ``trace`` ids on query responses.
 """
 
 from __future__ import annotations
 
 import json
+import time
+from dataclasses import replace
 from typing import IO, Iterable, Optional
 
+from repro.obs.exposition import format_prometheus
+from repro.obs.telemetry import TraceContext, TraceSampler, emit_span
 from repro.service.engine import QueryEngine, SSSPQuery
 
 __all__ = [
@@ -54,7 +75,7 @@ __all__ = [
     "serve_stream",
 ]
 
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 # params is a flat knob dict (delta, setpoint, k, ...); dozens of keys
 # means a malformed or hostile request, and the engine would only
@@ -138,7 +159,26 @@ def parse_batch_query(request: dict) -> list:
     return queries
 
 
-def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
+def _mint_root(
+    engine: QueryEngine, sampler: Optional[TraceSampler]
+) -> Optional[TraceContext]:
+    """The root trace context for one query line, or None.
+
+    Minted only when the engine has telemetry (a null-context engine
+    stays envelope-free end to end).  The sampler — when given —
+    decides here, once, whether this trace ships spans and events.
+    """
+    if not engine.telemetry:
+        return None
+    sampled = sampler.sample() if sampler is not None else True
+    return TraceContext.mint(sampled=sampled)
+
+
+def handle_line(
+    engine: QueryEngine,
+    line: str,
+    sampler: Optional[TraceSampler] = None,
+) -> Optional[dict]:
     """One request line -> one response dict (None for blank lines)."""
     line = line.strip()
     if not line:
@@ -152,24 +192,42 @@ def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
 
     op = request.get("op", "query")
     if op == "query":
+        ctx = _mint_root(engine, sampler)
+        t0 = time.perf_counter()
         try:
             if "sources" in request:
                 queries = parse_batch_query(request)
             else:
-                return engine.run(parse_query(request)).as_dict()
+                query = parse_query(request)
+                if ctx is not None:
+                    query = replace(query, trace=ctx)
+                out = engine.run(query).as_dict()
+                emit_span(
+                    engine.events, ctx, "protocol",
+                    time.perf_counter() - t0, op="query",
+                )
+                return out
         except ProtocolError as exc:
             response = {"ok": False, "error": str(exc)}
             if request.get("id") is not None:
                 response["id"] = str(request["id"])
             return response
+        if ctx is not None:
+            queries = [replace(q, trace=ctx) for q in queries]
         responses = engine.run_many(queries)
         out = {
             "ok": all(r.ok for r in responses),
             "count": len(responses),
             "results": [r.as_dict() for r in responses],
         }
+        if ctx is not None:
+            out["trace"] = ctx.trace_id
         if request.get("id") is not None:
             out["id"] = str(request["id"])
+        emit_span(
+            engine.events, ctx, "protocol",
+            time.perf_counter() - t0, op="query", batch=len(responses),
+        )
         return out
     if op == "stats":
         return {"ok": True, "op": "stats", "v": PROTOCOL_VERSION, **engine.stats()}
@@ -177,19 +235,36 @@ def handle_line(engine: QueryEngine, line: str) -> Optional[dict]:
         return {"ok": True, "op": "graphs", "graphs": engine.catalog.describe()}
     if op == "health":
         return {"ok": True, "op": "health", "v": PROTOCOL_VERSION, **engine.health()}
+    if op == "metrics":
+        snapshot = engine.metrics_snapshot()
+        out = {"ok": True, "op": "metrics", "v": PROTOCOL_VERSION}
+        if request.get("format") == "prometheus":
+            out["format"] = "prometheus"
+            out["text"] = format_prometheus(snapshot)
+        else:
+            out["metrics"] = snapshot
+        return out
     return {
         "ok": False,
-        "error": f"unknown op {op!r} (have query, stats, graphs, health)",
+        "error": (
+            f"unknown op {op!r} "
+            "(have query, stats, graphs, health, metrics)"
+        ),
     }
 
 
 def serve_stream(
-    engine: QueryEngine, lines: Iterable[str], out: IO[str]
+    engine: QueryEngine,
+    lines: Iterable[str],
+    out: IO[str],
+    *,
+    sampler: Optional[TraceSampler] = None,
 ) -> int:
     """Drive the engine from a line stream; returns responses written.
 
     This is the whole serve loop: the CLI hands it ``sys.stdin`` (or a
     file) and ``sys.stdout``; tests hand it lists and ``StringIO``.
+    ``sampler`` (optional) head-samples traces per request line.
 
     Exceptions escaping the engine for one line — a bug, a resource
     blip, anything :func:`handle_line` did not already turn into an
@@ -199,7 +274,7 @@ def serve_stream(
     written = 0
     for line in lines:
         try:
-            response = handle_line(engine, line)
+            response = handle_line(engine, line, sampler)
         except Exception as exc:  # one bad query must not kill the loop
             response = {
                 "ok": False,

@@ -21,6 +21,13 @@ The trade is explicit: up to ``max_wait_ms`` of added latency per
 query buys one kernel pass for up to ``max_batch`` of them.  With
 ``max_wait_ms=0`` the scheduler degenerates to a submit-side queue
 that still fuses whatever happens to be waiting at flush time.
+
+Trace propagation needs nothing special here: a query's
+:class:`~repro.obs.telemetry.TraceContext` rides on the
+:class:`~repro.service.engine.SSSPQuery` itself, so parking and
+re-batching queries preserves each one's trace — the engine derives
+its per-query child contexts at ``run_many`` time, after the window
+closes.
 """
 
 from __future__ import annotations

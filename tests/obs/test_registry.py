@@ -1,12 +1,17 @@
 """Tests for the metrics registry."""
 
+import threading
+
 import pytest
 
 from repro.obs.registry import (
+    BUCKET_BOUNDS,
     NULL_REGISTRY,
     Counter,
     MetricsRegistry,
     NullRegistry,
+    parse_name,
+    qualify_name,
 )
 
 
@@ -104,3 +109,198 @@ class TestNullRegistry:
         assert NULL_REGISTRY.snapshot() == {}
         assert len(NULL_REGISTRY) == 0
         assert "g" not in NULL_REGISTRY
+
+
+class TestLabels:
+    def test_labelled_variants_are_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("lat", labels={"graph": "cal"})
+        b = reg.histogram("lat", labels={"graph": "wiki"})
+        assert a is not b
+        a.observe(1.0)
+        assert b.count == 0
+
+    def test_snapshot_keys_carry_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"graph": "cal", "algorithm": "nearfar"}).inc()
+        snap = reg.snapshot()
+        [key] = snap
+        base, labels = parse_name(key)
+        assert base == "hits"
+        assert labels == {"graph": "cal", "algorithm": "nearfar"}
+
+    def test_label_order_is_canonical(self):
+        assert qualify_name("m", {"b": "2", "a": "1"}) == qualify_name(
+            "m", {"a": "1", "b": "2"}
+        )
+
+
+class TestThreadSafety:
+    """Satellite 1: concurrent mutation must not lose increments."""
+
+    def test_hammered_counter_loses_nothing(self):
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 5_000
+        start = threading.Barrier(threads_n)
+
+        def hammer():
+            start.wait()
+            c = reg.counter("hammered")
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hammered").value == threads_n * per_thread
+
+    def test_hammered_histogram_keeps_every_sample(self):
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 2_000
+        start = threading.Barrier(threads_n)
+
+        def hammer(seed):
+            start.wait()
+            h = reg.histogram("lat")
+            for i in range(per_thread):
+                h.observe(0.001 * (seed + 1) * (i % 7 + 1))
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        h = reg.histogram("lat")
+        assert h.count == threads_n * per_thread
+        # bucket counters must account for every sample too
+        assert sum(c for _, c in h.bucket_counts()) == h.count
+
+    def test_concurrent_registration_yields_one_handle(self):
+        reg = MetricsRegistry()
+        handles = []
+        start = threading.Barrier(8)
+
+        def register():
+            start.wait()
+            handles.append(reg.counter("same.name"))
+
+        threads = [threading.Thread(target=register) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(reg) == 1
+        assert all(h is handles[0] for h in handles)
+
+
+class TestHistogramQuantiles:
+    """Satellite 3: quantile estimation edge cases."""
+
+    def test_empty_histogram_answers_zero(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_answers_every_quantile_exactly(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.125)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.125)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= 2.0
+        assert h.quantile(1.0) <= 4.0
+
+    def test_overflow_bucket_tops_out_at_observed_max(self):
+        h = MetricsRegistry().histogram("h")
+        beyond = BUCKET_BOUNDS[-1] * 10  # past the last finite bound
+        h.observe(beyond)
+        assert h.quantile(0.99) == pytest.approx(beyond)
+        # the +inf bucket index is one past the last finite bound
+        [(index, count)] = h.bucket_counts()
+        assert index == len(BUCKET_BOUNDS)
+        assert count == 1
+
+    def test_zero_and_negative_samples_land_in_first_bucket(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.count == 2
+        assert h.minimum == -1.0
+        [(index, count)] = h.bucket_counts()
+        assert index == 0 and count == 2
+
+    def test_quantile_out_of_range_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_median_of_uniform_spread_is_plausible(self):
+        h = MetricsRegistry().histogram("h")
+        for i in range(1, 101):
+            h.observe(i / 100.0)
+        # log-bucketed estimate: within one bucket's width of the truth
+        assert h.quantile(0.5) == pytest.approx(0.5, rel=0.45)
+        assert h.quantile(0.95) == pytest.approx(0.95, rel=0.45)
+
+
+class TestMergeSnapshot:
+    """Satellite 3 (continued): merging shipped worker deltas."""
+
+    def test_counters_add_and_histograms_merge(self):
+        worker = MetricsRegistry()
+        worker.counter("relax").inc(10)
+        for v in (0.1, 0.2, 0.4):
+            worker.histogram("frontier").observe(v)
+
+        serving = MetricsRegistry()
+        serving.counter("relax").inc(5)
+        serving.histogram("frontier").observe(0.8)
+        serving.merge_snapshot(worker.snapshot())
+
+        assert serving.counter("relax").value == 15
+        h = serving.histogram("frontier")
+        assert h.count == 4
+        assert h.total == pytest.approx(1.5)
+        assert h.minimum == pytest.approx(0.1)
+        assert h.maximum == pytest.approx(0.8)
+
+    def test_merge_into_empty_registry_preserves_totals(self):
+        worker = MetricsRegistry()
+        worker.histogram("h").observe(3.0)
+        worker.histogram("h").observe(5.0)
+        serving = MetricsRegistry()
+        serving.merge_snapshot(worker.snapshot())
+        h = serving.histogram("h")
+        assert h.count == 2 and h.minimum == 3.0 and h.maximum == 5.0
+        assert 3.0 <= h.quantile(0.5) <= 5.0
+
+    def test_merge_empty_histogram_is_a_noop(self):
+        serving = MetricsRegistry()
+        serving.histogram("h").observe(1.0)
+        serving.merge_snapshot({"h": {"type": "histogram", "count": 0}})
+        assert serving.histogram("h").count == 1
+
+    def test_labelled_keys_round_trip_through_merge(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", labels={"graph": "cal"}).observe(0.2)
+        serving = MetricsRegistry()
+        serving.merge_snapshot(worker.snapshot())
+        assert serving.histogram("lat", labels={"graph": "cal"}).count == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})
+
+    def test_type_conflict_rejected(self):
+        serving = MetricsRegistry()
+        serving.counter("x").inc()
+        with pytest.raises(ValueError, match="already registered"):
+            serving.merge_snapshot({"x": {"type": "gauge", "value": 1.0}})

@@ -1,0 +1,255 @@
+"""Tests for trace propagation: contexts, sampling, worker capture."""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import BUCKET_BOUNDS
+from repro.obs.telemetry import (
+    TELEMETRY_WIRE_VERSION,
+    TraceContext,
+    TraceSampler,
+    capture_task,
+    emit_span,
+    merge_payload,
+)
+
+
+class TestTraceContext:
+    def test_mint_is_a_root(self):
+        ctx = TraceContext.mint()
+        assert ctx.trace_id and ctx.span_id
+        assert ctx.parent_id is None
+        assert ctx.sampled is True
+
+    def test_mint_unique_ids(self):
+        a, b = TraceContext.mint(), TraceContext.mint()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_keeps_trace_reparents_span(self):
+        root = TraceContext.mint(sampled=False)
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert child.sampled is False  # the decision sticks down the chain
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext.mint().child()
+        wire = ctx.to_wire()
+        assert pickle.loads(pickle.dumps(wire)) == wire  # envelope-safe
+        assert TraceContext.from_wire(wire) == ctx
+
+    def test_from_wire_none_passes_through(self):
+        assert TraceContext.from_wire(None) is None
+
+
+class TestTraceSampler:
+    def test_rate_one_samples_everything(self):
+        sampler = TraceSampler(1.0)
+        assert all(sampler.sample() for _ in range(10))
+
+    def test_rate_zero_samples_nothing(self):
+        sampler = TraceSampler(0.0)
+        assert not any(sampler.sample() for _ in range(10))
+
+    def test_half_rate_is_every_second_deterministically(self):
+        decisions = [TraceSampler(0.5).sample() for _ in range(1)]
+        assert decisions == [False]
+        sampler = TraceSampler(0.5)
+        assert [sampler.sample() for _ in range(6)] == [
+            False, True, False, True, False, True,
+        ]
+
+    def test_quarter_rate_fires_every_fourth(self):
+        sampler = TraceSampler(0.25)
+        fired = [i for i in range(12) if sampler.sample()]
+        assert fired == [3, 7, 11]
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSampler(1.5)
+        with pytest.raises(ValueError):
+            TraceSampler(-0.1)
+
+
+class TestEmitSpan:
+    def test_emits_for_sampled_trace(self):
+        sink = obs.ListSink()
+        ctx = TraceContext.mint()
+        emit_span(sink, ctx, "engine/query", 0.25, qid=3)
+        [event] = sink.events
+        assert event["type"] == "span"
+        assert event["trace"] == ctx.trace_id
+        assert event["span"] == ctx.span_id
+        assert event["name"] == "engine/query"
+        assert event["seconds"] == 0.25
+        assert event["qid"] == 3
+
+    def test_silent_when_unsampled_or_missing(self):
+        sink = obs.ListSink()
+        emit_span(sink, TraceContext.mint(sampled=False), "x", 0.1)
+        emit_span(sink, None, "x", 0.1)
+        assert sink.events == []
+
+
+class TestCaptureTask:
+    def _envelope(self, **over):
+        ctx = TraceContext.mint()
+        env = {"ctx": ctx.child().to_wire(), "enqueue_ts": None}
+        env.update(over)
+        return env
+
+    def test_result_and_payload_shape(self):
+        result, payload = capture_task(self._envelope(), lambda: 42)
+        assert result == 42
+        assert payload["v"] == TELEMETRY_WIRE_VERSION
+        assert payload["ctx"]["trace_id"]
+        assert payload["compute_seconds"] >= 0.0
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+    def test_task_metrics_land_in_payload_not_caller_context(self):
+        outer = obs.MetricsRegistry()
+
+        def task():
+            obs.get_registry().counter("kernel.work").inc(7)
+            return "ok"
+
+        with obs.use(registry=outer):
+            _, payload = capture_task(self._envelope(), task)
+        assert payload["metrics"]["kernel.work"]["value"] == 7
+        assert "kernel.work" not in outer  # buffered, not shared
+
+    def test_task_spans_rooted_under_task(self):
+        def task():
+            with obs.get_spans().span("kernel"):
+                pass
+
+        _, payload = capture_task(self._envelope(), task)
+        paths = [row["path"] for row in payload["spans"]]
+        assert paths == ["task", "task/kernel"]
+
+    def test_unsampled_trace_drops_buffered_events(self):
+        root = TraceContext.mint(sampled=False)
+        env = {"ctx": root.child().to_wire(), "enqueue_ts": None}
+
+        def task():
+            obs.get_events().emit({"type": "run_start"})
+
+        _, payload = capture_task(env, task)
+        assert payload["events"] == []
+        # ...but the metric delta still ships for unsampled traces
+        assert payload["metrics"] is not None
+
+    def test_queue_wait_from_enqueue_ts(self):
+        import time
+
+        env = self._envelope(enqueue_ts=time.time() - 0.05)
+        _, payload = capture_task(env, lambda: None)
+        assert payload["queue_wait_seconds"] >= 0.04
+
+
+class TestMergePayload:
+    def _captured(self, sampled=True):
+        root = TraceContext.mint(sampled=sampled)
+        env = {"ctx": root.child().to_wire(), "enqueue_ts": None}
+
+        def task():
+            obs.get_registry().counter("sssp.relaxations").inc(10)
+            obs.get_registry().histogram("sssp.frontier").observe(5.0)
+            obs.get_events().emit({"type": "run_start", "algorithm": "nearfar"})
+            with obs.get_spans().span("kernel"):
+                pass
+
+        _, payload = capture_task(env, task)
+        return root, payload
+
+    def test_metrics_merge_into_serving_registry(self):
+        _, payload = self._captured()
+        registry = obs.MetricsRegistry()
+        registry.counter("sssp.relaxations").inc(3)
+        merge_payload(
+            payload,
+            registry=registry,
+            events=obs.ListSink(),
+            spans=obs.SpanRecorder(),
+        )
+        assert registry.counter("sssp.relaxations").value == 13
+        assert registry.histogram("sssp.frontier").count == 1
+
+    def test_spans_reroot_under_worker(self):
+        _, payload = self._captured()
+        spans = obs.SpanRecorder()
+        merge_payload(
+            payload,
+            registry=obs.MetricsRegistry(),
+            events=obs.ListSink(),
+            spans=spans,
+        )
+        paths = [s.path for s in spans.profile()]
+        assert "worker/task" in paths
+        assert "worker/task/kernel" in paths
+
+    def test_sampled_events_replay_with_trace_and_worker_stamp(self):
+        root, payload = self._captured()
+        sink = obs.ListSink()
+        merge_payload(
+            payload,
+            registry=obs.MetricsRegistry(),
+            events=sink,
+            spans=obs.SpanRecorder(),
+        )
+        replayed = sink.of_type("run_start")
+        assert len(replayed) == 1
+        assert replayed[0]["trace"] == root.trace_id
+        assert replayed[0]["worker"] is True
+        span_names = [e["name"] for e in sink.of_type("span")]
+        assert "worker/task" in span_names
+        assert "worker/task/kernel" in span_names
+
+    def test_unsampled_merges_metrics_but_stays_silent(self):
+        _, payload = self._captured(sampled=False)
+        registry = obs.MetricsRegistry()
+        sink = obs.ListSink()
+        merge_payload(
+            payload,
+            registry=registry,
+            events=sink,
+            spans=obs.SpanRecorder(),
+        )
+        assert registry.counter("sssp.relaxations").value == 10
+        assert sink.events == []
+
+    def test_returns_worker_context(self):
+        root, payload = self._captured()
+        ctx = merge_payload(
+            payload,
+            registry=obs.MetricsRegistry(),
+            events=obs.ListSink(),
+            spans=obs.SpanRecorder(),
+        )
+        assert ctx is not None and ctx.trace_id == root.trace_id
+
+
+class TestThreadScopedContext:
+    def test_thread_scope_shadows_only_this_thread(self):
+        import threading
+
+        outer = obs.MetricsRegistry()
+        seen = {}
+
+        def worker():
+            # no thread-local override here: sees the process context
+            seen["registry"] = obs.get_registry()
+
+        with obs.use(registry=outer):
+            inner = obs.MetricsRegistry()
+            with obs.use(registry=inner, scope="thread"):
+                assert obs.get_registry() is inner
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+            assert obs.get_registry() is outer
+        assert seen["registry"] is outer

@@ -6,7 +6,11 @@ import json
 import pytest
 
 from repro.service import QueryEngine, handle_line, serve_stream
-from repro.service.protocol import parse_batch_query, parse_query
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    parse_batch_query,
+    parse_query,
+)
 
 
 class TestParseQuery:
@@ -100,7 +104,7 @@ class TestHandleLine:
         response = handle_line(engine, '{"op": "health"}')
         assert response["ok"] is True
         assert response["op"] == "health"
-        assert response["v"] == 3
+        assert response["v"] == PROTOCOL_VERSION
         assert response["pool"]["alive"] is True
         assert response["breakers"] == []
         assert response["breakers_open"] == 0
@@ -242,3 +246,116 @@ class TestBatchQueries:
         assert response["ok"] is True
         caches = [entry["cache"] for entry in response["results"]]
         assert caches.count("coalesced") == 1
+
+
+class TestMetricsOpAndTraces:
+    """Protocol v4: the metrics op, per-line trace minting, sampling."""
+
+    def _telemetry(self):
+        from repro import obs
+
+        return obs.use(
+            registry=obs.MetricsRegistry(),
+            events=obs.ListSink(),
+            spans=obs.SpanRecorder(),
+        )
+
+    def test_metrics_op_json_snapshot(self, catalog):
+        with self._telemetry():
+            with QueryEngine(catalog) as engine:
+                handle_line(engine, '{"graph": "grid", "source": 0}')
+                response = handle_line(engine, '{"op": "metrics"}')
+        assert response["ok"] is True
+        assert response["op"] == "metrics"
+        assert response["v"] == PROTOCOL_VERSION
+        latency_keys = [
+            k for k in response["metrics"] if k.startswith("service.query.latency")
+        ]
+        assert len(latency_keys) == 1
+        data = response["metrics"][latency_keys[0]]
+        assert data["count"] == 1
+        assert data["p50"] > 0 and data["p99"] > 0
+
+    def test_metrics_op_prometheus_text(self, catalog):
+        with self._telemetry():
+            with QueryEngine(catalog) as engine:
+                handle_line(engine, '{"graph": "grid", "source": 0}')
+                response = handle_line(
+                    engine, '{"op": "metrics", "format": "prometheus"}'
+                )
+        assert response["ok"] is True
+        assert response["format"] == "prometheus"
+        assert "repro_service_query_latency_bucket" in response["text"]
+        assert 'graph="grid"' in response["text"]
+
+    def test_metrics_op_empty_without_telemetry(self, catalog):
+        from repro import obs
+
+        with obs.use():
+            with QueryEngine(catalog) as engine:
+                response = handle_line(engine, '{"op": "metrics"}')
+        assert response["ok"] is True
+        assert response["metrics"] == {}
+
+    def test_query_response_carries_trace_when_telemetry_on(self, catalog):
+        with self._telemetry():
+            with QueryEngine(catalog) as engine:
+                single = handle_line(engine, '{"graph": "grid", "source": 0}')
+                batch = handle_line(
+                    engine, '{"graph": "grid", "sources": [1, 2]}'
+                )
+        assert single["ok"] and single["trace"]
+        assert batch["ok"] and batch["trace"]
+        # one line, one trace: every batch member shares it
+        assert all(
+            entry["trace"] == batch["trace"] for entry in batch["results"]
+        )
+        assert single["trace"] != batch["trace"]
+
+    def test_no_trace_key_without_telemetry(self, catalog):
+        from repro import obs
+
+        with obs.use():
+            with QueryEngine(catalog) as engine:
+                response = handle_line(engine, '{"graph": "grid", "source": 0}')
+        assert response["ok"] is True
+        assert "trace" not in response
+
+    def test_protocol_span_closes_each_query_line(self, catalog):
+        from repro import obs
+
+        sink = obs.ListSink()
+        with obs.use(registry=obs.MetricsRegistry(), events=sink):
+            with QueryEngine(catalog) as engine:
+                handle_line(engine, '{"graph": "grid", "source": 0}')
+        protocol_spans = [
+            e for e in sink.of_type("span") if e["name"] == "protocol"
+        ]
+        assert len(protocol_spans) == 1
+        assert protocol_spans[0]["seconds"] > 0
+
+    def test_sampler_halves_span_traffic(self, catalog):
+        from repro import obs
+        from repro.obs.telemetry import TraceSampler
+
+        sink = obs.ListSink()
+        with obs.use(registry=obs.MetricsRegistry(), events=sink):
+            with QueryEngine(catalog, cache_size=0) as engine:
+                sampler = TraceSampler(0.5)
+                for source in range(4):
+                    line = f'{{"graph": "grid", "source": {source}}}'
+                    response = handle_line(engine, line, sampler)
+                    assert response["ok"] is True
+        protocol_spans = [
+            e for e in sink.of_type("span") if e["name"] == "protocol"
+        ]
+        assert len(protocol_spans) == 2  # every 2nd line, deterministically
+
+    def test_unknown_op_mentions_metrics(self, catalog):
+        from repro import obs
+
+        with obs.use():
+            with QueryEngine(catalog) as engine:
+                response = handle_line(engine, '{"op": "nope"}')
+        assert response["ok"] is False
+        assert "metrics" in response["error"]

@@ -205,7 +205,16 @@ class TestServeCommand:
         events = [
             json.loads(line) for line in events_path.read_text().splitlines()
         ]
-        assert [e["type"] for e in events] == ["query_start", "query_end"]
+        # v4 serving telemetry: lifecycle events plus span events (the
+        # query's worker/task, worker/task/kernel, engine/query,
+        # protocol chain), all sharing the line's trace id
+        types = [e["type"] for e in events]
+        assert types[0] == "query_start"
+        assert "query_end" in types
+        span_names = {e["name"] for e in events if e["type"] == "span"}
+        assert {"worker/task", "engine/query", "protocol"} <= span_names
+        traces = {e.get("trace") for e in events}
+        assert len(traces) == 1 and None not in traces
 
     def test_bad_graph_file_spec(self, tmp_path):
         requests = self._requests(tmp_path, ['{"op": "stats"}'])
@@ -469,3 +478,103 @@ class TestTraceCommand:
             main(["trace", "diff", str(t1), str(tmp_path / "r.trace.json")]) == 0
         )
         assert "iterations" in capsys.readouterr().out
+
+
+class TestMetricsAndTopCommands:
+    """The v4 observability surface: metrics exposition and repro top."""
+
+    def _served_metrics(self, tmp_path, capsys, events=False):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                f'{{"graph": "cal", "source": {s}, "algorithm": "nearfar"}}'
+                for s in range(3)
+            )
+            + "\n"
+        )
+        metrics_path = tmp_path / "serve.metrics.json"
+        argv = [
+            "-q", "serve", "--input", str(requests), "--scale", "0.003",
+            "--metrics", str(metrics_path),
+        ]
+        if events:
+            argv += ["--events", str(tmp_path / "serve.events.jsonl")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        return metrics_path
+
+    def test_metrics_human_summary(self, capsys, tmp_path):
+        path = self._served_metrics(tmp_path, capsys)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "service.query.latency" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_metrics_prometheus_exposition(self, capsys, tmp_path):
+        path = self._served_metrics(tmp_path, capsys)
+        assert main(["metrics", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_query_latency histogram" in out
+        assert 'le="+Inf"' in out
+        assert "repro_service_queries_total 3" in out
+
+    def test_metrics_missing_file_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["metrics", str(tmp_path / "absent.json")])
+
+    def test_top_once_renders_dashboard(self, capsys, tmp_path):
+        path = self._served_metrics(tmp_path, capsys)
+        assert main(["top", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "queries" in out
+        assert "p99" in out
+        assert "cal" in out and "nearfar" in out
+
+    def test_top_once_waits_out_missing_file(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "absent.json"), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "waiting" in out
+
+    def test_trace_show_renders_event_log(self, capsys, tmp_path):
+        self._served_metrics(tmp_path, capsys, events=True)
+        events_path = tmp_path / "serve.events.jsonl"
+        assert events_path.exists()
+        assert main(["trace", "show", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "query_start" in out
+        assert "query_end" in out
+        assert "span" in out
+
+    def test_trace_show_renders_batch_events(self, capsys, tmp_path):
+        """Satellite 2: batch_dispatch / batch_run_* render, round-tripped
+        through a real serve session that coalesced a sources batch."""
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"graph": "cal", "sources": [0, 5, 9], "algorithm": "nearfar"}\n'
+        )
+        events_path = tmp_path / "serve.events.jsonl"
+        assert (
+            main(
+                [
+                    "-q", "serve", "--input", str(requests),
+                    "--scale", "0.003", "--max-batch", "8",
+                    "--events", str(events_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        recorded = [
+            json.loads(line) for line in events_path.read_text().splitlines()
+        ]
+        types = {e["type"] for e in recorded}
+        assert {"batch_dispatch", "batch_run_start", "batch_run_end"} <= types
+        assert main(["trace", "show", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "batch_dispatch" in out
+        assert "batch=3" in out or "batch_size=3" in out or "size=3" in out
+        assert "batch_run_start" in out and "batch_run_end" in out

@@ -1,0 +1,182 @@
+"""Tests for the CI perf gate (tools/perf_gate.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_gate",
+    Path(__file__).resolve().parent.parent / "tools" / "perf_gate.py",
+)
+perf_gate = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("perf_gate", perf_gate)
+_SPEC.loader.exec_module(perf_gate)
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _results(tmp_path, **values):
+    return _write(
+        tmp_path / "metrics.json",
+        {
+            "schema": 1,
+            "metrics": {
+                name: {"type": "gauge", "value": value}
+                for name, value in values.items()
+            },
+        },
+    )
+
+
+def _baseline(tmp_path, metrics):
+    return _write(
+        tmp_path / "baseline.json", {"schema": 1, "metrics": metrics}
+    )
+
+
+class TestLoadGauges:
+    def test_reads_wrapped_snapshot(self, tmp_path):
+        path = _results(tmp_path, **{"a.b": 2.5})
+        assert perf_gate.load_gauges(path) == {"a.b": 2.5}
+
+    def test_reads_bare_snapshot(self, tmp_path):
+        path = _write(tmp_path / "bare.json", {"x": {"value": 1}})
+        assert perf_gate.load_gauges(path) == {"x": 1.0}
+
+    def test_skips_histograms_without_value(self, tmp_path):
+        path = _write(
+            tmp_path / "m.json",
+            {"metrics": {"h": {"type": "histogram", "count": 3}}},
+        )
+        assert perf_gate.load_gauges(path) == {}
+
+
+class TestCheckMetric:
+    def test_higher_within_tolerance_passes(self):
+        ok, _, _ = perf_gate.check_metric(
+            "m", {"baseline": 10.0, "direction": "higher", "tolerance": 0.2}, 8.5
+        )
+        assert ok
+
+    def test_higher_past_tolerance_fails(self):
+        ok, _, verdict = perf_gate.check_metric(
+            "m", {"baseline": 10.0, "direction": "higher", "tolerance": 0.2}, 7.9
+        )
+        assert not ok and "REGRESSED" in verdict
+
+    def test_lower_within_tolerance_passes(self):
+        ok, _, _ = perf_gate.check_metric(
+            "m", {"baseline": 1.2, "direction": "lower", "tolerance": 0.25}, 1.45
+        )
+        assert ok
+
+    def test_lower_past_tolerance_fails(self):
+        ok, _, _ = perf_gate.check_metric(
+            "m", {"baseline": 1.2, "direction": "lower", "tolerance": 0.25}, 1.6
+        )
+        assert not ok
+
+    def test_missing_value_fails(self):
+        ok, _, verdict = perf_gate.check_metric(
+            "m", {"baseline": 1.0, "direction": "higher"}, None
+        )
+        assert not ok and "MISSING" in verdict
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            perf_gate.check_metric("m", {"baseline": 1.0, "direction": "up"}, 1.0)
+
+
+class TestRunGate:
+    def test_all_pass(self, tmp_path):
+        results = _results(tmp_path, **{"speedup": 2.4})
+        baseline = _baseline(
+            tmp_path,
+            {"speedup": {"baseline": 2.5, "direction": "higher", "tolerance": 0.3}},
+        )
+        rows, failures = perf_gate.run_gate(results, baseline)
+        assert failures == 0
+        assert rows[0]["status"] == "ok"
+
+    def test_regression_and_missing_counted(self, tmp_path):
+        results = _results(tmp_path, **{"speedup": 1.0})
+        baseline = _baseline(
+            tmp_path,
+            {
+                "speedup": {
+                    "baseline": 2.5, "direction": "higher", "tolerance": 0.3
+                },
+                "gone": {
+                    "baseline": 1.0, "direction": "lower", "tolerance": 0.1
+                },
+            },
+        )
+        _, failures = perf_gate.run_gate(results, baseline)
+        assert failures == 2
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        results = _results(tmp_path, **{"x": 1.0})
+        baseline = _write(tmp_path / "b.json", {"schema": 99, "metrics": {}})
+        with pytest.raises(SystemExit, match="schema"):
+            perf_gate.run_gate(results, baseline)
+
+
+class TestMain:
+    def test_passing_gate_exit_zero(self, tmp_path, capsys):
+        results = _results(tmp_path, **{"qps": 100.0})
+        baseline = _baseline(
+            tmp_path,
+            {"qps": {"baseline": 90.0, "direction": "higher", "tolerance": 0.5}},
+        )
+        code = perf_gate.main(
+            ["--results", str(results), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        results = _results(tmp_path, **{"qps": 10.0})
+        baseline = _baseline(
+            tmp_path,
+            {"qps": {"baseline": 90.0, "direction": "higher", "tolerance": 0.5}},
+        )
+        code = perf_gate.main(
+            ["--results", str(results), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_missing_results_exit_two(self, tmp_path):
+        baseline = _baseline(tmp_path, {})
+        code = perf_gate.main(
+            ["--results", str(tmp_path / "none.json"), "--baseline", str(baseline)]
+        )
+        assert code == 2
+
+    def test_update_reanchors_keeping_tolerance(self, tmp_path):
+        results = _results(tmp_path, **{"qps": 123.4})
+        baseline = _baseline(
+            tmp_path,
+            {"qps": {"baseline": 90.0, "direction": "higher", "tolerance": 0.5}},
+        )
+        code = perf_gate.main(
+            ["--results", str(results), "--baseline", str(baseline), "--update"]
+        )
+        assert code == 0
+        updated = json.loads(baseline.read_text())
+        spec = updated["metrics"]["qps"]
+        assert spec["baseline"] == 123.4
+        assert spec["tolerance"] == 0.5
+        assert spec["direction"] == "higher"
+
+    def test_committed_baseline_gates_committed_results(self):
+        """The repo's own baseline must gate the repo's own results —
+        the pair ships green or CI would fail on the first run."""
+        code = perf_gate.main([])
+        assert code == 0

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""CI perf gate: diff benchmark metrics against a committed baseline.
+
+The benchmark session writes ``benchmarks/results/metrics.json`` (the
+``session_metrics`` fixture in ``benchmarks/conftest.py``); this tool
+compares the gauges named in a committed baseline file against that
+snapshot and fails (exit 1) when any of them regressed past its
+tolerance.  The baseline — ``benchmarks/baselines/ci.json`` by
+default — is data, reviewed like code::
+
+    {
+      "schema": 1,
+      "metrics": {
+        "bench.batch.speedup": {
+          "baseline": 2.54, "direction": "higher", "tolerance": 0.30
+        }
+      }
+    }
+
+Per metric:
+
+* ``baseline`` — the committed reference value;
+* ``direction`` — which way is good: ``"higher"`` (throughput,
+  speedups) or ``"lower"`` (latencies, overhead ratios);
+* ``tolerance`` — allowed *relative* slack in the bad direction.
+  ``direction: higher`` fails when ``value < baseline * (1 - tol)``;
+  ``direction: lower`` fails when ``value > baseline * (1 + tol)``.
+  Machine-independent ratios take tight tolerances; absolute
+  throughput numbers take generous ones (CI runners vary widely).
+
+A gated metric missing from the results is a failure too — a deleted
+benchmark must not silently pass its gate.  ``--update`` rewrites the
+baseline values in place from the current results (directions and
+tolerances are kept), which is how a reviewed perf improvement
+re-anchors the gate.
+
+Usage::
+
+    python -m pytest benchmarks/bench_batch.py benchmarks/bench_overhead.py
+    python tools/perf_gate.py                  # gate against the baseline
+    python tools/perf_gate.py --update         # re-anchor after review
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results" / "metrics.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "ci.json"
+
+BASELINE_SCHEMA = 1
+
+__all__ = ["load_gauges", "check_metric", "run_gate", "main"]
+
+
+def load_gauges(path: Path) -> Dict[str, float]:
+    """The gauge/counter values inside one metrics JSON file."""
+    data = json.loads(path.read_text())
+    snapshot = data.get("metrics", data)
+    gauges: Dict[str, float] = {}
+    for name, entry in snapshot.items():
+        if isinstance(entry, dict) and "value" in entry:
+            gauges[name] = float(entry["value"])
+    return gauges
+
+
+def check_metric(
+    name: str,
+    spec: dict,
+    value: Optional[float],
+) -> Tuple[bool, str, str]:
+    """Gate one metric; returns ``(ok, limit_text, verdict_text)``."""
+    baseline = float(spec["baseline"])
+    direction = spec.get("direction", "higher")
+    tolerance = float(spec.get("tolerance", 0.1))
+    if direction not in ("higher", "lower"):
+        raise ValueError(
+            f"{name}: direction must be 'higher' or 'lower', got {direction!r}"
+        )
+    if value is None:
+        return False, "-", "MISSING from results"
+    if direction == "higher":
+        limit = baseline * (1.0 - tolerance)
+        ok = value >= limit
+        limit_text = f">= {limit:.4g}"
+    else:
+        limit = baseline * (1.0 + tolerance)
+        ok = value <= limit
+        limit_text = f"<= {limit:.4g}"
+    if ok:
+        return True, limit_text, "ok"
+    return False, limit_text, f"REGRESSED ({direction} is better)"
+
+
+def run_gate(results_path: Path, baseline_path: Path) -> Tuple[List[dict], int]:
+    """Gate every baseline metric; returns ``(report rows, failures)``."""
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise SystemExit(
+            f"{baseline_path}: unsupported baseline schema "
+            f"{baseline.get('schema')!r} (expected {BASELINE_SCHEMA})"
+        )
+    gauges = load_gauges(results_path)
+    rows: List[dict] = []
+    failures = 0
+    for name in sorted(baseline.get("metrics", {})):
+        spec = baseline["metrics"][name]
+        value = gauges.get(name)
+        ok, limit_text, verdict = check_metric(name, spec, value)
+        if not ok:
+            failures += 1
+        rows.append(
+            {
+                "metric": name,
+                "baseline": spec["baseline"],
+                "current": "-" if value is None else round(value, 4),
+                "allowed": limit_text,
+                "status": verdict,
+            }
+        )
+    return rows, failures
+
+
+def update_baseline(results_path: Path, baseline_path: Path) -> int:
+    """Re-anchor baseline values from current results; keep tolerances."""
+    baseline = json.loads(baseline_path.read_text())
+    gauges = load_gauges(results_path)
+    missing = []
+    for name, spec in baseline.get("metrics", {}).items():
+        value = gauges.get(name)
+        if value is None:
+            missing.append(name)
+            continue
+        spec["baseline"] = round(value, 4)
+    baseline_path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"baseline re-anchored: {baseline_path}")
+    for name in missing:
+        print(f"  WARNING: {name} not in results; baseline kept as-is")
+    return 1 if missing else 0
+
+
+def _format_report(rows: List[dict]) -> str:
+    headers = ["metric", "baseline", "current", "allowed", "status"]
+    widths = {
+        h: max(len(h), *(len(str(r[h])) for r in rows)) if rows else len(h)
+        for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit 1 on any gated regression."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path, default=DEFAULT_RESULTS,
+        help=f"benchmark metrics snapshot (default: {DEFAULT_RESULTS})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite baseline values from the current results",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(
+            f"results not found: {args.results} "
+            "(run the benchmarks first: python -m pytest benchmarks/...)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.baseline.exists():
+        print(f"baseline not found: {args.baseline}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        return update_baseline(args.results, args.baseline)
+
+    rows, failures = run_gate(args.results, args.baseline)
+    print(_format_report(rows))
+    if failures:
+        print(f"\nperf gate FAILED: {failures} metric(s) regressed")
+        return 1
+    print(f"\nperf gate passed: {len(rows)} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
