@@ -1,0 +1,84 @@
+"""Network front-end throughput: serve --listen + closed-loop loadgen.
+
+The serving acceptance check for ``repro.net``: a 2-shard
+:class:`~repro.net.ShardManager` behind the asyncio TCP front-end,
+driven by the closed-loop Zipf load generator over real sockets, must
+sustain a healthy query rate with **zero** sheds and zero errors at
+trivial load — shedding on an idle box would mean admission control is
+mis-tuned, and any error would mean the socket protocol diverges from
+the stdin one.
+
+Emits ``bench.net.qps`` / ``bench.net.p99_ms`` / ``bench.net.shed``
+gauges into ``benchmarks/results/metrics.json`` via the session
+registry; ``tools/perf_gate.py`` gates ``bench.net.qps`` against
+``benchmarks/baselines/ci.json``.
+"""
+
+import asyncio
+
+from conftest import run_once
+
+from repro import obs
+from repro.net import AdmissionController, NetServer, ShardManager, run_loadgen
+from repro.service import default_catalog
+
+GRAPH_SCALE = 0.005  # tiny catalog graphs: this measures the wire, not SSSP
+SHARDS = 2
+CONNECTIONS = 8
+DURATION_S = 2.0
+ZIPF_A = 1.2
+
+
+def test_serve_loadgen_throughput(benchmark, emit):
+    catalog = default_catalog(GRAPH_SCALE)
+    admission = AdmissionController(max_inflight=256)
+    manager = ShardManager(
+        catalog, shards=SHARDS, admission=admission, max_workers=2
+    )
+
+    async def drive():
+        server = NetServer(manager, port=0)
+        await server.start()
+        try:
+            host, port = server.address
+            return await run_loadgen(
+                f"{host}:{port}",
+                connections=CONNECTIONS,
+                duration_seconds=DURATION_S,
+                zipf_a=ZIPF_A,
+            )
+        finally:
+            await server.stop()
+
+    try:
+        summary = run_once(benchmark, lambda: asyncio.run(drive()))
+    finally:
+        manager.close()
+
+    assert summary["sent"] > 0
+    assert summary["errors"] == 0, summary["error_samples"]
+    assert summary["shed"] == 0  # trivial load must never shed
+    assert summary["ok"] == summary["sent"]
+
+    latency = summary["latency"]
+    registry = obs.get_registry()
+    registry.gauge("bench.net.qps").set(summary["qps"])
+    registry.gauge("bench.net.sent").set(summary["sent"])
+    registry.gauge("bench.net.shed").set(summary["shed"])
+    registry.gauge("bench.net.p50_ms").set(latency["p50_ms"])
+    registry.gauge("bench.net.p99_ms").set(latency["p99_ms"])
+
+    emit(
+        "net_loadgen",
+        "\n".join(
+            [
+                f"connections={CONNECTIONS} shards={SHARDS} "
+                f"duration={DURATION_S}s zipf={ZIPF_A}",
+                f"sent={summary['sent']} ok={summary['ok']} "
+                f"shed={summary['shed']} errors={summary['errors']}",
+                f"qps={summary['qps']}",
+                f"latency p50={latency['p50_ms']}ms "
+                f"p95={latency['p95_ms']}ms p99={latency['p99_ms']}ms",
+            ]
+        ),
+    )

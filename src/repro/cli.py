@@ -20,7 +20,15 @@
   stdin (or a file) in, JSONL responses out, with a result cache and
   a worker pool (see the README's *Query service* section);
   ``--metrics FILE --metrics-interval N`` keeps a live metrics
-  snapshot on disk for ``repro top``;
+  snapshot on disk for ``repro top``; ``--listen HOST:PORT`` serves
+  the same protocol over TCP instead — with catalog sharding
+  (``--shards``), admission control (``--max-inflight``,
+  ``--deadline-ms``) and HTTP ``GET /metrics`` / ``GET /healthz`` on
+  the same port (see ``docs/serving.md``);
+* ``loadgen HOST:PORT`` — closed-loop Zipf load generator against a
+  ``serve --listen`` endpoint; prints a JSON summary (qps, latency
+  percentiles, shed counts) and ``--metrics FILE`` saves it as
+  ``bench.net.*`` gauges;
 * ``query`` — issue one-shot queries against the graph catalog and
   print the JSONL responses;
 * ``metrics <file>`` — summarise a metrics JSON file (``serve
@@ -289,6 +297,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-rate", type=float, default=1.0,
         help="fraction of query lines whose trace ships spans/events "
         "(deterministic head sampling; metrics always count)",
+    )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the JSONL protocol over TCP instead of stdin; the "
+        "same port answers HTTP GET /metrics and /healthz",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the catalog across N independent engines "
+        "(routes by graph name; works on stdin and --listen)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="admission bound on in-flight queries per shard; excess "
+        "is shed with in-band 'overloaded' errors (--listen mode)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="shed requests whose predicted queue wait exceeds this "
+        "budget instead of queuing them (0 disables; --listen mode)",
+    )
+    serve.add_argument(
+        "--drain-limit", type=int, default=64,
+        help="max queries one shard dispatcher cycle merges into a "
+        "single engine call",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        parents=[common],
+        help="closed-loop load generator against a serve --listen port",
+    )
+    loadgen.add_argument(
+        "target", metavar="HOST:PORT",
+        help="address of a running 'repro serve --listen' endpoint",
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=8,
+        help="concurrent closed-loop connections",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds to keep the load on",
+    )
+    loadgen.add_argument(
+        "--zipf", type=float, default=1.2,
+        help="Zipf skew of source ids (values <= 1 mean uniform)",
+    )
+    loadgen.add_argument(
+        "--batch", type=int, default=1,
+        help="sources per request (batched 'sources' arrays when > 1)",
+    )
+    loadgen.add_argument(
+        "--graph", default=None,
+        help="pin all queries to one catalog graph id",
+    )
+    loadgen.add_argument(
+        "--algorithm", default=None,
+        help="algorithm wire name (server default when omitted)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=7, help="source-draw RNG seed"
+    )
+    loadgen.add_argument(
+        "--metrics", default=None,
+        help="write bench.net.* gauges plus the summary to this JSON file",
     )
 
     query = sub.add_parser(
@@ -590,25 +664,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     catalog = _service_catalog(args)
     metrics_path = Path(args.metrics) if args.metrics else None
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    engine_kwargs = dict(
+        mode=args.pool_mode,
+        max_workers=args.workers,
+        timeout=args.timeout,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        **_resilience_kwargs(args),
+    )
+    if args.listen:
+        try:
+            with obs.use(registry=registry, events=sink, spans=spans):
+                return _serve_listen(
+                    args, catalog, engine_kwargs, registry, spans,
+                    sampler, metrics_path,
+                )
+        finally:
+            if sink is not None:
+                sink.close()
     stop_writer = threading.Event()
     writer = None
     try:
         with obs.use(registry=registry, events=sink, spans=spans):
-            engine = QueryEngine(
-                catalog,
-                mode=args.pool_mode,
-                max_workers=args.workers,
-                timeout=args.timeout,
-                cache_size=args.cache_size,
-                max_batch=args.max_batch,
-                **_resilience_kwargs(args),
-            )
+            if args.shards > 1:
+                from repro.net import ShardManager
+
+                engine = ShardManager(
+                    catalog,
+                    shards=args.shards,
+                    drain_limit=args.drain_limit,
+                    **engine_kwargs,
+                )
+            else:
+                engine = QueryEngine(catalog, **engine_kwargs)
             with engine:
                 if not args.quiet:
+                    banner = engine.stats()
+                    shard_note = (
+                        f", {args.shards} shards" if args.shards > 1 else ""
+                    )
                     print(
-                        f"serving graphs {engine.pool.graph_ids} "
-                        f"({engine.pool.mode} pool, "
-                        f"{engine.pool.max_workers} workers, "
+                        f"serving graphs {banner['graphs']} "
+                        f"({banner['pool']['mode']} pool, "
+                        f"{banner['pool']['max_workers']} workers"
+                        f"{shard_note}, "
                         f"cache {args.cache_size}); one JSON request per line",
                         file=sys.stderr,
                     )
@@ -657,6 +758,162 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"metrics written to {metrics_path}", file=sys.stderr)
     if args.verbose:
         _print_metrics_snapshot(registry.snapshot())
+    return 0
+
+
+def _serve_listen(
+    args: argparse.Namespace,
+    catalog,
+    engine_kwargs: dict,
+    registry,
+    spans,
+    sampler,
+    metrics_path: Path | None,
+) -> int:
+    """The ``serve --listen`` path: shards + admission + TCP front-end."""
+    import asyncio
+    import threading
+
+    from repro.net import AdmissionController, NetServer, ShardManager, parse_listen
+
+    host, port = parse_listen(args.listen)
+    if args.max_inflight < 0:
+        raise SystemExit("--max-inflight must be >= 0")
+    admission = AdmissionController(
+        max_inflight=args.max_inflight,
+        deadline_seconds=(
+            args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+        ),
+    )
+    engine = ShardManager(
+        catalog,
+        shards=args.shards,
+        admission=admission,
+        drain_limit=args.drain_limit,
+        **engine_kwargs,
+    )
+    server = NetServer(engine, host=host, port=port, sampler=sampler)
+    stop_writer = threading.Event()
+    writer = None
+
+    async def _run() -> None:
+        import signal
+
+        await server.start()
+        bound_host, bound_port = server.address
+        if not args.quiet:
+            print(
+                f"listening on {bound_host}:{bound_port} "
+                f"({len(engine.shards)} shards, graphs {engine.graph_ids}, "
+                f"max in-flight {admission.max_inflight}/shard); "
+                "JSONL protocol + HTTP GET /metrics, /healthz",
+                file=sys.stderr,
+            )
+        # explicit handlers: a backgrounded serve in a shell script (CI)
+        # inherits SIGINT ignored, and SIGTERM would skip cleanup — both
+        # must stop the loop gracefully so final metrics still land
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loops: Ctrl-C still raises KeyboardInterrupt
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        done, pending = await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+        await server.stop()
+
+    try:
+        if metrics_path is not None and args.metrics_interval > 0:
+
+            def _writer_loop() -> None:
+                while not stop_writer.wait(args.metrics_interval):
+                    _write_serve_metrics(metrics_path, engine, registry, spans)
+
+            writer = threading.Thread(
+                target=_writer_loop, name="serve-metrics-writer", daemon=True
+            )
+            writer.start()
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop_writer.set()
+        if writer is not None:
+            writer.join(timeout=5.0)
+        stats = engine.stats()
+        if metrics_path is not None:
+            _write_serve_metrics(metrics_path, engine, registry, spans)
+        engine.close()
+    if not args.quiet:
+        print(
+            f"served {server.responses_total} responses over "
+            f"{server.connections_total} connections "
+            f"({stats['queries']} queries, {admission.shed} shed)",
+            file=sys.stderr,
+        )
+        if metrics_path is not None:
+            print(f"metrics written to {metrics_path}", file=sys.stderr)
+    if args.verbose:
+        _print_metrics_snapshot(registry.snapshot())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.net import run_loadgen
+
+    if args.connections < 1:
+        raise SystemExit("--connections must be >= 1")
+    if args.duration <= 0:
+        raise SystemExit("--duration must be > 0")
+    if args.batch < 1:
+        raise SystemExit("--batch must be >= 1")
+    try:
+        summary = asyncio.run(
+            run_loadgen(
+                args.target,
+                connections=args.connections,
+                duration_seconds=args.duration,
+                zipf_a=args.zipf,
+                batch=args.batch,
+                graph=args.graph,
+                algorithm=args.algorithm,
+                seed=args.seed,
+            )
+        )
+    except (ConnectionRefusedError, OSError) as exc:
+        raise SystemExit(f"cannot reach {args.target}: {exc}")
+    except RuntimeError as exc:
+        raise SystemExit(str(exc))
+    if args.metrics:
+        registry = obs.MetricsRegistry()
+        latency = summary["latency"]
+        registry.gauge("bench.net.qps").set(summary["qps"])
+        registry.gauge("bench.net.sent").set(summary["sent"])
+        registry.gauge("bench.net.ok").set(summary["ok"])
+        registry.gauge("bench.net.shed").set(summary["shed"])
+        registry.gauge("bench.net.errors").set(summary["errors"])
+        registry.gauge("bench.net.p50_ms").set(latency["p50_ms"])
+        registry.gauge("bench.net.p99_ms").set(latency["p99_ms"])
+        payload = {
+            "schema": 2,
+            "ts": time.time(),
+            "loadgen": summary,
+            "metrics": registry.snapshot(),
+        }
+        Path(args.metrics).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -762,10 +1019,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _latency_rows(snapshot: Dict[str, dict]) -> list:
-    """One row per labelled ``service.query.latency`` histogram."""
+    """One row per labelled ``service.query.latency`` histogram.
+
+    Sharded serve sessions label the histograms with ``shard=<i>``;
+    when any series carries that label the table grows a leading
+    ``shard`` column so per-shard latency stays distinguishable.
+    """
     from repro.obs.registry import parse_name
 
-    rows = []
+    found = []
     for key in sorted(snapshot):
         base, labels = parse_name(key)
         if base != "service.query.latency":
@@ -773,7 +1035,14 @@ def _latency_rows(snapshot: Dict[str, dict]) -> list:
         data = snapshot[key]
         if not data.get("count"):
             continue
-        rows.append(
+        found.append((labels, data))
+    has_shard = any("shard" in labels for labels, _ in found)
+    rows = []
+    for labels, data in found:
+        row = {}
+        if has_shard:
+            row["shard"] = labels.get("shard", "-")
+        row.update(
             {
                 "graph": labels.get("graph", "-"),
                 "algorithm": labels.get("algorithm", "-"),
@@ -783,6 +1052,9 @@ def _latency_rows(snapshot: Dict[str, dict]) -> list:
                 "p99 ms": round(1e3 * data.get("p99", 0.0), 2),
             }
         )
+        rows.append(row)
+    if has_shard:
+        rows.sort(key=lambda r: (r["shard"], r["graph"], r["algorithm"]))
     return rows
 
 
@@ -827,6 +1099,18 @@ def _render_top_frame(data: dict, prev: dict | None) -> str:
     ]
     if open_breakers:
         lines.append("breakers: " + ", ".join(open_breakers))
+    admission = stats.get("admission") or health.get("admission")
+    if admission:
+        inflight = ", ".join(
+            f"s{shard}:{n}"
+            for shard, n in sorted(admission.get("inflight", {}).items())
+        )
+        lines.append(
+            f"admission: {admission.get('admitted', 0)} admitted, "
+            f"{admission.get('shed', 0)} shed "
+            f"(bound {admission.get('max_inflight', '?')}/shard)"
+            + (f"  |  inflight {inflight}" if inflight else "")
+        )
     rows = _latency_rows(data.get("metrics", {}))
     if rows:
         lines.append("")
@@ -1261,6 +1545,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "query": _cmd_query,
         "metrics": _cmd_metrics,
         "top": _cmd_top,

@@ -1,0 +1,35 @@
+"""repro.net: the network serving layer.
+
+Where :mod:`repro.service` turns the algorithms into an engine that
+answers queries, this package puts that engine on the wire:
+
+* :mod:`~repro.net.server` — asyncio TCP front-end speaking the JSONL
+  protocol (one connection = one protocol stream) plus HTTP
+  ``GET /metrics`` (Prometheus) and ``GET /healthz`` on the same port;
+* :mod:`~repro.net.shard` — :class:`ShardManager` partitions the graph
+  catalog across N independent engines (own pool, cache, breakers) and
+  routes by graph name while presenting the single-engine surface to
+  the protocol layer;
+* :mod:`~repro.net.admission` — per-shard token/deadline/breaker
+  admission control; overload sheds early with in-band ``overloaded``
+  errors instead of queuing past the latency budget;
+* :mod:`~repro.net.loadgen` — closed-loop Zipf load generator
+  (``repro loadgen``) for capacity and shedding checks.
+
+``docs/serving.md`` walks the full deployment story.
+"""
+
+from repro.net.admission import OVERLOADED_PREFIX, AdmissionController
+from repro.net.loadgen import run_loadgen
+from repro.net.server import NetServer, parse_listen
+from repro.net.shard import Shard, ShardManager
+
+__all__ = [
+    "AdmissionController",
+    "NetServer",
+    "OVERLOADED_PREFIX",
+    "Shard",
+    "ShardManager",
+    "parse_listen",
+    "run_loadgen",
+]

@@ -1,0 +1,208 @@
+"""Closed-loop load generator for the network front-end.
+
+``repro loadgen`` drives a running ``repro serve --listen`` endpoint
+with N concurrent connections, each a closed loop: send one query,
+await its response, immediately send the next.  Offered load therefore
+tracks service capacity (the classic closed-loop property), and
+``--connections`` is exactly the concurrency the admission controller
+sees — 512 connections against ``--max-inflight 64`` *must* shed,
+which is what the overload acceptance check exploits.
+
+Sources are drawn Zipf-distributed (``--zipf A``, ``A > 1``) so a hot
+set of sources exercises the result cache and the coalescing window
+the way skewed production traffic would; ``A <= 1`` falls back to
+uniform.  Graphs round-robin across the catalog discovered via the
+``graphs`` op unless ``--graph`` pins one.
+
+Results come back as a JSON-ready summary — counts (ok / shed /
+errors), achieved qps, and latency percentiles — which the CLI also
+folds into ``bench.net.*`` gauges in a metrics snapshot file, the same
+schema the benchmark suite and ``repro top`` read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.admission import OVERLOADED_PREFIX
+from repro.net.server import parse_listen
+
+__all__ = ["run_loadgen", "summarize"]
+
+
+def _percentiles(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    arr = np.asarray(latencies) * 1000.0
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return {
+        "p50_ms": round(float(p50), 3),
+        "p95_ms": round(float(p95), 3),
+        "p99_ms": round(float(p99), 3),
+        "max_ms": round(float(arr.max()), 3),
+    }
+
+
+class _Tally:
+    """Shared counters all worker connections fold into."""
+
+    def __init__(self):
+        self.sent = 0
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.latencies: List[float] = []
+        self.error_samples: List[str] = []
+
+    def record(self, response: dict, elapsed: float) -> None:
+        self.sent += 1
+        self.latencies.append(elapsed)
+        if response.get("ok"):
+            self.ok += 1
+            if response.get("cache") in ("hit", "coalesced"):
+                self.cache_hits += 1
+            return
+        error = str(response.get("error", ""))
+        if error.startswith(OVERLOADED_PREFIX):
+            self.shed += 1
+        else:
+            self.errors += 1
+            if len(self.error_samples) < 5:
+                self.error_samples.append(error)
+
+
+async def _discover_graphs(host: str, port: int) -> List[dict]:
+    """One ``graphs`` op round-trip: the catalog rows (id, nodes, ...)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b'{"op": "graphs"}\n')
+        await writer.drain()
+        line = await reader.readline()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    response = json.loads(line)
+    if not response.get("ok"):
+        raise RuntimeError(f"graphs op failed: {response.get('error')}")
+    graphs = response["graphs"]
+    if not graphs:
+        raise RuntimeError("server catalog is empty")
+    return graphs
+
+
+def _draw_source(rng: np.random.Generator, nodes: int, zipf_a: float) -> int:
+    if zipf_a > 1.0:
+        return int((rng.zipf(zipf_a) - 1) % nodes)
+    return int(rng.integers(0, nodes))
+
+
+async def _worker(
+    index: int,
+    host: str,
+    port: int,
+    graphs: List[Tuple[str, int]],
+    deadline: float,
+    tally: _Tally,
+    *,
+    zipf_a: float,
+    batch: int,
+    algorithm: Optional[str],
+    seed: int,
+) -> None:
+    rng = np.random.default_rng(seed + index)
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        turn = index  # stagger the round-robin start across workers
+        while time.perf_counter() < deadline:
+            graph_id, nodes = graphs[turn % len(graphs)]
+            turn += 1
+            request: dict = {"op": "query", "graph": graph_id}
+            if batch > 1:
+                request["sources"] = [
+                    _draw_source(rng, nodes, zipf_a) for _ in range(batch)
+                ]
+            else:
+                request["source"] = _draw_source(rng, nodes, zipf_a)
+            if algorithm:
+                request["algorithm"] = algorithm
+            t0 = time.perf_counter()
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                break  # server closed on us; stop this worker
+            tally.record(json.loads(line), time.perf_counter() - t0)
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def summarize(tally: _Tally, wall_seconds: float, connections: int) -> dict:
+    """Fold a run's tally into the JSON-ready loadgen report."""
+    qps = tally.sent / wall_seconds if wall_seconds > 0 else 0.0
+    return {
+        "connections": connections,
+        "wall_seconds": round(wall_seconds, 3),
+        "sent": tally.sent,
+        "ok": tally.ok,
+        "shed": tally.shed,
+        "errors": tally.errors,
+        "cache_hits": tally.cache_hits,
+        "qps": round(qps, 2),
+        "latency": _percentiles(tally.latencies),
+        "error_samples": tally.error_samples,
+    }
+
+
+async def run_loadgen(
+    listen: str,
+    *,
+    connections: int = 8,
+    duration_seconds: float = 5.0,
+    zipf_a: float = 1.2,
+    batch: int = 1,
+    graph: Optional[str] = None,
+    algorithm: Optional[str] = None,
+    seed: int = 7,
+) -> dict:
+    """Drive ``listen`` (HOST:PORT) closed-loop; return the summary dict."""
+    if connections < 1:
+        raise ValueError("connections must be >= 1")
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be positive")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    host, port = parse_listen(listen)
+    rows = await _discover_graphs(host, port)
+    if graph is not None:
+        rows = [r for r in rows if r["id"] == graph]
+        if not rows:
+            raise RuntimeError(f"graph {graph!r} not in server catalog")
+    graphs = [(r["id"], int(r["nodes"])) for r in rows]
+    tally = _Tally()
+    t0 = time.perf_counter()
+    deadline = t0 + duration_seconds
+    await asyncio.gather(
+        *(
+            _worker(
+                i, host, port, graphs, deadline, tally,
+                zipf_a=zipf_a, batch=batch, algorithm=algorithm, seed=seed,
+            )
+            for i in range(connections)
+        )
+    )
+    return summarize(tally, time.perf_counter() - t0, connections)

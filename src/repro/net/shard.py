@@ -1,0 +1,422 @@
+"""Catalog sharding: partition graphs across independent engines.
+
+Ghaffari & Trygub's low-energy distributed SSSP (PAPERS.md) splits the
+work of one traversal across machines; serving a *catalog* admits a
+much simpler partition with the same flavour: each graph lives on
+exactly one **shard**, and a shard owns a full, independent serving
+stack — its own :class:`~repro.service.engine.QueryEngine`,
+:class:`~repro.service.pool.ExecutorPool` (thread or process workers),
+result cache and breaker board.  Queries route by graph name; a
+batched ``sources`` array fans to the shard that owns its graph as one
+group, so it still coalesces into batched kernel dispatches there.
+
+Each :class:`Shard` runs one dispatcher thread draining a submission
+queue.  The dispatcher merges whatever is waiting (up to
+``drain_limit`` queries) into a single
+:meth:`~repro.service.engine.QueryEngine.run_many` call — cross-
+connection coalescing for free, on top of the engine's own
+same-corridor batching — and a shard's engine is only ever touched by
+its own dispatcher, so the engines need no cross-request locking.
+
+:class:`ShardManager` is the front-end's view: it exposes the same
+duck-typed surface as a single ``QueryEngine`` (``run`` / ``run_many``
+/ ``stats`` / ``health`` / ``metrics_snapshot`` / ``catalog`` /
+``telemetry`` / ``events``) plus the asynchronous ``submit_many`` the
+:class:`~repro.service.protocol.ProtocolSession` prefers, so the
+protocol layer cannot tell a sharded deployment from a single engine —
+responses are identical either way.  When an
+:class:`~repro.net.admission.AdmissionController` is attached, every
+submission passes through it first and sheds come back as in-band
+``overloaded`` error responses without touching a dispatcher.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.net.admission import AdmissionController
+from repro.service.catalog import GraphCatalog
+from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
+
+__all__ = ["Shard", "ShardManager"]
+
+_STOP = object()
+
+
+class _WorkItem:
+    """One submit_many group bound for a single shard."""
+
+    __slots__ = ("queries", "future")
+
+    def __init__(self, queries: List[SSSPQuery], future: Future):
+        self.queries = queries
+        self.future = future
+
+
+class Shard:
+    """One catalog partition: an engine, a queue, a dispatcher thread.
+
+    ``drain_limit`` caps how many queries one dispatcher cycle merges
+    into a single ``run_many`` call; larger drains amortise better
+    under load, smaller drains bound how long a fast query can be
+    held behind a merged batch.
+    """
+
+    def __init__(self, index: int, engine: QueryEngine, *, drain_limit: int = 64):
+        if drain_limit < 1:
+            raise ValueError("drain_limit must be >= 1")
+        self.index = index
+        self.engine = engine
+        self.drain_limit = int(drain_limit)
+        self.dispatched = 0
+        self.cycles = 0
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, queries: List[SSSPQuery]) -> "Future[List[QueryResponse]]":
+        """Queue one group; the future resolves to its responses in order."""
+        if self._closed:
+            raise RuntimeError(f"shard {self.index} is closed")
+        future: Future = Future()
+        self._queue.put(_WorkItem(list(queries), future))
+        return future
+
+    # ------------------------------------------------------------------
+    # the dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            items = [item]
+            total = len(item.queries)
+            while total < self.drain_limit:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._queue.put(_STOP)  # leave the sentinel for later
+                    break
+                items.append(nxt)
+                total += len(nxt.queries)
+            self._run_items(items)
+
+    def _run_items(self, items: List[_WorkItem]) -> None:
+        self.cycles += 1
+        queries = [q for it in items for q in it.queries]
+        self.dispatched += len(queries)
+        try:
+            responses = self.engine.run_many(queries)
+        except Exception as exc:  # engine bugs fail the waiters, not us
+            for it in items:
+                if not it.future.cancelled():
+                    it.future.set_exception(exc)
+            return
+        offset = 0
+        for it in items:
+            chunk = responses[offset : offset + len(it.queries)]
+            offset += len(it.queries)
+            if not it.future.cancelled():
+                it.future.set_result(chunk)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Drain the queue, stop the dispatcher, close the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join()
+        self.engine.close(cancel_pending=cancel_pending)
+
+    def stats(self) -> dict:
+        return {
+            "index": self.index,
+            "graphs": self.engine.pool.graph_ids,
+            "dispatched": self.dispatched,
+            "cycles": self.cycles,
+            **self.engine.stats(),
+        }
+
+
+class ShardManager:
+    """Route queries across catalog shards; look like one engine.
+
+    Parameters
+    ----------
+    catalog:
+        The full catalog.  Graphs are assigned round-robin over the
+        sorted names, so the partition is deterministic and every
+        graph is loaded by exactly one shard.
+    shards:
+        Partition count (>= 1).  Each shard builds its own
+        :class:`~repro.service.engine.QueryEngine` over its subset.
+    admission:
+        Optional :class:`~repro.net.admission.AdmissionController`;
+        when present, every ``submit_many`` group passes admission
+        before it can reach a dispatcher.
+    drain_limit:
+        Per-shard dispatcher merge bound (see :class:`Shard`).
+    engine_kwargs:
+        Forwarded to every shard engine (``mode``, ``max_workers``,
+        ``cache_size``, ``max_batch``, retry/breaker/fault plans...).
+        Each engine additionally gets ``labels={"shard": "<i>"}`` so
+        the shared registry keeps per-shard latency series apart.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        *,
+        shards: int = 1,
+        admission: Optional[AdmissionController] = None,
+        drain_limit: int = 64,
+        **engine_kwargs,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        names = catalog.names()
+        if not names:
+            raise ValueError("catalog is empty; nothing to shard")
+        shards = min(shards, len(names))  # an engine with no graphs is useless
+        self.catalog = catalog
+        self.admission = admission
+        self._assignment: Dict[str, int] = {
+            name: i % shards for i, name in enumerate(names)
+        }
+        self.shards: List[Shard] = []
+        for index in range(shards):
+            owned = [n for n in names if self._assignment[n] == index]
+            engine = QueryEngine(
+                catalog.subset(owned),
+                labels={"shard": str(index)},
+                **engine_kwargs,
+            )
+            catalog.adopt(engine.catalog)  # reuse shard-loaded graphs
+            self.shards.append(Shard(index, engine, drain_limit=drain_limit))
+            if admission is not None:
+                admission.register_shard(index)
+        self._events = obs.get_events()
+        self._registry = obs.get_registry()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # engine-facade surface (what ProtocolSession needs)
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self) -> bool:
+        return self.shards[0].engine.telemetry
+
+    @property
+    def events(self):
+        return self._events
+
+    @property
+    def graph_ids(self) -> List[str]:
+        return sorted(self._assignment)
+
+    def shard_of(self, graph_id: str) -> Optional[int]:
+        """The owning shard index, or None for an unknown graph."""
+        return self._assignment.get(graph_id)
+
+    def submit_many(
+        self, queries: List[SSSPQuery]
+    ) -> "Future[List[QueryResponse]]":
+        """Route a batch; resolves to responses in request order.
+
+        Unknown graphs and shed groups answer immediately (the same
+        error strings a single engine produces, plus ``overloaded``
+        sheds); everything else lands on its owning shard's queue.
+        """
+        out: Future = Future()
+        results: List[Optional[QueryResponse]] = [None] * len(queries)
+        groups: Dict[int, Tuple[List[int], List[SSSPQuery]]] = {}
+        for i, query in enumerate(queries):
+            shard_index = self._assignment.get(query.graph_id)
+            if shard_index is None:
+                # match QueryEngine._validate's message so sharded and
+                # single-engine deployments answer identically
+                results[i] = QueryResponse(
+                    query=query,
+                    ok=False,
+                    error=(
+                        f"unknown graph {query.graph_id!r} "
+                        f"(have {self.graph_ids or 'none'})"
+                    ),
+                )
+                continue
+            indices, group = groups.setdefault(shard_index, ([], []))
+            indices.append(i)
+            group.append(query)
+
+        pending: List[Tuple[int, List[int], Future, float]] = []
+        for shard_index, (indices, group) in groups.items():
+            if self.admission is not None:
+                reason = self.admission.try_acquire(shard_index, len(group))
+                if reason is not None:
+                    for i in indices:
+                        results[i] = QueryResponse(
+                            query=queries[i], ok=False, error=reason
+                        )
+                    continue
+            future = self.shards[shard_index].submit(group)
+            pending.append((shard_index, indices, future, time.perf_counter()))
+
+        if not pending:
+            out.set_result(results)
+            return out
+
+        lock = threading.Lock()
+        remaining = {"n": len(pending)}
+
+        def _make_callback(shard_index: int, indices: List[int], t0: float):
+            def _done(future: Future) -> None:
+                if self.admission is not None:
+                    self.admission.release(
+                        shard_index, len(indices),
+                        time.perf_counter() - t0,
+                    )
+                try:
+                    responses = future.result()
+                except Exception as exc:
+                    responses = [
+                        QueryResponse(
+                            query=queries[i],
+                            ok=False,
+                            error=(
+                                f"internal error: {type(exc).__name__}: {exc}"
+                            ),
+                        )
+                        for i in indices
+                    ]
+                for i, response in zip(indices, responses):
+                    results[i] = response
+                with lock:
+                    remaining["n"] -= 1
+                    finished = remaining["n"] == 0
+                if finished:
+                    out.set_result(results)
+
+            return _done
+
+        for shard_index, indices, future, t0 in pending:
+            future.add_done_callback(
+                _make_callback(shard_index, indices, t0)
+            )
+        return out
+
+    def run_many(self, queries: List[SSSPQuery]) -> List[QueryResponse]:
+        """The blocking facade (stdin transports, tests)."""
+        return self.submit_many(queries).result()
+
+    def run(self, query: SSSPQuery) -> QueryResponse:
+        return self.run_many([query])[0]
+
+    # ------------------------------------------------------------------
+    # introspection (the stats/health/metrics protocol ops)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        shard_stats = [shard.stats() for shard in self.shards]
+        return {
+            "graphs": self.graph_ids,
+            "queries": sum(s["queries"] for s in shard_stats),
+            "max_batch": shard_stats[0]["max_batch"],
+            "telemetry": self.telemetry,
+            "cache": {
+                key: sum(s["cache"][key] for s in shard_stats)
+                for key in ("hits", "misses", "evictions", "size", "capacity")
+            },
+            "pool": {
+                "mode": shard_stats[0]["pool"]["mode"],
+                "max_workers": sum(
+                    s["pool"]["max_workers"] for s in shard_stats
+                ),
+                "pending": sum(s["pool"]["pending"] for s in shard_stats),
+            },
+            "retries": {
+                key: sum(s["retries"][key] for s in shard_stats)
+                for key in ("attempts", "exhausted")
+            },
+            "shards": shard_stats,
+            "assignment": dict(sorted(self._assignment.items())),
+            "admission": (
+                self.admission.snapshot()
+                if self.admission is not None
+                else None
+            ),
+        }
+
+    def health(self) -> dict:
+        shard_health = [shard.engine.health() for shard in self.shards]
+        breakers = [b for h in shard_health for b in h["breakers"]]
+        return {
+            "pool": {
+                "mode": shard_health[0]["pool"]["mode"],
+                "max_workers": sum(
+                    h["pool"]["max_workers"] for h in shard_health
+                ),
+                "pending": sum(h["pool"]["pending"] for h in shard_health),
+                "alive": all(h["pool"]["alive"] for h in shard_health),
+                "lost_workers": sum(
+                    h["pool"]["lost_workers"] for h in shard_health
+                ),
+                "rebuilds": sum(h["pool"]["rebuilds"] for h in shard_health),
+            },
+            "breakers": breakers,
+            "breakers_open": sum(h["breakers_open"] for h in shard_health),
+            "retries": {
+                "attempts": sum(
+                    h["retries"]["attempts"] for h in shard_health
+                ),
+                "exhausted": sum(
+                    h["retries"]["exhausted"] for h in shard_health
+                ),
+                "max_attempts": shard_health[0]["retries"]["max_attempts"],
+            },
+            "shards": [
+                {"index": shard.index, **health}
+                for shard, health in zip(self.shards, shard_health)
+            ],
+            "admission": (
+                self.admission.snapshot()
+                if self.admission is not None
+                else None
+            ),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        return self._registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, cancel_pending: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close(cancel_pending=cancel_pending)
+
+    def __enter__(self) -> "ShardManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -39,7 +39,10 @@ from repro.service.protocol import (
     MAX_BATCH_SOURCES,
     MAX_PARAM_KEYS,
     PROTOCOL_VERSION,
+    PendingReply,
+    ProtocolSession,
     handle_line,
+    internal_error_response,
     serve_stream,
 )
 from repro.service.runners import (
@@ -61,7 +64,9 @@ __all__ = [
     "MAX_BATCH_SOURCES",
     "MAX_PARAM_KEYS",
     "PROTOCOL_VERSION",
+    "PendingReply",
     "PoolTimeoutError",
+    "ProtocolSession",
     "QueryEngine",
     "QueryResponse",
     "SSSPQuery",
@@ -69,6 +74,7 @@ __all__ = [
     "default_catalog",
     "default_max_workers",
     "handle_line",
+    "internal_error_response",
     "run_algorithm",
     "run_algorithm_batch",
     "run_algorithm_batch_traced",

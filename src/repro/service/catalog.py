@@ -97,6 +97,35 @@ class GraphCatalog:
         """Materialise every registered graph (the pool needs objects)."""
         return {gid: self.get(gid) for gid in self.names()}
 
+    def subset(self, graph_ids) -> "GraphCatalog":
+        """A new catalog holding only ``graph_ids`` (shard partitions).
+
+        Sources are shared, not copied, and graphs this catalog already
+        materialised carry over memoised — partitioning a loaded
+        catalog never regenerates or reloads a graph.
+        """
+        sub = GraphCatalog()
+        for gid in graph_ids:
+            if gid not in self._sources:
+                raise KeyError(
+                    f"unknown graph {gid!r} (have {self.names() or 'none'})"
+                )
+            sub._sources[gid] = self._sources[gid]
+            if gid in self._loaded:
+                sub._loaded[gid] = self._loaded[gid]
+        return sub
+
+    def adopt(self, other: "GraphCatalog") -> None:
+        """Memoise ``other``'s loaded graphs for sources this catalog shares.
+
+        Shard engines materialise their :meth:`subset` at construction;
+        adopting them back lets a later :meth:`describe` on the full
+        catalog reuse those objects instead of regenerating.
+        """
+        for gid, graph in other._loaded.items():
+            if self._sources.get(gid) is other._sources.get(gid):
+                self._loaded.setdefault(gid, graph)
+
     def describe(self) -> List[dict]:
         """One JSON-ready row per graph (loads everything)."""
         rows = []

@@ -206,6 +206,12 @@ class QueryEngine:
         (only for algorithms with a multi-source kernel — see
         :data:`~repro.service.runners.BATCHED_ALGORITHMS`).  1 (the
         default) disables coalescing: every miss is its own pool task.
+    labels:
+        Extra labels folded into every ``service.query.*`` histogram
+        this engine publishes (on top of ``graph``/``algorithm``).
+        The shard manager tags each shard engine with
+        ``{"shard": "<index>"}`` so per-shard latency stays
+        distinguishable in one shared registry.
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class QueryEngine:
         breaker: Optional[BreakerConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         max_batch: int = 1,
+        labels: Optional[Mapping[str, str]] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -236,6 +243,7 @@ class QueryEngine:
         self.retry = retry or RetryPolicy()
         self.breakers = BreakerBoard(breaker)
         self.max_batch = int(max_batch)
+        self._extra_labels = dict(labels or {})
         self._qid = 0
         self.retry_attempts = 0  # extra attempts beyond the first, total
         self.retry_exhausted = 0  # queries that failed after all attempts
@@ -266,7 +274,11 @@ class QueryEngine:
         one ``(graph, algorithm)`` label pair."""
         cached = self._query_hist_cache.get((graph_id, algorithm))
         if cached is None:
-            labels = {"graph": graph_id, "algorithm": algorithm}
+            labels = {
+                "graph": graph_id,
+                "algorithm": algorithm,
+                **self._extra_labels,
+            }
             cached = (
                 self._registry.histogram("service.query.latency", labels=labels),
                 self._registry.histogram(

@@ -52,6 +52,20 @@ Version history: v1 — query/stats/graphs; v2 — ``health`` op,
 ``attempts`` on retried responses, param-size bound; v3 — ``sources``
 lists on query requests (batched dispatch, one ``results`` line);
 v4 — ``metrics`` op, ``trace`` ids on query responses.
+
+**Transports.**  The per-line dispatch lives in
+:class:`ProtocolSession`, which is transport-agnostic: the stdin loop
+(:func:`serve_stream`) and the socket server (:mod:`repro.net.server`)
+drive the *same* session object, so a malformed line, an unknown op or
+an engine crash produces byte-identical error envelopes whichever way
+the request arrived.  A session splits handling into
+:meth:`ProtocolSession.begin` (parse, validate, dispatch — never
+blocks on query execution when the engine supports asynchronous
+submission) and the returned :class:`PendingReply`, whose ``finish``
+closure shapes the final response.  Synchronous callers use
+:meth:`ProtocolSession.handle`, which runs both phases back to back;
+an asyncio transport awaits ``PendingReply.future`` instead of
+blocking the event loop.
 """
 
 from __future__ import annotations
@@ -59,16 +73,19 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import replace
-from typing import IO, Iterable, Optional
+from typing import IO, Callable, Iterable, List, Optional
 
 from repro.obs.exposition import format_prometheus
 from repro.obs.telemetry import TraceContext, TraceSampler, emit_span
-from repro.service.engine import QueryEngine, SSSPQuery
+from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
 
 __all__ = [
     "MAX_BATCH_SOURCES",
     "MAX_PARAM_KEYS",
     "PROTOCOL_VERSION",
+    "PendingReply",
+    "ProtocolSession",
+    "internal_error_response",
     "parse_query",
     "parse_batch_query",
     "handle_line",
@@ -174,83 +191,223 @@ def _mint_root(
     return TraceContext.mint(sampled=sampled)
 
 
-def handle_line(
-    engine: QueryEngine,
-    line: str,
-    sampler: Optional[TraceSampler] = None,
-) -> Optional[dict]:
-    """One request line -> one response dict (None for blank lines)."""
-    line = line.strip()
-    if not line:
-        return None
-    try:
-        request = json.loads(line)
-    except json.JSONDecodeError as exc:
-        return {"ok": False, "error": f"invalid JSON: {exc}"}
-    if not isinstance(request, dict):
-        return {"ok": False, "error": "request must be a JSON object"}
+def internal_error_response(exc: Exception) -> dict:
+    """The in-band envelope for an exception that escaped the engine.
 
-    op = request.get("op", "query")
-    if op == "query":
-        ctx = _mint_root(engine, sampler)
-        t0 = time.perf_counter()
+    One definition, used by every transport, so the stdin loop and the
+    socket server cannot drift apart on what an internal error looks
+    like on the wire.
+    """
+    return {
+        "ok": False,
+        "error": f"internal error: {type(exc).__name__}: {exc}",
+    }
+
+
+class PendingReply:
+    """One request's in-flight answer: ready now, or a future + shaper.
+
+    ``response`` is set for everything that resolves synchronously
+    (parse errors, ``stats``/``graphs``/``health``/``metrics`` ops,
+    query execution on an engine without asynchronous submission).
+    Otherwise ``future`` is a :class:`concurrent.futures.Future`
+    resolving to the ``List[QueryResponse]`` and ``finish`` shapes that
+    list into the final response dict (stamping the protocol span).
+    """
+
+    __slots__ = ("response", "future", "finish")
+
+    def __init__(
+        self,
+        response: Optional[dict] = None,
+        future=None,
+        finish: Optional[Callable[[List[QueryResponse]], dict]] = None,
+    ):
+        self.response = response
+        self.future = future
+        self.finish = finish
+
+    @property
+    def ready(self) -> bool:
+        return self.future is None
+
+    def wait(self) -> dict:
+        """Block until the response dict is available (sync transports)."""
+        if self.future is None:
+            return self.response  # type: ignore[return-value]
+        return self.finish(self.future.result())  # type: ignore[misc]
+
+
+class ProtocolSession:
+    """One protocol stream over any transport.
+
+    Owns the per-line dispatch previously inlined in
+    :func:`serve_stream`: JSON decoding, op routing, trace minting,
+    query parsing and response shaping.  The transport supplies lines
+    and writes the encoded responses; :attr:`responses` counts what the
+    session answered.
+
+    Query execution goes through ``engine.submit_many(queries)`` when
+    the engine offers it (the sharded router in
+    :mod:`repro.net.shard` does), in which case :meth:`begin` returns
+    without blocking and the transport decides how to wait — an
+    asyncio server awaits the future, :meth:`handle` blocks on it.  A
+    plain :class:`~repro.service.engine.QueryEngine` executes inline.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        sampler: Optional[TraceSampler] = None,
+    ):
+        self.engine = engine
+        self.sampler = sampler
+        self.responses = 0
+
+    # ------------------------------------------------------------------
+    # phase 1: parse + dispatch
+    # ------------------------------------------------------------------
+    def begin(self, line: str) -> Optional[PendingReply]:
+        """Parse one request line and start answering it.
+
+        Returns ``None`` for blank lines.  Protocol-level problems
+        (bad JSON, bad fields, unknown op) come back as ready error
+        replies; engine crashes propagate to the caller (wrap with
+        :func:`internal_error_response`, as :meth:`handle` does).
+        """
+        line = line.strip()
+        if not line:
+            return None
         try:
-            if "sources" in request:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return PendingReply({"ok": False, "error": f"invalid JSON: {exc}"})
+        if not isinstance(request, dict):
+            return PendingReply(
+                {"ok": False, "error": "request must be a JSON object"}
+            )
+        op = request.get("op", "query")
+        if op == "query":
+            return self._begin_query(request)
+        return PendingReply(self._handle_admin(op, request))
+
+    def _begin_query(self, request: dict) -> PendingReply:
+        engine = self.engine
+        ctx = _mint_root(engine, self.sampler)
+        t0 = time.perf_counter()
+        batched = "sources" in request
+        try:
+            if batched:
                 queries = parse_batch_query(request)
             else:
-                query = parse_query(request)
-                if ctx is not None:
-                    query = replace(query, trace=ctx)
-                out = engine.run(query).as_dict()
+                queries = [parse_query(request)]
+        except ProtocolError as exc:
+            response = {"ok": False, "error": str(exc)}
+            if request.get("id") is not None:
+                response["id"] = str(request["id"])
+            return PendingReply(response)
+        if ctx is not None:
+            queries = [replace(q, trace=ctx) for q in queries]
+
+        def finish(responses: List[QueryResponse]) -> dict:
+            if not batched:
+                out = responses[0].as_dict()
                 emit_span(
                     engine.events, ctx, "protocol",
                     time.perf_counter() - t0, op="query",
                 )
                 return out
-        except ProtocolError as exc:
-            response = {"ok": False, "error": str(exc)}
+            out = {
+                "ok": all(r.ok for r in responses),
+                "count": len(responses),
+                "results": [r.as_dict() for r in responses],
+            }
+            if ctx is not None:
+                out["trace"] = ctx.trace_id
             if request.get("id") is not None:
-                response["id"] = str(request["id"])
-            return response
-        if ctx is not None:
-            queries = [replace(q, trace=ctx) for q in queries]
-        responses = engine.run_many(queries)
-        out = {
-            "ok": all(r.ok for r in responses),
-            "count": len(responses),
-            "results": [r.as_dict() for r in responses],
+                out["id"] = str(request["id"])
+            emit_span(
+                engine.events, ctx, "protocol",
+                time.perf_counter() - t0, op="query", batch=len(responses),
+            )
+            return out
+
+        submit = getattr(engine, "submit_many", None)
+        if submit is not None:
+            return PendingReply(future=submit(queries), finish=finish)
+        if not batched:
+            return PendingReply(finish([engine.run(queries[0])]))
+        return PendingReply(finish(engine.run_many(queries)))
+
+    def _handle_admin(self, op: str, request: dict) -> dict:
+        """The non-query ops; all answer synchronously."""
+        engine = self.engine
+        if op == "stats":
+            return {
+                "ok": True, "op": "stats", "v": PROTOCOL_VERSION,
+                **engine.stats(),
+            }
+        if op == "graphs":
+            return {"ok": True, "op": "graphs", "graphs": engine.catalog.describe()}
+        if op == "health":
+            return {
+                "ok": True, "op": "health", "v": PROTOCOL_VERSION,
+                **engine.health(),
+            }
+        if op == "metrics":
+            snapshot = engine.metrics_snapshot()
+            out = {"ok": True, "op": "metrics", "v": PROTOCOL_VERSION}
+            if request.get("format") == "prometheus":
+                out["format"] = "prometheus"
+                out["text"] = format_prometheus(snapshot)
+            else:
+                out["metrics"] = snapshot
+            return out
+        return {
+            "ok": False,
+            "error": (
+                f"unknown op {op!r} "
+                "(have query, stats, graphs, health, metrics)"
+            ),
         }
-        if ctx is not None:
-            out["trace"] = ctx.trace_id
-        if request.get("id") is not None:
-            out["id"] = str(request["id"])
-        emit_span(
-            engine.events, ctx, "protocol",
-            time.perf_counter() - t0, op="query", batch=len(responses),
-        )
-        return out
-    if op == "stats":
-        return {"ok": True, "op": "stats", "v": PROTOCOL_VERSION, **engine.stats()}
-    if op == "graphs":
-        return {"ok": True, "op": "graphs", "graphs": engine.catalog.describe()}
-    if op == "health":
-        return {"ok": True, "op": "health", "v": PROTOCOL_VERSION, **engine.health()}
-    if op == "metrics":
-        snapshot = engine.metrics_snapshot()
-        out = {"ok": True, "op": "metrics", "v": PROTOCOL_VERSION}
-        if request.get("format") == "prometheus":
-            out["format"] = "prometheus"
-            out["text"] = format_prometheus(snapshot)
-        else:
-            out["metrics"] = snapshot
-        return out
-    return {
-        "ok": False,
-        "error": (
-            f"unknown op {op!r} "
-            "(have query, stats, graphs, health, metrics)"
-        ),
-    }
+
+    # ------------------------------------------------------------------
+    # phase 1+2: the blocking convenience path
+    # ------------------------------------------------------------------
+    def handle(self, line: str) -> Optional[dict]:
+        """One request line -> one response dict (None for blank lines).
+
+        Exceptions escaping the engine — a bug, a resource blip,
+        anything :meth:`begin` did not already turn into an error
+        reply — are answered in-band so a single poisoned request
+        cannot end the session.
+        """
+        try:
+            pending = self.begin(line)
+            if pending is None:
+                return None
+            response = pending.wait()
+        except Exception as exc:  # one bad query must not kill the loop
+            response = internal_error_response(exc)
+        self.responses += 1
+        return response
+
+
+def handle_line(
+    engine: QueryEngine,
+    line: str,
+    sampler: Optional[TraceSampler] = None,
+) -> Optional[dict]:
+    """One request line -> one response dict (None for blank lines).
+
+    The stateless wrapper around :class:`ProtocolSession` kept for
+    direct callers and tests; unlike :meth:`ProtocolSession.handle` it
+    lets engine crashes propagate (the session loop turns those into
+    in-band error responses).
+    """
+    pending = ProtocolSession(engine, sampler=sampler).begin(line)
+    return None if pending is None else pending.wait()
 
 
 def serve_stream(
@@ -262,27 +419,19 @@ def serve_stream(
 ) -> int:
     """Drive the engine from a line stream; returns responses written.
 
-    This is the whole serve loop: the CLI hands it ``sys.stdin`` (or a
-    file) and ``sys.stdout``; tests hand it lists and ``StringIO``.
-    ``sampler`` (optional) head-samples traces per request line.
-
-    Exceptions escaping the engine for one line — a bug, a resource
-    blip, anything :func:`handle_line` did not already turn into an
-    error response — are answered as ``{"ok": false, "error": ...}``
-    so a single poisoned request cannot end the session.
+    This is the whole stdin serve loop: the CLI hands it ``sys.stdin``
+    (or a file) and ``sys.stdout``; tests hand it lists and
+    ``StringIO``.  ``sampler`` (optional) head-samples traces per
+    request line.  The socket server (:mod:`repro.net.server`) drives
+    the same :class:`ProtocolSession` machinery, so both transports
+    answer identically — including the in-band ``internal error``
+    envelope for exceptions escaping the engine.
     """
-    written = 0
+    session = ProtocolSession(engine, sampler=sampler)
     for line in lines:
-        try:
-            response = handle_line(engine, line, sampler)
-        except Exception as exc:  # one bad query must not kill the loop
-            response = {
-                "ok": False,
-                "error": f"internal error: {type(exc).__name__}: {exc}",
-            }
+        response = session.handle(line)
         if response is None:
             continue
         out.write(json.dumps(response) + "\n")
         out.flush()
-        written += 1
-    return written
+    return session.responses

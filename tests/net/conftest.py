@@ -1,0 +1,33 @@
+"""Net-suite fixtures: a two-graph catalog and a live obs context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.graph.generators import grid_road_network
+from repro.service import GraphCatalog
+
+
+@pytest.fixture(scope="module")
+def grids():
+    return {
+        "alpha": grid_road_network(10, 10, seed=3),
+        "beta": grid_road_network(8, 8, seed=4),
+    }
+
+
+@pytest.fixture
+def catalog(grids):
+    cat = GraphCatalog()
+    for name, graph in grids.items():
+        cat.register(name, graph)
+    return cat
+
+
+@pytest.fixture
+def registry():
+    """A live metrics registry installed for the duration of the test."""
+    reg = obs.MetricsRegistry()
+    with obs.use(registry=reg):
+        yield reg

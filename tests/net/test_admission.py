@@ -1,0 +1,121 @@
+"""AdmissionController: token bound, deadline gate, breaker, metrics."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.net.admission import OVERLOADED_PREFIX, AdmissionController
+from repro.resilience.breaker import BreakerConfig
+
+
+def test_admits_within_the_token_bound():
+    adm = AdmissionController(max_inflight=3)
+    assert adm.try_acquire(0, 2) is None
+    assert adm.try_acquire(0, 1) is None
+    assert adm.inflight(0) == 3
+
+
+def test_sheds_past_the_token_bound_with_a_reason():
+    adm = AdmissionController(max_inflight=2)
+    assert adm.try_acquire(0, 2) is None
+    reason = adm.try_acquire(0, 1)
+    assert reason is not None and reason.startswith(OVERLOADED_PREFIX)
+    assert "2/2" in reason
+    assert adm.shed == 1 and adm.admitted == 2
+
+
+def test_release_returns_tokens():
+    adm = AdmissionController(max_inflight=1)
+    assert adm.try_acquire(0) is None
+    assert adm.try_acquire(0) is not None
+    adm.release(0, 1, 0.01)
+    assert adm.try_acquire(0) is None
+
+
+def test_shards_have_independent_budgets():
+    adm = AdmissionController(max_inflight=1)
+    assert adm.try_acquire(0) is None
+    assert adm.try_acquire(1) is None  # shard 1 unaffected by shard 0
+    assert adm.try_acquire(0) is not None
+
+
+def test_max_inflight_zero_sheds_everything():
+    adm = AdmissionController(max_inflight=0)
+    assert adm.try_acquire(0) is not None
+    assert adm.admitted == 0
+
+
+def test_deadline_gate_uses_predicted_wait():
+    adm = AdmissionController(max_inflight=100, deadline_seconds=0.5)
+    # seed the EWMA at 1s/query via a release
+    assert adm.try_acquire(0, 2) is None
+    adm.release(0, 2, 2.0)
+    # empty shard: predicted wait 0, always admitted
+    assert adm.try_acquire(0, 1) is None
+    # one in flight x 1s EWMA > 0.5s budget -> shed
+    reason = adm.try_acquire(0, 1)
+    assert reason is not None and "deadline" in reason
+
+
+def test_sustained_shedding_opens_the_breaker():
+    adm = AdmissionController(
+        max_inflight=0,
+        breaker=BreakerConfig(failure_threshold=5, reset_seconds=60.0),
+    )
+    reasons = [adm.try_acquire(0) for _ in range(8)]
+    assert all(r.startswith(OVERLOADED_PREFIX) for r in reasons)
+    assert "breaker open" in adm.try_acquire(0)
+
+
+def test_an_admission_closes_the_breaker_again():
+    adm = AdmissionController(
+        max_inflight=2,
+        breaker=BreakerConfig(failure_threshold=3, reset_seconds=0.01),
+    )
+    assert adm.try_acquire(0, 2) is None
+    for _ in range(4):
+        adm.try_acquire(0, 1)  # sheds; opens the breaker
+    adm.release(0, 2, 0.01)
+    time.sleep(0.05)  # past reset_seconds: the breaker half-opens
+    assert adm.try_acquire(0, 1) is None  # the probe finds tokens
+    assert adm.try_acquire(0, 1) is None  # breaker closed, tokens remain
+
+
+def test_register_shard_precreates_zeroed_metrics(registry):
+    adm = AdmissionController(max_inflight=4)
+    adm.register_shard(0)
+    snap = registry.snapshot()
+    assert snap['net.inflight{shard="0"}']["value"] == 0
+    assert snap['net.shed{shard="0"}']["value"] == 0
+
+
+def test_shed_counter_and_inflight_gauge_track(registry):
+    adm = AdmissionController(max_inflight=1)
+    adm.register_shard(0)
+    adm.try_acquire(0)
+    adm.try_acquire(0)  # shed
+    snap = registry.snapshot()
+    assert snap['net.inflight{shard="0"}']["value"] == 1
+    assert snap['net.shed{shard="0"}']["value"] == 1
+
+
+def test_snapshot_is_json_ready():
+    adm = AdmissionController(max_inflight=2, deadline_seconds=1.5)
+    adm.try_acquire(0)
+    adm.try_acquire(0, 2)  # shed
+    adm.release(0, 1, 0.25)
+    snap = adm.snapshot()
+    assert snap["max_inflight"] == 2
+    assert snap["deadline_seconds"] == 1.5
+    assert snap["admitted"] == 1 and snap["shed"] == 2
+    assert snap["inflight"] == {"0": 0}
+    assert snap["ewma_query_seconds"]["0"] == pytest.approx(0.25)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=-1)
+    with pytest.raises(ValueError):
+        AdmissionController(deadline_seconds=0.0)

@@ -1,0 +1,103 @@
+"""Loadgen: closed-loop traffic, shed classification, summaries."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net import (
+    AdmissionController,
+    NetServer,
+    ShardManager,
+    run_loadgen,
+)
+
+
+def _drive(manager, **kwargs):
+    async def main():
+        server = NetServer(manager, port=0)
+        await server.start()
+        try:
+            host, port = server.address
+            return await run_loadgen(f"{host}:{port}", **kwargs)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def test_light_load_sheds_nothing(catalog):
+    mgr = ShardManager(
+        catalog,
+        shards=2,
+        admission=AdmissionController(max_inflight=256),
+        max_workers=2,
+    )
+    try:
+        summary = _drive(
+            mgr, connections=4, duration_seconds=0.5, zipf_a=1.2
+        )
+    finally:
+        mgr.close()
+    assert summary["sent"] > 0
+    assert summary["ok"] == summary["sent"]
+    assert summary["shed"] == 0 and summary["errors"] == 0
+    assert summary["qps"] > 0
+    assert summary["latency"]["p99_ms"] >= summary["latency"]["p50_ms"]
+
+
+def test_overload_sheds_and_classifies(catalog):
+    mgr = ShardManager(
+        catalog,
+        shards=2,
+        admission=AdmissionController(max_inflight=0),  # shed everything
+        max_workers=1,
+    )
+    try:
+        summary = _drive(
+            mgr, connections=4, duration_seconds=0.3, zipf_a=1.2
+        )
+    finally:
+        mgr.close()
+    assert summary["sent"] > 0
+    assert summary["shed"] == summary["sent"]
+    assert summary["errors"] == 0  # sheds are not errors
+
+
+def test_batched_requests_and_graph_pin(catalog):
+    mgr = ShardManager(catalog, shards=2, max_workers=2)
+    try:
+        summary = _drive(
+            mgr,
+            connections=2,
+            duration_seconds=0.3,
+            zipf_a=0.0,  # uniform fallback
+            batch=4,
+            graph="alpha",
+        )
+    finally:
+        mgr.close()
+    assert summary["sent"] > 0 and summary["errors"] == 0
+
+
+def test_unknown_graph_pin_rejected(catalog):
+    mgr = ShardManager(catalog, shards=1, max_workers=1)
+    try:
+        with pytest.raises(RuntimeError, match="not in server catalog"):
+            _drive(
+                mgr, connections=1, duration_seconds=0.2, graph="nope"
+            )
+    finally:
+        mgr.close()
+
+
+def test_parameter_validation(catalog):
+    mgr = ShardManager(catalog, shards=1, max_workers=1)
+    try:
+        with pytest.raises(ValueError):
+            _drive(mgr, connections=0, duration_seconds=0.2)
+        with pytest.raises(ValueError):
+            _drive(mgr, connections=1, duration_seconds=0.0)
+    finally:
+        mgr.close()

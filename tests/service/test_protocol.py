@@ -8,6 +8,7 @@ import pytest
 from repro.service import QueryEngine, handle_line, serve_stream
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    ProtocolSession,
     parse_batch_query,
     parse_query,
 )
@@ -359,3 +360,94 @@ class TestMetricsOpAndTraces:
                 response = handle_line(engine, '{"op": "nope"}')
         assert response["ok"] is False
         assert "metrics" in response["error"]
+
+
+class TestProtocolSession:
+    """The two-phase begin/finish path async transports rely on."""
+
+    def test_begin_skips_blank_lines(self, catalog):
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+            assert session.begin("") is None
+            assert session.begin("   \n") is None
+
+    def test_admin_ops_are_ready_immediately(self, catalog):
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+            pending = session.begin('{"op": "stats"}')
+            assert pending.ready
+            assert pending.response["ok"] is True
+            assert pending.wait() is pending.response
+
+    def test_parse_errors_are_ready_immediately(self, catalog):
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+            pending = session.begin("not json")
+            assert pending.ready and pending.response["ok"] is False
+
+    def test_query_without_submit_many_resolves_synchronously(self, catalog):
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+            pending = session.begin('{"graph": "grid", "source": 0}')
+            assert pending.ready  # plain engines answer in begin()
+            assert pending.wait()["ok"] is True
+
+    def test_query_with_submit_many_defers_to_the_future(self, catalog):
+        """An engine exposing submit_many keeps begin() non-blocking."""
+        import concurrent.futures
+
+        class Deferred:
+            def __init__(self, engine):
+                self._engine = engine
+                self.telemetry = engine.telemetry
+                self.events = engine.events
+
+            def submit_many(self, queries):
+                future = concurrent.futures.Future()
+                future.set_result(self._engine.run_many(queries))
+                return future
+
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(Deferred(engine))
+            pending = session.begin('{"graph": "grid", "source": 0}')
+            assert not pending.ready
+            raw = pending.future.result()
+            response = pending.finish(raw)
+            assert response["ok"] is True
+            assert pending.wait()["ok"] is True  # blocking path, same data
+
+    def test_batched_reply_shape_matches_handle_line(self, catalog):
+        line = '{"graph": "grid", "sources": [0, 1]}'
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+            via_session = session.begin(line).wait()
+            via_handle = handle_line(engine, line)
+
+        def strip(d):
+            d = {k: v for k, v in d.items() if k != "results"}
+            return d
+
+        assert strip(via_session) == strip(via_handle)
+
+    def test_handle_counts_responses(self, catalog):
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+            assert session.handle("") is None
+            session.handle('{"op": "stats"}')
+            session.handle('{"graph": "grid", "source": 0}')
+            assert session.responses == 2
+
+    def test_handle_answers_engine_crashes_in_band(self, catalog, monkeypatch):
+        with QueryEngine(catalog) as engine:
+            session = ProtocolSession(engine)
+
+            def boom(query):
+                raise RuntimeError("engine exploded")
+
+            monkeypatch.setattr(engine, "run", boom)
+            response = session.handle('{"graph": "grid", "source": 0}')
+            assert response["ok"] is False
+            assert "internal error" in response["error"]
+            # the session keeps serving afterwards
+            monkeypatch.undo()
+            assert session.handle('{"op": "stats"}')["ok"] is True

@@ -578,3 +578,149 @@ class TestMetricsAndTopCommands:
         assert "batch_dispatch" in out
         assert "batch=3" in out or "batch_size=3" in out or "size=3" in out
         assert "batch_run_start" in out and "batch_run_end" in out
+
+
+class TestNetServeAndLoadgen:
+    """serve --shards / --listen plumbing and the loadgen command."""
+
+    def _requests(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(
+                f'{{"graph": "cal", "source": {s}, "algorithm": "dijkstra"}}'
+                for s in range(3)
+            )
+            + "\n"
+        )
+        return str(path)
+
+    def test_sharded_stdin_serve_matches_single_engine(self, capsys, tmp_path):
+        import json
+
+        requests = self._requests(tmp_path)
+        assert (
+            main(["serve", "--input", requests, "--scale", "0.003", "-q"]) == 0
+        )
+        single = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "serve", "--input", requests, "--scale", "0.003",
+                    "--shards", "2", "-q",
+                ]
+            )
+            == 0
+        )
+        sharded = capsys.readouterr().out
+
+        def strip(text):
+            rows = [json.loads(line) for line in text.splitlines()]
+            return [
+                {
+                    k: v
+                    for k, v in row.items()
+                    if k not in ("wall_seconds", "trace")
+                }
+                for row in rows
+            ]
+
+        assert strip(sharded) == strip(single)
+
+    def test_sharded_serve_metrics_carry_shard_labels(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "serve", "--input", self._requests(tmp_path),
+                    "--scale", "0.003", "--shards", "2",
+                    "--metrics", str(metrics_path), "-q",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        data = json.loads(metrics_path.read_text())
+        latency_keys = [
+            k for k in data["metrics"] if k.startswith("service.query.latency")
+        ]
+        assert latency_keys and all('shard="' in k for k in latency_keys)
+        # and repro top renders the per-shard table for that file
+        assert main(["top", str(metrics_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out
+
+    def test_serve_rejects_bad_shard_count(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve", "--input", self._requests(tmp_path),
+                    "--shards", "0", "-q",
+                ]
+            )
+
+    def test_loadgen_validates_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "127.0.0.1:1", "--connections", "0"])
+        with pytest.raises(SystemExit):
+            main(["loadgen", "127.0.0.1:1", "--duration", "0"])
+        with pytest.raises(SystemExit):
+            main(["loadgen", "127.0.0.1:1", "--batch", "0"])
+
+    def test_loadgen_reports_unreachable_target(self):
+        # port 1 is never listening in the test environment
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["loadgen", "127.0.0.1:1", "--duration", "0.2"])
+
+    def test_listen_serve_loadgen_roundtrip(self, tmp_path, capsys):
+        """End to end over a real socket: serve --listen + loadgen."""
+        import json
+        import socket
+        import subprocess
+        import sys as _sys
+        import time as _time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        proc = subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro", "serve",
+                "--listen", f"127.0.0.1:{port}", "--scale", "0.003",
+                "--workers", "2", "-q",
+            ],
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = _time.time() + 30
+            while _time.time() < deadline:
+                try:
+                    socket.create_connection(("127.0.0.1", port), 0.5).close()
+                    break
+                except OSError:
+                    if proc.poll() is not None:
+                        raise AssertionError(
+                            proc.stderr.read().decode(errors="replace")
+                        )
+                    _time.sleep(0.2)
+            else:
+                raise AssertionError("serve --listen never came up")
+            metrics_path = tmp_path / "loadgen.json"
+            assert (
+                main(
+                    [
+                        "loadgen", f"127.0.0.1:{port}",
+                        "--connections", "2", "--duration", "0.5",
+                        "--metrics", str(metrics_path),
+                    ]
+                )
+                == 0
+            )
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["sent"] > 0 and summary["errors"] == 0
+            saved = json.loads(metrics_path.read_text())
+            assert saved["metrics"]["bench.net.qps"]["value"] > 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
