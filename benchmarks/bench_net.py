@@ -1,17 +1,23 @@
-"""Network front-end throughput: serve --listen + closed-loop loadgen.
+"""Network front-end throughput and recovery: serve --listen + loadgen.
 
-The serving acceptance check for ``repro.net``: a 2-shard
-:class:`~repro.net.ShardManager` behind the asyncio TCP front-end,
-driven by the closed-loop Zipf load generator over real sockets, must
-sustain a healthy query rate with **zero** sheds and zero errors at
-trivial load — shedding on an idle box would mean admission control is
-mis-tuned, and any error would mean the socket protocol diverges from
-the stdin one.
+The serving acceptance checks for ``repro.net``:
 
-Emits ``bench.net.qps`` / ``bench.net.p99_ms`` / ``bench.net.shed``
-gauges into ``benchmarks/results/metrics.json`` via the session
-registry; ``tools/perf_gate.py`` gates ``bench.net.qps`` against
-``benchmarks/baselines/ci.json``.
+* **throughput** — a 2-shard :class:`~repro.net.ShardManager` behind
+  the asyncio TCP front-end, driven by the closed-loop Zipf load
+  generator over real sockets, must sustain a healthy query rate with
+  **zero** sheds and zero errors at trivial load — shedding on an idle
+  box would mean admission control is mis-tuned, and any error would
+  mean the socket protocol diverges from the stdin one.
+* **recovery** — the network-tier chaos drill (a shard dispatcher
+  crash under live traffic, supervised restart) must pass its three
+  invariants and restart the shard quickly; the measured downtime is
+  the ``bench.net.recovery_ms`` gauge.
+
+Emits ``bench.net.qps`` / ``bench.net.p99_ms`` / ``bench.net.shed`` /
+``bench.net.recovery_ms`` gauges into
+``benchmarks/results/metrics.json`` via the session registry;
+``tools/perf_gate.py`` gates ``bench.net.qps`` and
+``bench.net.recovery_ms`` against ``benchmarks/baselines/ci.json``.
 """
 
 import asyncio
@@ -19,7 +25,14 @@ import asyncio
 from conftest import run_once
 
 from repro import obs
-from repro.net import AdmissionController, NetServer, ShardManager, run_loadgen
+from repro.net import (
+    AdmissionController,
+    NetServer,
+    ShardManager,
+    run_chaos_drill,
+    run_loadgen,
+)
+from repro.resilience import RestartPolicy
 from repro.service import default_catalog
 
 GRAPH_SCALE = 0.005  # tiny catalog graphs: this measures the wire, not SSSP
@@ -79,6 +92,59 @@ def test_serve_loadgen_throughput(benchmark, emit):
                 f"qps={summary['qps']}",
                 f"latency p50={latency['p50_ms']}ms "
                 f"p95={latency['p95_ms']}ms p99={latency['p99_ms']}ms",
+            ]
+        ),
+    )
+
+
+def test_chaos_recovery(benchmark, emit):
+    """Supervised restart under live traffic: the recovery-time gate.
+
+    One seeded ``shard_crash`` drill: the crashed shard's measured
+    downtime (detection + backoff + rebuild) becomes
+    ``bench.net.recovery_ms``.  The drill's own invariants (zero hung
+    clients, zero errors, zero Dijkstra mismatches, in-budget restart)
+    are asserted too — a chaos regression fails the benchmark, not
+    just the gate.
+    """
+    report = run_once(
+        benchmark,
+        lambda: run_chaos_drill(
+            shards=SHARDS,
+            scale=GRAPH_SCALE,
+            connections=4,
+            duration_seconds=1.5,
+            restart_policy=RestartPolicy(budget=5, base_delay=0.05),
+            stall_seconds=0.4,
+        ),
+    )
+    assert report["ok"], report
+    summary = report["summary"]
+    recovery_ms = (
+        report["recovery_ms"] if report["recovery_ms"] is not None else 0.0
+    )
+    registry = obs.get_registry()
+    registry.gauge("bench.net.recovery_ms").set(round(recovery_ms, 2))
+    registry.gauge("bench.net.chaos_restarts").set(report["restarts"])
+    registry.gauge("bench.net.chaos_hung").set(summary["hung"])
+    registry.gauge("bench.net.chaos_mismatches").set(
+        int(report["verification"].get("mismatches", 0))
+    )
+
+    emit(
+        "net_chaos_recovery",
+        "\n".join(
+            [
+                f"shards={SHARDS} fault=shard_crash failover=failfast "
+                f"duration=1.5s",
+                f"sent={summary['sent']} ok={summary['ok']} "
+                f"unavailable={summary['unavailable']} "
+                f"dropped={summary['dropped']} hung={summary['hung']} "
+                f"errors={summary['errors']}",
+                f"restarts={report['restarts']} "
+                f"recovery_ms={recovery_ms:.1f}",
+                f"verified={report['verification']['checked']} answers, "
+                f"{report['verification'].get('mismatches', 0)} mismatches",
             ]
         ),
     )

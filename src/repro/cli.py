@@ -323,6 +323,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="max queries one shard dispatcher cycle merges into a "
         "single engine call",
     )
+    serve.add_argument(
+        "--failover", choices=["failfast", "adopt", "off"],
+        default="failfast",
+        help="shard supervision policy (--listen mode): restart dead "
+        "shards and, while one is down, fast-fail its graphs "
+        "('failfast') or re-adopt them onto survivors ('adopt'); "
+        "'off' disables supervision entirely",
+    )
+    serve.add_argument(
+        "--restart-budget", type=int, default=5,
+        help="restarts one shard may consume before the supervisor "
+        "declares it permanently failed",
+    )
+    serve.add_argument(
+        "--stall-ms", type=float, default=2000.0,
+        help="queue-age watchdog: a shard with pending work and no "
+        "dispatcher heartbeat for this long is declared hung and "
+        "replaced",
+    )
+    serve.add_argument(
+        "--drain-ms", type=float, default=500.0,
+        help="shutdown drain deadline: in-flight requests get this "
+        "long to finish before the listener force-closes (SIGTERM "
+        "takes the same path)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -449,6 +474,76 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--no-verify", action="store_true",
         help="skip the per-answer Dijkstra cross-check",
+    )
+
+    chaos_net = sub.add_parser(
+        "chaos-net",
+        parents=[common],
+        help="network-tier chaos drill: crash a shard under live "
+        "traffic, audit hangs/answers/recovery",
+    )
+    chaos_net.add_argument(
+        "--shards", type=int, default=2,
+        help="catalog partitions the drill deployment runs",
+    )
+    chaos_net.add_argument(
+        "--scale", type=float, default=0.005,
+        help="synthetic catalog scale (fraction of full node counts)",
+    )
+    chaos_net.add_argument(
+        "--connections", type=int, default=8,
+        help="concurrent closed-loop loadgen connections",
+    )
+    chaos_net.add_argument(
+        "--duration", type=float, default=3.0,
+        help="seconds of live traffic the drill sustains",
+    )
+    chaos_net.add_argument(
+        "--fault-kind",
+        choices=["shard_crash", "dispatcher_hang", "slow_shard", "conn_drop"],
+        default="shard_crash",
+        help="which network-tier fault to inject",
+    )
+    chaos_net.add_argument(
+        "--crash-at", type=int, default=2,
+        help="dispatch cycle (or connection index, for conn_drop) the "
+        "fault fires at",
+    )
+    chaos_net.add_argument(
+        "--crash-shard", type=int, default=0,
+        help="which shard the dispatcher fault targets",
+    )
+    chaos_net.add_argument(
+        "--failover", choices=["failfast", "adopt"], default="failfast",
+        help="degraded-mode policy while the shard is down",
+    )
+    chaos_net.add_argument(
+        "--restart-budget", type=int, default=5,
+        help="supervisor restart budget for the drill deployment",
+    )
+    chaos_net.add_argument(
+        "--stall-ms", type=float, default=400.0,
+        help="queue-age watchdog threshold for the drill deployment",
+    )
+    chaos_net.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads per shard engine",
+    )
+    chaos_net.add_argument(
+        "--zipf", type=float, default=1.2,
+        help="Zipf skew of loadgen source ids",
+    )
+    chaos_net.add_argument(
+        "--seed", type=int, default=7, help="loadgen RNG seed"
+    )
+    chaos_net.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-answer Dijkstra cross-check",
+    )
+    chaos_net.add_argument(
+        "--metrics", default=None,
+        help="write the drill report plus bench.net.* gauges to this "
+        "JSON file",
     )
 
     sub.add_parser("version", parents=[common], help="print the package version")
@@ -774,11 +869,24 @@ def _serve_listen(
     import asyncio
     import threading
 
-    from repro.net import AdmissionController, NetServer, ShardManager, parse_listen
+    from repro.net import (
+        AdmissionController,
+        NetServer,
+        ShardManager,
+        ShardSupervisor,
+        parse_listen,
+    )
+    from repro.resilience import RestartPolicy
 
     host, port = parse_listen(args.listen)
     if args.max_inflight < 0:
         raise SystemExit("--max-inflight must be >= 0")
+    if args.restart_budget < 0:
+        raise SystemExit("--restart-budget must be >= 0")
+    if args.stall_ms <= 0:
+        raise SystemExit("--stall-ms must be > 0")
+    if args.drain_ms < 0:
+        raise SystemExit("--drain-ms must be >= 0")
     admission = AdmissionController(
         max_inflight=args.max_inflight,
         deadline_seconds=(
@@ -792,6 +900,14 @@ def _serve_listen(
         drain_limit=args.drain_limit,
         **engine_kwargs,
     )
+    supervisor = None
+    if args.failover != "off":
+        supervisor = ShardSupervisor(
+            engine,
+            restart_policy=RestartPolicy(budget=args.restart_budget),
+            failover=args.failover,
+            stall_seconds=args.stall_ms / 1000.0,
+        )
     server = NetServer(engine, host=host, port=port, sampler=sampler)
     stop_writer = threading.Event()
     writer = None
@@ -800,12 +916,21 @@ def _serve_listen(
         import signal
 
         await server.start()
+        if supervisor is not None:
+            supervisor.start()
         bound_host, bound_port = server.address
         if not args.quiet:
+            failover_note = (
+                f", failover={args.failover} "
+                f"(budget {args.restart_budget})"
+                if supervisor is not None
+                else ", supervision off"
+            )
             print(
                 f"listening on {bound_host}:{bound_port} "
                 f"({len(engine.shards)} shards, graphs {engine.graph_ids}, "
-                f"max in-flight {admission.max_inflight}/shard); "
+                f"max in-flight {admission.max_inflight}/shard"
+                f"{failover_note}); "
                 "JSONL protocol + HTTP GET /metrics, /healthz",
                 file=sys.stderr,
             )
@@ -827,7 +952,9 @@ def _serve_listen(
         for task in pending:
             task.cancel()
         await asyncio.gather(*pending, return_exceptions=True)
-        await server.stop()
+        # drain before dropping connections: in-flight requests get
+        # --drain-ms to flush their responses (SIGTERM lands here too)
+        await server.stop(drain_seconds=args.drain_ms / 1000.0)
 
     try:
         if metrics_path is not None and args.metrics_interval > 0:
@@ -902,6 +1029,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         registry.gauge("bench.net.ok").set(summary["ok"])
         registry.gauge("bench.net.shed").set(summary["shed"])
         registry.gauge("bench.net.errors").set(summary["errors"])
+        registry.gauge("bench.net.unavailable").set(summary["unavailable"])
+        registry.gauge("bench.net.dropped").set(summary["dropped"])
+        registry.gauge("bench.net.hung").set(summary["hung"])
         registry.gauge("bench.net.p50_ms").set(latency["p50_ms"])
         registry.gauge("bench.net.p99_ms").set(latency["p99_ms"])
         payload = {
@@ -1105,12 +1235,36 @@ def _render_top_frame(data: dict, prev: dict | None) -> str:
             f"s{shard}:{n}"
             for shard, n in sorted(admission.get("inflight", {}).items())
         )
+        unavailable = admission.get("unavailable", 0)
         lines.append(
             f"admission: {admission.get('admitted', 0)} admitted, "
-            f"{admission.get('shed', 0)} shed "
-            f"(bound {admission.get('max_inflight', '?')}/shard)"
+            f"{admission.get('shed', 0)} shed"
+            + (f", {unavailable} unavailable" if unavailable else "")
+            + f" (bound {admission.get('max_inflight', '?')}/shard)"
             + (f"  |  inflight {inflight}" if inflight else "")
         )
+    shard_rows = health.get("shards")
+    if shard_rows:
+        supervisor = health.get("supervisor") or {}
+        sup_shards = supervisor.get("shards", {})
+        cells = []
+        for row in shard_rows:
+            index = row.get("index", "?")
+            state = row.get("state", "up")
+            watch = sup_shards.get(str(index), {})
+            restarts = watch.get("restarts", 0)
+            cell = f"s{index}:{state}"
+            if restarts:
+                cell += f" ({restarts} restart{'s' if restarts != 1 else ''})"
+            cells.append(cell)
+        line = "shards: " + ", ".join(cells)
+        if supervisor:
+            line += (
+                f"  |  failover={supervisor.get('failover', '?')}"
+                f", budget {supervisor.get('restart_budget', '?')}"
+                f", degraded {supervisor.get('degraded', 0)}"
+            )
+        lines.append(line)
     rows = _latency_rows(data.get("metrics", {}))
     if rows:
         lines.append("")
@@ -1264,6 +1418,102 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.verbose:
         _print_metrics_snapshot(registry.snapshot())
     return 0 if not failed and mismatches == 0 else 1
+
+
+def _cmd_chaos_net(args: argparse.Namespace) -> int:
+    """Network-tier chaos drill: shard death under live traffic.
+
+    Exit code 0 means the drill's three claims held: zero hung
+    clients (every request terminated in-band or by reconnect), zero
+    wrong answers (Dijkstra cross-check, unless ``--no-verify``), and
+    — for lethal fault kinds — the crashed shard restarted within the
+    supervisor's budget.
+    """
+    from repro import obs
+    from repro.net import run_chaos_drill
+    from repro.resilience import RestartPolicy
+
+    if args.connections < 1:
+        raise SystemExit("--connections must be >= 1")
+    if args.duration <= 0:
+        raise SystemExit("--duration must be > 0")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if not 0 <= args.crash_shard < args.shards:
+        raise SystemExit("--crash-shard must be in [0, --shards)")
+    if args.restart_budget < 0:
+        raise SystemExit("--restart-budget must be >= 0")
+    if args.stall_ms <= 0:
+        raise SystemExit("--stall-ms must be > 0")
+    registry = obs.MetricsRegistry()
+    if not args.quiet:
+        print(
+            f"chaos-net: {args.shards} shards, fault {args.fault_kind} at "
+            f"cycle {args.crash_at} on shard {args.crash_shard}, "
+            f"failover={args.failover}, {args.connections} connections "
+            f"for {args.duration}s"
+        )
+    with obs.use(registry=registry):
+        report = run_chaos_drill(
+            shards=args.shards,
+            scale=args.scale,
+            connections=args.connections,
+            duration_seconds=args.duration,
+            crash_at=args.crash_at,
+            crash_shard=args.crash_shard,
+            fault_kind=args.fault_kind,
+            failover=args.failover,
+            restart_policy=RestartPolicy(budget=args.restart_budget),
+            stall_seconds=args.stall_ms / 1000.0,
+            workers=args.workers,
+            zipf_a=args.zipf,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    summary = report["summary"]
+    verification = report["verification"]
+    print(
+        f"traffic: {summary['sent']} sent = {summary['ok']} ok + "
+        f"{summary['shed']} shed + {summary['unavailable']} unavailable + "
+        f"{summary['errors']} errors + {summary['dropped']} dropped + "
+        f"{summary['hung']} hung"
+    )
+    recovery = report["recovery_ms"]
+    print(
+        f"supervision: {report['restarts']} restart(s), "
+        f"recovered={report['recovered']}"
+        + (f", downtime {recovery:.1f}ms" if recovery is not None else "")
+    )
+    if not args.no_verify:
+        print(
+            f"verification: {verification['checked']} answers "
+            f"({verification['unique_sources']} unique sources), "
+            f"{verification['mismatches']} Dijkstra mismatches"
+        )
+    if args.metrics:
+        registry.gauge("bench.net.recovery_ms").set(
+            recovery if recovery is not None else 0.0
+        )
+        registry.gauge("bench.net.hung").set(summary["hung"])
+        registry.gauge("bench.net.errors").set(summary["errors"])
+        registry.gauge("bench.net.chaos_mismatches").set(
+            int(verification.get("mismatches", 0))
+        )
+        payload = {
+            "schema": 2,
+            "ts": time.time(),
+            "chaos": report,
+            "metrics": registry.snapshot(),
+        }
+        Path(args.metrics).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        if not args.quiet:
+            print(f"metrics written to {args.metrics}")
+    if args.verbose:
+        _print_metrics_snapshot(registry.snapshot())
+    print("chaos-net: PASS" if report["ok"] else "chaos-net: FAIL")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_version(args: argparse.Namespace) -> int:
@@ -1550,6 +1800,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "top": _cmd_top,
         "faults": _cmd_faults,
+        "chaos-net": _cmd_chaos_net,
         "version": _cmd_version,
     }
     return handlers[args.command](args)

@@ -10,26 +10,47 @@ answers queries, this package puts that engine on the wire:
   catalog across N independent engines (own pool, cache, breakers) and
   routes by graph name while presenting the single-engine surface to
   the protocol layer;
+* :mod:`~repro.net.supervisor` — :class:`ShardSupervisor` health-checks
+  shard dispatchers (liveness + queue-age watchdog), restarts dead
+  ones under a budgeted exponential backoff, and routes a down shard's
+  graphs through degraded mode (failover adoption or fast-fail
+  ``unavailable`` responses) in the meantime;
 * :mod:`~repro.net.admission` — per-shard token/deadline/breaker
   admission control; overload sheds early with in-band ``overloaded``
   errors instead of queuing past the latency budget;
 * :mod:`~repro.net.loadgen` — closed-loop Zipf load generator
-  (``repro loadgen``) for capacity and shedding checks.
+  (``repro loadgen``) for capacity and shedding checks; reconnects
+  through drops and bounds every read, so chaos drills measure
+  client-visible hangs instead of suffering them;
+* :mod:`~repro.net.chaos` — the ``repro chaos-net`` drill: a faulted
+  multi-shard server under live load, audited for zero hangs, correct
+  distances (Dijkstra cross-check) and in-budget recovery.
 
-``docs/serving.md`` walks the full deployment story.
+``docs/serving.md`` walks the full deployment story, including the
+failure modes and recovery section.
 """
 
-from repro.net.admission import OVERLOADED_PREFIX, AdmissionController
+from repro.net.admission import (
+    OVERLOADED_PREFIX,
+    UNAVAILABLE_PREFIX,
+    AdmissionController,
+)
+from repro.net.chaos import run_chaos_drill
 from repro.net.loadgen import run_loadgen
 from repro.net.server import NetServer, parse_listen
-from repro.net.shard import Shard, ShardManager
+from repro.net.shard import Shard, ShardDiedError, ShardManager
+from repro.net.supervisor import ShardSupervisor
 
 __all__ = [
     "AdmissionController",
     "NetServer",
     "OVERLOADED_PREFIX",
     "Shard",
+    "ShardDiedError",
     "ShardManager",
+    "ShardSupervisor",
+    "UNAVAILABLE_PREFIX",
     "parse_listen",
+    "run_chaos_drill",
     "run_loadgen",
 ]

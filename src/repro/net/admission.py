@@ -29,16 +29,20 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro import obs
 from repro.resilience.breaker import BreakerBoard, BreakerConfig
 
-__all__ = ["AdmissionController", "OVERLOADED_PREFIX"]
+__all__ = ["AdmissionController", "OVERLOADED_PREFIX", "UNAVAILABLE_PREFIX"]
 
 # every shed response's error string starts with this; clients and the
 # load generator classify shed vs genuine failure by it
 OVERLOADED_PREFIX = "overloaded"
+
+# fast-fail responses for a shard that is down or restarting start with
+# this; retryable by definition — the supervisor is already on it
+UNAVAILABLE_PREFIX = "unavailable"
 
 # EWMA weight for the per-query latency estimate the deadline gate
 # uses; 0.2 reacts within ~5 batches without chasing single outliers
@@ -63,6 +67,10 @@ class AdmissionController:
         enough to matter only under sustained saturation, short enough
         to re-probe as soon as load relents.  ``failure_threshold=0``
         disables the breaker gate entirely.
+    clock:
+        Monotonic time source for the admission breaker.  Injectable so
+        tests can drive breaker resets (and the EWMA deadline gate
+        around them) with a fake clock instead of sleeping.
     """
 
     def __init__(
@@ -71,6 +79,7 @@ class AdmissionController:
         *,
         deadline_seconds: Optional[float] = None,
         breaker: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_inflight < 0:
             raise ValueError("max_inflight must be >= 0")
@@ -81,17 +90,20 @@ class AdmissionController:
         self.board = BreakerBoard(
             breaker
             if breaker is not None
-            else BreakerConfig(failure_threshold=64, reset_seconds=0.5)
+            else BreakerConfig(failure_threshold=64, reset_seconds=0.5),
+            clock=clock,
         )
         self._lock = threading.Lock()
         self._inflight: Dict[int, int] = {}
         self._ewma_seconds: Dict[int, float] = {}
         self.admitted = 0
         self.shed = 0
+        self.unavailable = 0
         registry = obs.get_registry()
         self._registry = registry
         self._inflight_gauges: Dict[int, object] = {}
         self._shed_counters: Dict[int, object] = {}
+        self._unavail_counters: Dict[int, object] = {}
         self._events = obs.get_events()
 
     # ------------------------------------------------------------------
@@ -119,6 +131,15 @@ class AdmissionController:
                 "net.shed", labels={"shard": str(shard)}
             )
             self._shed_counters[shard] = counter
+        return counter
+
+    def _unavail_counter(self, shard: int):
+        counter = self._unavail_counters.get(shard)
+        if counter is None:
+            counter = self._registry.counter(
+                "net.unavailable", labels={"shard": str(shard)}
+            )
+            self._unavail_counters[shard] = counter
         return counter
 
     # ------------------------------------------------------------------
@@ -190,6 +211,33 @@ class AdmissionController:
             )
         return reason
 
+    def record_unavailable(self, shard: int, n: int, reason: str) -> None:
+        """Account a fast-failed group for a down/restarting shard.
+
+        Unavailability is the supervisor's problem, not saturation: it
+        counts separately from sheds and never feeds the admission
+        breaker (opening it would keep rejecting traffic *after* the
+        shard recovers).
+        """
+        with self._lock:
+            self.unavailable += n
+        self._unavail_counter(shard).inc(n)
+        if self._events.enabled:
+            self._events.emit(
+                {"type": "query_unavailable", "shard": shard, "count": n,
+                 "reason": reason}
+            )
+
+    def reset_shard(self, shard: int) -> None:
+        """Forget a shard's latency estimate (a restarted shard is new).
+
+        The EWMA learned against the dead dispatcher would keep the
+        deadline gate shedding long after a healthy replacement comes
+        up; a restart starts the estimate over.
+        """
+        with self._lock:
+            self._ewma_seconds.pop(shard, None)
+
     def release(self, shard: int, n: int, elapsed_seconds: float) -> None:
         """Return ``n`` tokens; fold the observed latency into the EWMA."""
         with self._lock:
@@ -225,6 +273,7 @@ class AdmissionController:
             "deadline_seconds": self.deadline_seconds,
             "admitted": self.admitted,
             "shed": self.shed,
+            "unavailable": self.unavailable,
             "inflight": {str(k): v for k, v in sorted(inflight.items())},
             "ewma_query_seconds": {
                 str(k): v for k, v in sorted(ewma.items())

@@ -1,0 +1,265 @@
+"""The network-tier chaos drill: shard death under live traffic.
+
+``repro chaos-net`` stands up a real multi-shard TCP deployment —
+catalog, admission control, :class:`~repro.net.shard.ShardManager`,
+:class:`~repro.net.supervisor.ShardSupervisor`,
+:class:`~repro.net.server.NetServer` on an ephemeral port — injects a
+scheduled network-tier fault (a dispatcher crash by default) while the
+closed-loop load generator is driving it, and audits the three claims
+the robustness work makes:
+
+1. **no hangs** — every client request terminates: an answer, an
+   in-band retryable error (``overloaded`` / ``unavailable``), or a
+   connection drop the client reconnects through.  The loadgen tally's
+   ``hung`` count *is* this claim; the drill fails if it is nonzero.
+2. **no wrong answers** — every successful single-source response is
+   cross-checked against a clean Dijkstra run on the same graph and
+   source (the same verification ``repro faults`` applies below the
+   pool).  Failover re-adoption must not change a single distance.
+3. **bounded recovery** — a crashed shard is restarted and serving
+   again within the restart policy's worst-case backoff budget; the
+   supervisor's measured downtime is the drill's recovery metric (and
+   CI's ``bench.net.recovery_ms`` gate).
+
+Everything is deterministic where it can be: the fault is a
+:class:`~repro.resilience.faults.ScheduledFaultPlan` (fires at an
+exact dispatch cycle on an exact shard), sources are seeded, and the
+restart schedule is the seeded :class:`~repro.resilience.retry.RestartPolicy`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.admission import AdmissionController
+from repro.net.loadgen import run_loadgen
+from repro.net.server import NetServer
+from repro.net.shard import ShardManager
+from repro.net.supervisor import ShardSupervisor
+from repro.resilience.faults import NET_FAULT_KINDS, ScheduledFaultPlan
+from repro.resilience.retry import RestartPolicy
+from repro.service.catalog import GraphCatalog, default_catalog
+
+__all__ = ["run_chaos_drill"]
+
+# kinds that sabotage a shard dispatcher (vs the server's conn_drop)
+_DISPATCHER_KINDS = ("shard_crash", "dispatcher_hang", "slow_shard")
+
+# kinds after which the drill demands a supervised restart
+_LETHAL_KINDS = ("shard_crash", "dispatcher_hang")
+
+
+def _verify_rows(
+    catalog: GraphCatalog, rows: List[dict]
+) -> Dict[str, object]:
+    """Cross-check collected responses against clean Dijkstra runs."""
+    from repro.sssp import dijkstra
+
+    reference: Dict[tuple, dict] = {}
+    mismatches: List[dict] = []
+    for row in rows:
+        key = (row["graph"], row["source"])
+        ref = reference.get(key)
+        if ref is None:
+            clean = dijkstra(catalog.get(row["graph"]), row["source"])
+            finite = clean.finite_distances()
+            ref = {
+                "reached": clean.num_reached,
+                "max_dist": float(finite.max()) if finite.size else None,
+                "mean_dist": float(finite.mean()) if finite.size else None,
+            }
+            reference[key] = ref
+        wrong = row["reached"] != ref["reached"]
+        for field in ("max_dist", "mean_dist"):
+            got, want = row[field], ref[field]
+            if (got is None) != (want is None):
+                wrong = True
+            elif got is not None and not np.isclose(
+                got, want, rtol=1e-9, atol=1e-12
+            ):
+                wrong = True
+        if wrong and len(mismatches) < 5:
+            mismatches.append({"got": dict(row), "want": dict(ref)})
+        elif wrong:
+            mismatches.append({})  # count-only past the sample cap
+    return {
+        "checked": len(rows),
+        "unique_sources": len(reference),
+        "mismatches": len(mismatches),
+        "mismatch_samples": [m for m in mismatches if m][:5],
+    }
+
+
+async def _recovery_wait(
+    supervisor: ShardSupervisor, deadline_seconds: float
+) -> bool:
+    """Poll until every supervised shard is back up (or time runs out)."""
+    deadline = time.perf_counter() + deadline_seconds
+    while time.perf_counter() < deadline:
+        report = supervisor.report()
+        if all(s["state"] == "up" for s in report["shards"].values()):
+            return True
+        await asyncio.sleep(0.02)
+    report = supervisor.report()
+    return all(s["state"] == "up" for s in report["shards"].values())
+
+
+def run_chaos_drill(
+    *,
+    shards: int = 2,
+    scale: float = 0.005,
+    catalog: Optional[GraphCatalog] = None,
+    connections: int = 8,
+    duration_seconds: float = 3.0,
+    crash_at: int = 2,
+    crash_shard: int = 0,
+    fault_kind: str = "shard_crash",
+    hang_seconds: float = 1.0,
+    failover: str = "failfast",
+    restart_policy: Optional[RestartPolicy] = None,
+    stall_seconds: float = 0.4,
+    check_interval: float = 0.02,
+    max_inflight: int = 256,
+    deadline_ms: Optional[float] = None,
+    drain_limit: int = 64,
+    workers: int = 2,
+    zipf_a: float = 1.2,
+    seed: int = 7,
+    read_timeout_seconds: float = 10.0,
+    drain_seconds: float = 0.5,
+    verify: bool = True,
+) -> dict:
+    """Run one seeded network-tier chaos drill; return its report.
+
+    The report's ``ok`` is the drill verdict: zero hung clients, zero
+    non-retryable errors, zero Dijkstra mismatches, and (for lethal
+    fault kinds) the crashed shard restarted within the recovery
+    deadline.  ``repro chaos-net`` exits nonzero when ``ok`` is False;
+    the CI smoke job and the recovery benchmark both run through here.
+    """
+    if fault_kind not in NET_FAULT_KINDS:
+        raise ValueError(
+            f"fault_kind must be one of {', '.join(NET_FAULT_KINDS)}; "
+            f"got {fault_kind!r}"
+        )
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if crash_shard < 0 or crash_shard >= shards:
+        raise ValueError(f"crash_shard must be in [0, {shards})")
+    policy = restart_policy if restart_policy is not None else RestartPolicy()
+    plan = ScheduledFaultPlan(
+        at=(crash_at,), kind=fault_kind, hang_seconds=hang_seconds
+    )
+    cat = catalog if catalog is not None else default_catalog(scale)
+    collected: List[dict] = []
+    lethal = fault_kind in _LETHAL_KINDS
+    # worst-case supervised recovery: detection (a stall must age out)
+    # plus the full backoff budget, plus slack for the rebuild itself
+    recovery_deadline = (
+        policy.max_recovery_seconds() + stall_seconds + hang_seconds + 5.0
+    )
+
+    admission = AdmissionController(
+        max_inflight=max_inflight,
+        deadline_seconds=(
+            deadline_ms / 1000.0 if deadline_ms is not None else None
+        ),
+    )
+    manager = ShardManager(
+        cat,
+        shards=shards,
+        admission=admission,
+        drain_limit=drain_limit,
+        net_fault_plan=plan if fault_kind in _DISPATCHER_KINDS else None,
+        net_fault_shard=crash_shard,
+        mode="thread",
+        max_workers=workers,
+    )
+    supervisor = ShardSupervisor(
+        manager,
+        restart_policy=policy,
+        failover=failover,
+        check_interval=check_interval,
+        stall_seconds=stall_seconds,
+    )
+    server = NetServer(
+        manager,
+        port=0,
+        fault_plan=plan if fault_kind == "conn_drop" else None,
+    )
+
+    async def _drill() -> dict:
+        await server.start()
+        host, port = server.address
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        supervisor.start()
+        try:
+            summary = await run_loadgen(
+                f"{host}:{port}",
+                connections=connections,
+                duration_seconds=duration_seconds,
+                zipf_a=zipf_a,
+                seed=seed,
+                read_timeout_seconds=read_timeout_seconds,
+                collect=collected if verify else None,
+            )
+            recovered = await _recovery_wait(
+                supervisor, recovery_deadline if lethal else 0.2
+            )
+        finally:
+            supervisor.stop()
+            serve_task.cancel()
+            try:
+                await serve_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            await server.stop(drain_seconds=drain_seconds)
+        return {"summary": summary, "recovered": recovered}
+
+    t0 = time.perf_counter()
+    outcome = asyncio.run(_drill())
+    wall = time.perf_counter() - t0
+    try:
+        sup_report = supervisor.report()
+        verification = (
+            _verify_rows(cat, collected)
+            if verify
+            else {"checked": 0, "mismatches": 0, "skipped": True}
+        )
+    finally:
+        manager.close(cancel_pending=True)
+
+    summary = outcome["summary"]
+    recoveries = [
+        s["last_recovery_ms"]
+        for s in sup_report["shards"].values()
+        if s["last_recovery_ms"] is not None
+    ]
+    restarts = sum(s["restarts"] for s in sup_report["shards"].values())
+    recovered = bool(outcome["recovered"]) and (not lethal or restarts > 0)
+    ok = (
+        summary["hung"] == 0
+        and summary["errors"] == 0
+        and int(verification.get("mismatches", 0)) == 0
+        and recovered
+    )
+    return {
+        "ok": ok,
+        "wall_seconds": round(wall, 3),
+        "fault": {
+            "kind": fault_kind,
+            "at": crash_at,
+            "shard": crash_shard,
+            "failover": failover,
+        },
+        "summary": summary,
+        "supervisor": sup_report,
+        "restarts": restarts,
+        "recovered": recovered,
+        "recovery_ms": max(recoveries) if recoveries else None,
+        "verification": verification,
+    }

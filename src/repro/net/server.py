@@ -12,15 +12,28 @@ be in flight over a handful of shard dispatcher threads.
 The same port also answers plain HTTP/1.1 (sniffed from the first
 request line): ``GET /metrics`` serves the Prometheus text exposition
 of the serving registry and ``GET /healthz`` serves the ``health`` op
-JSON (status 503 when a worker pool has died), so the standard scrape
-and probe tooling needs no JSONL client.
+JSON, so the standard scrape and probe tooling needs no JSONL client.
+``/healthz`` keys its status off the ``serving`` health flag when the
+engine reports one (a sharded deployment): 503 means *no* shard can
+answer — one dead shard degrades responses in-band but keeps the
+deployment on the balancer.  Engines without the flag fall back to the
+pool-liveness criterion.
+
+Shutdown drains: :meth:`stop` closes the listener immediately (no new
+connections), then gives in-flight requests up to ``drain_seconds`` to
+finish writing their responses before force-cancelling what remains.
+The CLI wires SIGTERM to the same path, so a supervised restart loses
+no answered-but-unflushed work.
 
 Edge cases answer in-band or close cleanly, never crash the server:
 malformed JSON and oversized ``sources`` batches get protocol error
 envelopes; an over-long line gets one error line and then the
 connection closes; a final line without a trailing newline (partial
 write before EOF) is still processed; a mid-request disconnect just
-tears down that one connection.
+tears down that one connection.  A ``fault_plan`` with ``conn_drop``
+makes that last case injectable: the chosen connection is closed
+abruptly after its first request line, exactly the rude-client /
+flaky-network behaviour the loadgen's reconnect path must absorb.
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ from __future__ import annotations
 import asyncio
 import json
 import re
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple
 
 from repro import obs
 from repro.obs.exposition import format_prometheus
@@ -75,6 +88,12 @@ class NetServer:
     sampler:
         Optional trace sampler forwarded to each connection's
         :class:`~repro.service.protocol.ProtocolSession`.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` /
+        :class:`~repro.resilience.faults.ScheduledFaultPlan` consulted
+        once per accepted connection (indexed by arrival order); a
+        ``conn_drop`` decision closes that connection right after its
+        first request line, unanswered.  Other kinds are ignored here.
     """
 
     def __init__(
@@ -84,20 +103,27 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         sampler=None,
+        fault_plan=None,
     ):
         self.engine = engine
         self.host = host
         self.port = port
         self.sampler = sampler
+        self.fault_plan = fault_plan
         self.connections_total = 0
         self.responses_total = 0
         self.http_requests = 0
+        self.conns_dropped = 0
         self._open_connections = 0
+        self._busy = 0  # connections currently inside request handling
+        self._conn_tasks: Set["asyncio.Task"] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         registry = obs.get_registry()
         self._conn_gauge = registry.gauge("net.connections")
         self._conn_counter = registry.counter("net.connections.opened")
         self._http_counter = registry.counter("net.http.requests")
+        self._drop_counter = registry.counter("net.connections.dropped")
+        self._events = obs.get_events()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -125,28 +151,72 @@ class NetServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_seconds: float = 0.0) -> None:
+        """Stop listening, drain in-flight sessions, cut off stragglers.
+
+        The listener closes first — no connection arrives after stop
+        begins — then busy sessions get up to ``drain_seconds`` to
+        finish their current responses.  Whatever is still running
+        after the deadline is cancelled (its connection closes without
+        a response, which clients classify as a drop, not a hang).
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain_seconds > 0:
+            deadline = asyncio.get_running_loop().time() + drain_seconds
+            while self._busy > 0:
+                if asyncio.get_running_loop().time() >= deadline:
+                    break
+                await asyncio.sleep(0.01)
+        tasks = [t for t in self._conn_tasks if not t.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    @property
+    def draining(self) -> int:
+        """Connections still inside request handling (stop() waits on these)."""
+        return self._busy
 
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
+    def _conn_fault(self, index: int) -> bool:
+        """True when ``fault_plan`` says to drop connection ``index``."""
+        if self.fault_plan is None:
+            return False
+        fault = self.fault_plan.decide(index)
+        return fault is not None and fault.kind == "conn_drop"
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        conn_index = self.connections_total
         self.connections_total += 1
         self._open_connections += 1
         self._conn_gauge.set(self._open_connections)
         self._conn_counter.inc()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             try:
                 first = await self._read_line(reader, writer)
             except _LineTooLong:
                 return
             if first is None:
+                return
+            if self._conn_fault(conn_index):
+                # injected abrupt close: request read, never answered
+                self.conns_dropped += 1
+                self._drop_counter.inc()
+                if self._events.enabled:
+                    self._events.emit(
+                        {"type": "conn_dropped", "connection": conn_index}
+                    )
                 return
             match = _HTTP_REQUEST_RE.match(first.rstrip(b"\n"))
             if match:
@@ -156,6 +226,8 @@ class NetServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
             pass  # client went away mid-request; nothing left to answer
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             self._open_connections -= 1
             self._conn_gauge.set(self._open_connections)
             writer.close()
@@ -199,11 +271,15 @@ class NetServer:
         session = ProtocolSession(self.engine, sampler=self.sampler)
         line: Optional[bytes] = first
         while line is not None:
-            response = await self._respond(session, line)
-            if response is not None:
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
-                self.responses_total += 1
+            self._busy += 1
+            try:
+                response = await self._respond(session, line)
+                if response is not None:
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                    self.responses_total += 1
+            finally:
+                self._busy -= 1
             try:
                 line = await self._read_line(reader, writer)
             except _LineTooLong:
@@ -262,7 +338,13 @@ class NetServer:
             return
         if path == "/healthz":
             health = self.engine.health()
-            healthy = bool(health.get("pool", {}).get("alive", False))
+            # sharded deployments report `serving` (any shard up); 503
+            # only when nothing can answer.  Single engines keep the
+            # pool-liveness criterion.
+            if "serving" in health:
+                healthy = bool(health["serving"])
+            else:
+                healthy = bool(health.get("pool", {}).get("alive", False))
             status, phrase = (200, "OK") if healthy else (503, "Service Unavailable")
             body = json.dumps({"ok": healthy, **health}).encode() + b"\n"
             await self._write_http(

@@ -18,6 +18,20 @@ connection coalescing for free, on top of the engine's own
 same-corridor batching — and a shard's engine is only ever touched by
 its own dispatcher, so the engines need no cross-request locking.
 
+A dispatcher is also a single point of failure for its shard, so the
+loop is survivable by construction: every queued group is tracked in a
+pending set, and however the loop exits — a clean ``_STOP``, an
+``Exception``, or a ``BaseException`` such as an injected
+:class:`~repro.resilience.faults.InjectedShardCrash` — a ``finally``
+fails every unresolved future with a retryable :class:`ShardDiedError`
+and (on abnormal exit) emits a ``shard_died`` event.  Nothing queued
+on a shard can hang forever.  The heartbeat (``last_beat``), pending
+queue age and ``alive`` flag feed the
+:class:`~repro.net.supervisor.ShardSupervisor`, which restarts dead
+shards via :meth:`ShardManager.rebuild_shard` and routes their graphs
+through degraded mode (failover adoption onto survivors, or fast-fail
+``unavailable:`` responses) while they are down.
+
 :class:`ShardManager` is the front-end's view: it exposes the same
 duck-typed surface as a single ``QueryEngine`` (``run`` / ``run_many``
 / ``stats`` / ``health`` / ``metrics_snapshot`` / ``catalog`` /
@@ -39,23 +53,36 @@ from concurrent.futures import Future
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import obs
-from repro.net.admission import AdmissionController
+from repro.net.admission import UNAVAILABLE_PREFIX, AdmissionController
+from repro.resilience.faults import InjectedShardCrash
 from repro.service.catalog import GraphCatalog
 from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
 
-__all__ = ["Shard", "ShardManager"]
+__all__ = ["Shard", "ShardDiedError", "ShardManager"]
 
 _STOP = object()
+
+
+class ShardDiedError(RuntimeError):
+    """A shard's dispatcher is gone; the work was never attempted.
+
+    Classified transient: the supervisor restarts shards, so the same
+    request resubmitted shortly is expected to succeed.  The manager
+    answers these in-band with ``unavailable:`` errors.
+    """
+
+    transient = True
 
 
 class _WorkItem:
     """One submit_many group bound for a single shard."""
 
-    __slots__ = ("queries", "future")
+    __slots__ = ("queries", "future", "enqueued_at")
 
     def __init__(self, queries: List[SSSPQuery], future: Future):
         self.queries = queries
         self.future = future
+        self.enqueued_at = time.monotonic()
 
 
 class Shard:
@@ -65,18 +92,47 @@ class Shard:
     into a single ``run_many`` call; larger drains amortise better
     under load, smaller drains bound how long a fast query can be
     held behind a merged batch.
+
+    ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan` or
+    :class:`~repro.resilience.faults.ScheduledFaultPlan`) sabotages
+    dispatch cycles for chaos drills: ``shard_crash`` kills the
+    dispatcher thread, ``dispatcher_hang`` stalls it for
+    ``hang_seconds``, ``slow_shard`` adds ``slow_seconds`` of latency
+    per cycle.  Other kinds are ignored here (``conn_drop`` belongs to
+    the server).  ``tick_seconds`` bounds how stale the idle heartbeat
+    may go — the dispatcher wakes at least this often to beat.
     """
 
-    def __init__(self, index: int, engine: QueryEngine, *, drain_limit: int = 64):
+    def __init__(
+        self,
+        index: int,
+        engine: QueryEngine,
+        *,
+        drain_limit: int = 64,
+        fault_plan=None,
+        tick_seconds: float = 0.25,
+    ):
         if drain_limit < 1:
             raise ValueError("drain_limit must be >= 1")
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
         self.index = index
         self.engine = engine
         self.drain_limit = int(drain_limit)
+        self.fault_plan = fault_plan
         self.dispatched = 0
         self.cycles = 0
+        self.faults_injected = 0
+        self.exit_reason: Optional[str] = None
+        self.last_beat = time.monotonic()
+        self._tick = float(tick_seconds)
+        self._fault_cycle = 0
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._pending: Dict[_WorkItem, None] = {}
+        self._plock = threading.Lock()
         self._closed = False
+        self._retired = False
+        self._events = obs.get_events()
         self._thread = threading.Thread(
             target=self._dispatch_loop,
             name=f"repro-shard-{index}",
@@ -88,34 +144,150 @@ class Shard:
     # submission
     # ------------------------------------------------------------------
     def submit(self, queries: List[SSSPQuery]) -> "Future[List[QueryResponse]]":
-        """Queue one group; the future resolves to its responses in order."""
-        if self._closed:
-            raise RuntimeError(f"shard {self.index} is closed")
-        future: Future = Future()
-        self._queue.put(_WorkItem(list(queries), future))
-        return future
+        """Queue one group; the future resolves to its responses in order.
+
+        Raises :class:`ShardDiedError` when the dispatcher is closed or
+        dead.  A submit that *races* the dispatcher's death cannot
+        strand its future either: the item registers in the pending set
+        before it is queued, so it is covered by the death cleanup — and
+        the post-enqueue liveness re-check below resolves the one
+        ordering where the cleanup's snapshot ran before registration
+        (in that ordering the death is already visible here).
+        """
+        if self._closed or not self.alive:
+            raise ShardDiedError(
+                f"shard {self.index} is "
+                + ("closed" if self._closed else "dead")
+            )
+        item = _WorkItem(list(queries), Future())
+        with self._plock:
+            self._pending[item] = None
+        self._queue.put(item)
+        if self._closed or not self.alive:
+            self._resolve(
+                item,
+                error=ShardDiedError(
+                    f"shard {self.index} dispatcher died during submit"
+                ),
+            )
+        return item.future
 
     # ------------------------------------------------------------------
     # the dispatcher
     # ------------------------------------------------------------------
     def _dispatch_loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _STOP:
-                return
-            items = [item]
-            total = len(item.queries)
-            while total < self.drain_limit:
+        clean = False
+        try:
+            while True:
+                self.last_beat = time.monotonic()
                 try:
-                    nxt = self._queue.get_nowait()
+                    item = self._queue.get(timeout=self._tick)
                 except queue.Empty:
-                    break
-                if nxt is _STOP:
-                    self._queue.put(_STOP)  # leave the sentinel for later
-                    break
-                items.append(nxt)
-                total += len(nxt.queries)
-            self._run_items(items)
+                    continue
+                if item is _STOP:
+                    clean = True
+                    return
+                items = [item]
+                total = len(item.queries)
+                while total < self.drain_limit:
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        self._queue.put(_STOP)  # leave the sentinel for later
+                        break
+                    items.append(nxt)
+                    total += len(nxt.queries)
+                fault = self._next_fault()
+                if fault is not None:
+                    self.faults_injected += 1
+                    if fault.kind == "shard_crash":
+                        raise InjectedShardCrash(
+                            f"injected shard crash (cycle {self.cycles})"
+                        )
+                    if fault.kind == "dispatcher_hang":
+                        time.sleep(fault.hang_seconds)
+                    elif fault.kind == "slow_shard":
+                        time.sleep(fault.slow_seconds)
+                if self._retired:
+                    return  # replaced while stalled; waiters already failed
+                self._run_items(items)
+        except BaseException as exc:  # noqa: BLE001 — must survive *any* death
+            self.exit_reason = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._on_loop_exit(clean)
+
+    def _next_fault(self):
+        if self.fault_plan is None:
+            return None
+        fault = self.fault_plan.decide(self._fault_cycle)
+        self._fault_cycle += 1
+        if fault is not None and fault.kind not in (
+            "shard_crash", "dispatcher_hang", "slow_shard"
+        ):
+            return None  # not a dispatcher-tier kind; someone else's fault
+        return fault
+
+    def _on_loop_exit(self, clean: bool) -> None:
+        """However the loop ended, nothing pending may hang (satellite fix).
+
+        A clean ``_STOP`` normally leaves nothing behind, but a submit
+        racing ``close()`` can still strand an item after the sentinel;
+        an abnormal exit (any ``BaseException``) strands everything.
+        Both get their futures failed with a retryable error, and an
+        abnormal, non-retired exit surfaces a ``shard_died`` event.
+        """
+        died = not clean and not self._retired
+        if died and self.exit_reason is None:
+            self.exit_reason = "dispatcher loop exited unexpectedly"
+        reason = (
+            f"shard {self.index} dispatcher died"
+            + (f" ({self.exit_reason})" if self.exit_reason else "")
+            if not clean
+            else f"shard {self.index} is closed"
+        )
+        failed = self._fail_pending(ShardDiedError(reason))
+        if died and self._events.enabled:
+            self._events.emit(
+                {
+                    "type": "shard_died",
+                    "shard": self.index,
+                    "reason": self.exit_reason,
+                    "pending_failed": failed,
+                }
+            )
+
+    def _resolve(self, item: _WorkItem, *, result=None, error=None) -> None:
+        with self._plock:
+            self._pending.pop(item, None)
+        future = item.future
+        if future.cancelled() or future.done():
+            return
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except Exception:  # lost a set-race with retire(); already answered
+            pass
+
+    def _fail_pending(self, error: BaseException) -> int:
+        """Fail every unresolved future; return how many were failed."""
+        with self._plock:
+            items = list(self._pending)
+            self._pending.clear()
+        failed = 0
+        for item in items:
+            future = item.future
+            if future.cancelled() or future.done():
+                continue
+            try:
+                future.set_exception(error)
+                failed += 1
+            except Exception:
+                pass
+        return failed
 
     def _run_items(self, items: List[_WorkItem]) -> None:
         self.cycles += 1
@@ -125,27 +297,102 @@ class Shard:
             responses = self.engine.run_many(queries)
         except Exception as exc:  # engine bugs fail the waiters, not us
             for it in items:
-                if not it.future.cancelled():
-                    it.future.set_exception(exc)
+                self._resolve(it, error=exc)
             return
         offset = 0
         for it in items:
             chunk = responses[offset : offset + len(it.queries)]
             offset += len(it.queries)
-            if not it.future.cancelled():
-                it.future.set_result(chunk)
+            self._resolve(it, result=chunk)
+
+    # ------------------------------------------------------------------
+    # liveness introspection (what the supervisor health-checks)
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Dispatcher thread running and never abnormally exited."""
+        return self._thread.is_alive() and self.exit_reason is None
+
+    def beat_age(self, now: Optional[float] = None) -> float:
+        """Seconds since the dispatcher last proved it was making progress."""
+        now = time.monotonic() if now is None else now
+        return max(0.0, now - self.last_beat)
+
+    def pending_count(self) -> int:
+        with self._plock:
+            return len(self._pending)
+
+    def oldest_pending_age(self, now: Optional[float] = None) -> float:
+        """Age of the oldest unresolved group (0 when nothing pending)."""
+        now = time.monotonic() if now is None else now
+        with self._plock:
+            if not self._pending:
+                return 0.0
+            oldest = min(item.enqueued_at for item in self._pending)
+        return max(0.0, now - oldest)
+
+    def stalled(self, stall_seconds: float, now: Optional[float] = None) -> bool:
+        """Work is queued but the dispatcher has stopped beating.
+
+        Both watchdog conditions must hold — a stale heartbeat *and* a
+        group older than the stall budget — so a merely-idle shard is
+        never flagged.  A long legitimate ``run_many`` also trips
+        this; pick ``stall_seconds`` above the worst honest cycle.
+        """
+        now = time.monotonic() if now is None else now
+        return (
+            self.pending_count() > 0
+            and self.beat_age(now) > stall_seconds
+            and self.oldest_pending_age(now) > stall_seconds
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def close(self, *, cancel_pending: bool = False) -> None:
+    def retire(self, reason: str) -> None:
+        """Take a dead or hung shard out of service (supervisor path).
+
+        Fails every pending future with a retryable error, wakes a
+        merely-stalled dispatcher so it exits on its own, and closes
+        the engine.  Never joins the thread — a hung dispatcher would
+        block the supervisor; the daemon thread exits when it wakes.
+        """
+        if self._retired:
+            return
+        self._retired = True
+        self._closed = True
+        if self.exit_reason is None:
+            self.exit_reason = reason
+        self._fail_pending(
+            ShardDiedError(f"shard {self.index} retired: {reason}")
+        )
+        self._queue.put(_STOP)
+        try:
+            self.engine.close(cancel_pending=True)
+        except Exception:
+            pass  # a broken engine must not block the replacement
+
+    def close(
+        self, *, cancel_pending: bool = False, join_timeout: Optional[float] = 5.0
+    ) -> None:
         """Drain the queue, stop the dispatcher, close the engine."""
         if self._closed:
             return
         self._closed = True
         self._queue.put(_STOP)
-        self._thread.join()
+        self._thread.join(timeout=join_timeout)
         self.engine.close(cancel_pending=cancel_pending)
+
+    def dispatcher_snapshot(self) -> dict:
+        """JSON-ready liveness facts (the ``health`` op's per-shard row)."""
+        return {
+            "alive": self.alive,
+            "beat_age_seconds": round(self.beat_age(), 3),
+            "pending": self.pending_count(),
+            "oldest_pending_seconds": round(self.oldest_pending_age(), 3),
+            "exit_reason": self.exit_reason,
+            "faults_injected": self.faults_injected,
+        }
 
     def stats(self) -> dict:
         return {
@@ -153,6 +400,7 @@ class Shard:
             "graphs": self.engine.pool.graph_ids,
             "dispatched": self.dispatched,
             "cycles": self.cycles,
+            "dispatcher": self.dispatcher_snapshot(),
             **self.engine.stats(),
         }
 
@@ -175,11 +423,25 @@ class ShardManager:
         before it can reach a dispatcher.
     drain_limit:
         Per-shard dispatcher merge bound (see :class:`Shard`).
+    net_fault_plan:
+        Optional dispatcher-tier fault plan (chaos drills).  Applied
+        to the shard named by ``net_fault_shard`` (all shards when
+        ``None``) — and only to original shard incarnations: a shard
+        the supervisor rebuilds comes back fault-free, so an injected
+        crash cannot become a crash loop.
+    tick_seconds:
+        Dispatcher heartbeat bound, forwarded to every shard.
     engine_kwargs:
         Forwarded to every shard engine (``mode``, ``max_workers``,
         ``cache_size``, ``max_batch``, retry/breaker/fault plans...).
         Each engine additionally gets ``labels={"shard": "<i>"}`` so
         the shared registry keeps per-shard latency series apart.
+
+    Degraded mode: a shard whose state is not ``"up"`` (the supervisor
+    marks ``down`` / ``restarting`` / ``failed``) answers its groups
+    immediately with in-band ``unavailable: ...`` errors — unless its
+    graphs were failed over onto survivors, in which case routing
+    already points there and requests flow normally.
     """
 
     def __init__(
@@ -189,6 +451,9 @@ class ShardManager:
         shards: int = 1,
         admission: Optional[AdmissionController] = None,
         drain_limit: int = 64,
+        net_fault_plan=None,
+        net_fault_shard: Optional[int] = None,
+        tick_seconds: float = 0.25,
         **engine_kwargs,
     ):
         if shards < 1:
@@ -199,24 +464,50 @@ class ShardManager:
         shards = min(shards, len(names))  # an engine with no graphs is useless
         self.catalog = catalog
         self.admission = admission
-        self._assignment: Dict[str, int] = {
+        self._engine_kwargs = dict(engine_kwargs)
+        self._drain_limit = drain_limit
+        self._tick_seconds = tick_seconds
+        self._net_fault_plan = net_fault_plan
+        self._net_fault_shard = net_fault_shard
+        self._names = list(names)
+        # _home is the immutable partition; _assignment is live routing
+        # (failover temporarily points a down shard's graphs elsewhere)
+        self._home: Dict[str, int] = {
             name: i % shards for i, name in enumerate(names)
         }
+        self._assignment: Dict[str, int] = dict(self._home)
+        self._state_lock = threading.Lock()
+        self._states: Dict[int, str] = {i: "up" for i in range(shards)}
+        self._failover_graphs: Dict[int, List[str]] = {}
+        self._supervisor = None
         self.shards: List[Shard] = []
         for index in range(shards):
-            owned = [n for n in names if self._assignment[n] == index]
-            engine = QueryEngine(
-                catalog.subset(owned),
-                labels={"shard": str(index)},
-                **engine_kwargs,
-            )
-            catalog.adopt(engine.catalog)  # reuse shard-loaded graphs
-            self.shards.append(Shard(index, engine, drain_limit=drain_limit))
+            self.shards.append(self._build_shard(index, with_faults=True))
             if admission is not None:
                 admission.register_shard(index)
         self._events = obs.get_events()
         self._registry = obs.get_registry()
         self._closed = False
+
+    def _build_shard(self, index: int, *, with_faults: bool) -> Shard:
+        owned = [n for n in self._names if self._home[n] == index]
+        engine = QueryEngine(
+            self.catalog.subset(owned),
+            labels={"shard": str(index)},
+            **self._engine_kwargs,
+        )
+        self.catalog.adopt(engine.catalog)  # reuse shard-loaded graphs
+        plan = None
+        if with_faults and self._net_fault_plan is not None:
+            if self._net_fault_shard is None or self._net_fault_shard == index:
+                plan = self._net_fault_plan
+        return Shard(
+            index,
+            engine,
+            drain_limit=self._drain_limit,
+            fault_plan=plan,
+            tick_seconds=self._tick_seconds,
+        )
 
     # ------------------------------------------------------------------
     # engine-facade surface (what ProtocolSession needs)
@@ -237,14 +528,86 @@ class ShardManager:
         """The owning shard index, or None for an unknown graph."""
         return self._assignment.get(graph_id)
 
+    # ------------------------------------------------------------------
+    # supervision surface (ShardSupervisor calls these)
+    # ------------------------------------------------------------------
+    def attach_supervisor(self, supervisor) -> None:
+        self._supervisor = supervisor
+
+    @property
+    def supervisor(self):
+        return self._supervisor
+
+    def shard_state(self, index: int) -> str:
+        with self._state_lock:
+            return self._states.get(index, "up")
+
+    def set_shard_state(self, index: int, state: str) -> None:
+        with self._state_lock:
+            self._states[index] = state
+
+    def rebuild_shard(self, index: int) -> Shard:
+        """Replace a dead shard with a fresh engine + dispatcher.
+
+        The old incarnation is retired (pending futures failed, engine
+        closed); the replacement serves the same ``_home`` partition.
+        The admission controller forgets the dead dispatcher's latency
+        EWMA so the deadline gate does not shed against a ghost.
+        """
+        old = self.shards[index]
+        old.retire("replaced by supervisor")
+        shard = self._build_shard(index, with_faults=False)
+        self.shards[index] = shard
+        if self.admission is not None:
+            self.admission.reset_shard(index)
+            self.admission.register_shard(index)
+        return shard
+
+    def adopt_shard_graphs(self, index: int) -> Dict[str, int]:
+        """Failover: reroute a down shard's graphs onto survivors.
+
+        Each orphaned graph is adopted (round-robin) by a surviving
+        ``up`` shard's engine — the catalog already memoises the CSR
+        arrays, so adoption shares them rather than reloading — and
+        live routing is repointed.  Returns ``{graph: new_shard}``
+        (empty when no survivor exists, in which case the manager
+        falls back to fast-fail ``unavailable:`` responses).
+        """
+        survivors = [
+            s.index
+            for s in self.shards
+            if s.index != index and s.alive and self.shard_state(s.index) == "up"
+        ]
+        if not survivors:
+            return {}
+        moved: Dict[str, int] = {}
+        owned = sorted(n for n, home in self._home.items() if home == index)
+        for k, name in enumerate(owned):
+            target = survivors[k % len(survivors)]
+            self.shards[target].engine.adopt_graph(name, self.catalog.get(name))
+            with self._state_lock:
+                self._assignment[name] = target
+            moved[name] = target
+        self._failover_graphs[index] = list(moved)
+        return moved
+
+    def restore_assignment(self, index: int) -> List[str]:
+        """Point a recovered shard's graphs back home after failover."""
+        restored = self._failover_graphs.pop(index, [])
+        for name in restored:
+            with self._state_lock:
+                self._assignment[name] = index
+        return restored
+
     def submit_many(
         self, queries: List[SSSPQuery]
     ) -> "Future[List[QueryResponse]]":
         """Route a batch; resolves to responses in request order.
 
-        Unknown graphs and shed groups answer immediately (the same
-        error strings a single engine produces, plus ``overloaded``
-        sheds); everything else lands on its owning shard's queue.
+        Unknown graphs, shed groups and groups for down shards answer
+        immediately (the same error strings a single engine produces,
+        plus ``overloaded`` sheds and ``unavailable`` fast-fails);
+        everything else lands on its owning shard's queue.
         """
         out: Future = Future()
         results: List[Optional[QueryResponse]] = [None] * len(queries)
@@ -269,15 +632,43 @@ class ShardManager:
 
         pending: List[Tuple[int, List[int], Future, float]] = []
         for shard_index, (indices, group) in groups.items():
+            state = self.shard_state(shard_index)
+            if state != "up":
+                reason = (
+                    f"{UNAVAILABLE_PREFIX}: shard {shard_index} {state}; "
+                    "retry shortly"
+                )
+                if self.admission is not None:
+                    self.admission.record_unavailable(
+                        shard_index, len(group), reason
+                    )
+                for i in indices:
+                    results[i] = QueryResponse(
+                        query=queries[i], ok=False, error=reason
+                    )
+                continue
             if self.admission is not None:
-                reason = self.admission.try_acquire(shard_index, len(group))
-                if reason is not None:
+                shed_reason = self.admission.try_acquire(shard_index, len(group))
+                if shed_reason is not None:
                     for i in indices:
                         results[i] = QueryResponse(
-                            query=queries[i], ok=False, error=reason
+                            query=queries[i], ok=False, error=shed_reason
                         )
                     continue
-            future = self.shards[shard_index].submit(group)
+            try:
+                future = self.shards[shard_index].submit(group)
+            except RuntimeError as exc:  # died between state check and submit
+                reason = f"{UNAVAILABLE_PREFIX}: {exc}; retry shortly"
+                if self.admission is not None:
+                    self.admission.release(shard_index, len(group), 0.0)
+                    self.admission.record_unavailable(
+                        shard_index, len(group), reason
+                    )
+                for i in indices:
+                    results[i] = QueryResponse(
+                        query=queries[i], ok=False, error=reason
+                    )
+                continue
             pending.append((shard_index, indices, future, time.perf_counter()))
 
         if not pending:
@@ -296,6 +687,17 @@ class ShardManager:
                     )
                 try:
                     responses = future.result()
+                except ShardDiedError as exc:
+                    # the dispatcher died under this group: retryable,
+                    # in-band, and the supervisor is already restarting
+                    responses = [
+                        QueryResponse(
+                            query=queries[i],
+                            ok=False,
+                            error=f"{UNAVAILABLE_PREFIX}: {exc}; retry shortly",
+                        )
+                        for i in indices
+                    ]
                 except Exception as exc:
                     responses = [
                         QueryResponse(
@@ -356,6 +758,9 @@ class ShardManager:
                 for key in ("attempts", "exhausted")
             },
             "shards": shard_stats,
+            "shard_states": {
+                str(i): self.shard_state(i) for i in range(len(self.shards))
+            },
             "assignment": dict(sorted(self._assignment.items())),
             "admission": (
                 self.admission.snapshot()
@@ -365,9 +770,32 @@ class ShardManager:
         }
 
     def health(self) -> dict:
+        """Aggregated health, per-shard liveness, supervisor state.
+
+        ``serving`` is the front-end's 503 criterion: True while *any*
+        shard is up and answering — one dead shard degrades service,
+        it does not take the deployment off the balancer.
+        """
         shard_health = [shard.engine.health() for shard in self.shards]
         breakers = [b for h in shard_health for b in h["breakers"]]
+        shard_rows = []
+        serving = 0
+        for shard, h in zip(self.shards, shard_health):
+            state = self.shard_state(shard.index)
+            up = state == "up" and shard.alive and h["pool"]["alive"]
+            serving += bool(up)
+            shard_rows.append(
+                {
+                    "index": shard.index,
+                    "state": state,
+                    "serving": up,
+                    "dispatcher": shard.dispatcher_snapshot(),
+                    **h,
+                }
+            )
         return {
+            "serving": serving > 0,
+            "shards_up": serving,
             "pool": {
                 "mode": shard_health[0]["pool"]["mode"],
                 "max_workers": sum(
@@ -391,10 +819,10 @@ class ShardManager:
                 ),
                 "max_attempts": shard_health[0]["retries"]["max_attempts"],
             },
-            "shards": [
-                {"index": shard.index, **health}
-                for shard, health in zip(self.shards, shard_health)
-            ],
+            "shards": shard_rows,
+            "supervisor": (
+                self._supervisor.report() if self._supervisor is not None else None
+            ),
             "admission": (
                 self.admission.snapshot()
                 if self.admission is not None
@@ -412,6 +840,8 @@ class ShardManager:
         if self._closed:
             return
         self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for shard in self.shards:
             shard.close(cancel_pending=cancel_pending)
 

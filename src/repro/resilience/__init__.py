@@ -24,23 +24,29 @@ op wire schema and the fallback semantics.
 
 from repro.resilience.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
 from repro.resilience.faults import (
+    ALL_FAULT_KINDS,
     FAULT_KINDS,
+    NET_FAULT_KINDS,
     DivergentController,
     FaultPlan,
     FaultSpec,
     InjectedCrashError,
+    InjectedShardCrash,
     InjectedTransientError,
+    ScheduledFaultPlan,
     apply_fault,
 )
 from repro.resilience.guard import DivergenceGuard, GuardConfig
 from repro.resilience.retry import (
     CorruptResultError,
+    RestartPolicy,
     RetryPolicy,
     classify_error,
     validate_result,
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "BreakerBoard",
     "BreakerConfig",
     "CircuitBreaker",
@@ -52,8 +58,12 @@ __all__ = [
     "FaultSpec",
     "GuardConfig",
     "InjectedCrashError",
+    "InjectedShardCrash",
     "InjectedTransientError",
+    "NET_FAULT_KINDS",
+    "RestartPolicy",
     "RetryPolicy",
+    "ScheduledFaultPlan",
     "apply_fault",
     "classify_error",
     "validate_result",

@@ -24,6 +24,26 @@ Fault kinds (``FaultPlan.kinds``):
   it degrades to a :class:`InjectedCrashError`, since exiting the
   thread would exit the server).
 
+Network-tier fault kinds (``NET_FAULT_KINDS``) extend the same plan
+machinery above the pool, into :mod:`repro.net`.  They are *decided*
+here but *interpreted* by the serving layer — :func:`apply_fault`
+rejects them, because they sabotage infrastructure, not tasks:
+
+* ``"shard_crash"`` — a shard dispatcher thread dies mid-cycle
+  (raises :class:`InjectedShardCrash`, a ``BaseException`` on purpose:
+  it must escape ``except Exception`` handlers the way a real
+  interpreter-level death would);
+* ``"dispatcher_hang"`` — the dispatcher stops making progress for
+  ``hang_seconds`` (the supervisor's queue-age watchdog territory);
+* ``"slow_shard"`` — every dispatch cycle pays ``slow_seconds`` extra
+  latency (feeds the admission controller's EWMA deadline gate);
+* ``"conn_drop"`` — the server closes a client connection abruptly
+  after reading a request, before answering it.
+
+:class:`ScheduledFaultPlan` is the precision variant for drills: it
+fires a chosen kind at explicit indices (``at=(3,)`` = sabotage the
+third dispatch cycle) instead of rolling seeded dice per index.
+
 Everything here is picklable on purpose: process-mode workers receive
 the :class:`FaultSpec` inside the task payload (see
 :func:`repro.service.pool._run_faulted_on_worker_graph`).
@@ -44,16 +64,26 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedCrashError",
+    "InjectedShardCrash",
     "InjectedTransientError",
+    "ScheduledFaultPlan",
     "apply_fault",
     "DivergentController",
 ]
 
 FAULT_KINDS = ("transient", "crash", "hang", "corrupt", "poolbreak")
+
+# network-tier kinds: decided by the same seeded machinery, interpreted
+# by repro.net (shard dispatcher / TCP server), never by apply_fault
+NET_FAULT_KINDS = ("shard_crash", "dispatcher_hang", "slow_shard", "conn_drop")
+
+ALL_FAULT_KINDS = FAULT_KINDS + NET_FAULT_KINDS
 
 
 class InjectedTransientError(RuntimeError):
@@ -64,20 +94,34 @@ class InjectedCrashError(RuntimeError):
     """A deliberately injected worker crash (simulated, in-band)."""
 
 
+class InjectedShardCrash(BaseException):
+    """A deliberately injected shard-dispatcher death.
+
+    Deliberately a ``BaseException``: a real dispatcher thread can die
+    from things ``except Exception`` never sees (``SystemExit``,
+    ``KeyboardInterrupt``, interpreter teardown), and the shard's
+    pending-future cleanup must survive exactly that class of exit.
+    """
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One concrete sabotage decision for one task."""
 
     kind: str
     hang_seconds: float = 0.25
+    slow_seconds: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r} (have {', '.join(FAULT_KINDS)})"
+                f"unknown fault kind {self.kind!r} "
+                f"(have {', '.join(ALL_FAULT_KINDS)})"
             )
         if self.hang_seconds < 0:
             raise ValueError("hang_seconds must be >= 0")
+        if self.slow_seconds < 0:
+            raise ValueError("slow_seconds must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -94,6 +138,7 @@ class FaultPlan:
     seed: int = 0
     kinds: Tuple[str, ...] = ("transient", "crash", "hang")
     hang_seconds: float = 0.25
+    slow_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -101,19 +146,26 @@ class FaultPlan:
         if not self.kinds:
             raise ValueError("kinds must not be empty")
         for kind in self.kinds:
-            if kind not in FAULT_KINDS:
+            if kind not in ALL_FAULT_KINDS:
                 raise ValueError(
-                    f"unknown fault kind {kind!r} (have {', '.join(FAULT_KINDS)})"
+                    f"unknown fault kind {kind!r} "
+                    f"(have {', '.join(ALL_FAULT_KINDS)})"
                 )
         if self.hang_seconds < 0:
             raise ValueError("hang_seconds must be >= 0")
+        if self.slow_seconds < 0:
+            raise ValueError("slow_seconds must be >= 0")
 
     def decide(self, index: int) -> Optional[FaultSpec]:
         """The fault for task ``index`` (deterministic in seed and index)."""
         rng = random.Random(self.seed * 1_000_003 + index)
         if rng.random() >= self.rate:
             return None
-        return FaultSpec(kind=rng.choice(self.kinds), hang_seconds=self.hang_seconds)
+        return FaultSpec(
+            kind=rng.choice(self.kinds),
+            hang_seconds=self.hang_seconds,
+            slow_seconds=self.slow_seconds,
+        )
 
     def count(self, tasks: int) -> int:
         """How many of the first ``tasks`` submissions get sabotaged."""
@@ -124,11 +176,56 @@ class FaultPlan:
         """``"crash,hang"`` -> ``("crash", "hang")``, validated."""
         kinds = tuple(k.strip() for k in spec.split(",") if k.strip())
         for kind in kinds:
-            if kind not in FAULT_KINDS:
+            if kind not in ALL_FAULT_KINDS:
                 raise ValueError(
-                    f"unknown fault kind {kind!r} (have {', '.join(FAULT_KINDS)})"
+                    f"unknown fault kind {kind!r} "
+                    f"(have {', '.join(ALL_FAULT_KINDS)})"
                 )
         return kinds
+
+
+@dataclass(frozen=True)
+class ScheduledFaultPlan:
+    """A fault plan that fires at explicit indices, not by seeded dice.
+
+    Drills want precision ("crash the dispatcher on its third cycle,
+    once"), not probability.  ``decide(i)`` returns a
+    :class:`FaultSpec` of ``kind`` exactly when ``i`` is in ``at``.
+    The surface matches :class:`FaultPlan` where the serving layer
+    cares (``decide`` / ``count`` / ``kinds``), so shard and server
+    fault hooks accept either interchangeably.
+    """
+
+    at: Tuple[int, ...]
+    kind: str = "shard_crash"
+    hang_seconds: float = 0.25
+    slow_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(have {', '.join(ALL_FAULT_KINDS)})"
+            )
+        for index in self.at:
+            if index < 0:
+                raise ValueError("schedule indices must be >= 0")
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return (self.kind,)
+
+    def decide(self, index: int) -> Optional[FaultSpec]:
+        if index not in self.at:
+            return None
+        return FaultSpec(
+            kind=self.kind,
+            hang_seconds=self.hang_seconds,
+            slow_seconds=self.slow_seconds,
+        )
+
+    def count(self, tasks: int) -> int:
+        return sum(1 for i in self.at if i < tasks)
 
 
 def _corrupt(result: object) -> object:
@@ -162,6 +259,11 @@ def apply_fault(fault: Optional[FaultSpec], call: Callable[[], object], *,
     """
     if fault is None:
         return call()
+    if fault.kind in NET_FAULT_KINDS:
+        raise ValueError(
+            f"network-tier fault {fault.kind!r} cannot be applied to a "
+            "pool task; it belongs to the repro.net shard/server hooks"
+        )
     if fault.kind == "transient":
         raise InjectedTransientError("injected transient fault")
     if fault.kind == "crash":

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "CorruptResultError",
+    "RestartPolicy",
     "RetryPolicy",
     "classify_error",
     "validate_result",
@@ -82,6 +83,64 @@ class RetryPolicy:
             rng = random.Random(zlib.crc32(material))
             delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
         return delay
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How often and how patiently to restart a dead component.
+
+    The supervision analogue of :class:`RetryPolicy`: ``budget`` caps
+    how many restarts one component may consume before the supervisor
+    declares it permanently failed, and :meth:`delay` spaces the
+    attempts with the same capped exponential backoff and
+    deterministic jitter the retry layer uses (so two supervised
+    deployments with the same seed restart on the same schedule).
+    """
+
+    budget: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be >= 0")
+        # delegate the remaining validation to RetryPolicy's rules
+        self._backoff  # noqa: B018 — constructs, which validates
+
+    @property
+    def _backoff(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=max(1, self.budget),
+            base_delay=self.base_delay,
+            max_delay=self.max_delay,
+            multiplier=self.multiplier,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
+
+    def delay(self, restart: int, key: object = None) -> float:
+        """Backoff before restart number ``restart`` (1 = first restart)."""
+        return self._backoff.delay(restart, key)
+
+    def exhausted(self, restarts: int) -> bool:
+        """True once ``restarts`` attempts have consumed the budget."""
+        return restarts >= self.budget
+
+    def max_recovery_seconds(self) -> float:
+        """Upper bound on the total backoff a full budget can spend.
+
+        Jitter-inclusive (worst case ``1 + jitter`` per delay) — the
+        chaos drill uses this as its "recovered within the restart
+        budget" deadline.
+        """
+        total = sum(
+            min(self.base_delay * self.multiplier ** (k - 1), self.max_delay)
+            for k in range(1, self.budget + 1)
+        )
+        return total * (1.0 + self.jitter)
 
 
 def classify_error(exc: BaseException) -> str:

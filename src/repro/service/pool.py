@@ -280,6 +280,23 @@ class ExecutorPool:
     def graph_ids(self) -> List[str]:
         return sorted(self._graphs)
 
+    def add_graph(self, graph_id: str, graph: CSRGraph) -> None:
+        """Register a graph after construction (shard failover adoption).
+
+        Thread mode sees the new graph immediately (workers resolve
+        graphs from the shared dict).  Process mode ships graph
+        payloads to workers at executor build time, so an existing
+        executor is torn down lazily — in-flight futures finish on the
+        old workers, and the next submit rebuilds with the full set.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._lock:
+            self._graphs[graph_id] = graph
+            if self.mode == "process" and self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=False)
+                self._executor = None
+
     def _track(self, future: Future) -> Future:
         with self._lock:
             self._pending += 1

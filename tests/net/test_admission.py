@@ -114,6 +114,73 @@ def test_snapshot_is_json_ready():
     assert snap["ewma_query_seconds"]["0"] == pytest.approx(0.25)
 
 
+def test_stalled_shard_deadline_budget_fake_clock():
+    """Satellite: the EWMA deadline gate under a stalled shard, no sleeps.
+
+    A stuck query plus a 1s/query latency estimate sheds everything by
+    prediction; sustained shedding opens the breaker; time alone does
+    not heal it (the half-open probe still hits the deadline gate); a
+    supervisor-style restart — pending failed out, ``reset_shard`` —
+    does.  The whole arc runs on a fake clock.
+    """
+    now = [0.0]
+    adm = AdmissionController(
+        max_inflight=100,
+        deadline_seconds=0.1,
+        breaker=BreakerConfig(failure_threshold=2, reset_seconds=5.0),
+        clock=lambda: now[0],
+    )
+    # teach the gate this shard runs ~1s/query
+    assert adm.try_acquire(0) is None
+    adm.release(0, 1, 1.0)
+    # one query wedged in the stalled dispatcher
+    assert adm.try_acquire(0) is None
+    # predicted wait 1 x 1.0s >> 0.1s budget: shed by prediction
+    r1, r2 = adm.try_acquire(0), adm.try_acquire(0)
+    assert "deadline" in r1 and "deadline" in r2
+    # two consecutive sheds tripped the breaker
+    assert "breaker open" in adm.try_acquire(0)
+    # past reset_seconds the half-open probe is *still* shed (the shard
+    # is still stalled), so the breaker reopens
+    now[0] += 6.0
+    assert "deadline" in adm.try_acquire(0)
+    assert "breaker open" in adm.try_acquire(0)
+    # the supervisor replaces the dispatcher: the wedged query is failed
+    # out (tokens returned) and the stale estimate is forgotten
+    adm.release(0, 1, 0.0)
+    adm.reset_shard(0)
+    now[0] += 6.0
+    assert adm.try_acquire(0) is None  # probe admitted: breaker closes
+    assert adm.try_acquire(0) is None  # fresh EWMA: the gate is quiet
+    adm.release(0, 2, 0.002)
+    assert adm.snapshot()["ewma_query_seconds"]["0"] < 0.1
+
+
+def test_record_unavailable_counts_separately_and_skips_breaker(registry):
+    adm = AdmissionController(
+        max_inflight=4,
+        breaker=BreakerConfig(failure_threshold=1, reset_seconds=60.0),
+    )
+    adm.record_unavailable(0, 3, "unavailable: shard 0 is dead")
+    assert adm.unavailable == 3 and adm.shed == 0
+    # unavailability never feeds the admission breaker
+    assert adm.try_acquire(0) is None
+    snap = registry.snapshot()
+    assert snap['net.unavailable{shard="0"}']["value"] == 3
+    assert adm.snapshot()["unavailable"] == 3
+
+
+def test_reset_shard_forgets_the_latency_estimate():
+    adm = AdmissionController(max_inflight=8, deadline_seconds=0.5)
+    assert adm.try_acquire(0) is None
+    adm.release(0, 1, 10.0)
+    assert adm.try_acquire(0) is None  # empty shard: predicted 0
+    assert adm.try_acquire(0) is not None  # 1 x 10s >> 0.5s
+    adm.reset_shard(0)
+    assert adm.try_acquire(0) is None
+    assert "0" not in adm.snapshot()["ewma_query_seconds"]
+
+
 def test_invalid_configuration_rejected():
     with pytest.raises(ValueError):
         AdmissionController(max_inflight=-1)

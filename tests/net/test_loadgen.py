@@ -12,11 +12,12 @@ from repro.net import (
     ShardManager,
     run_loadgen,
 )
+from repro.resilience import ScheduledFaultPlan
 
 
-def _drive(manager, **kwargs):
+def _drive(manager, server_kwargs=None, **kwargs):
     async def main():
-        server = NetServer(manager, port=0)
+        server = NetServer(manager, port=0, **(server_kwargs or {}))
         await server.start()
         try:
             host, port = server.address
@@ -79,6 +80,78 @@ def test_batched_requests_and_graph_pin(catalog):
     finally:
         mgr.close()
     assert summary["sent"] > 0 and summary["errors"] == 0
+
+
+def _invariant(summary):
+    return summary["sent"] == (
+        summary["ok"]
+        + summary["shed"]
+        + summary["unavailable"]
+        + summary["errors"]
+        + summary["dropped"]
+        + summary["hung"]
+    )
+
+
+def test_dead_shard_traffic_classified_unavailable(catalog):
+    """A crashed, unsupervised shard answers in-band, never hangs."""
+    mgr = ShardManager(
+        catalog,
+        shards=1,
+        max_workers=1,
+        admission=AdmissionController(max_inflight=64),
+        net_fault_plan=ScheduledFaultPlan(at=(0,), kind="shard_crash"),
+    )
+    try:
+        summary = _drive(
+            mgr, connections=2, duration_seconds=0.4, zipf_a=1.2
+        )
+    finally:
+        mgr.close()
+    assert summary["sent"] > 0
+    assert summary["unavailable"] > 0
+    assert summary["errors"] == 0 and summary["hung"] == 0
+    assert _invariant(summary)
+
+
+def test_reconnects_through_connection_drops(catalog):
+    mgr = ShardManager(catalog, shards=1, max_workers=2)
+    try:
+        summary = _drive(
+            mgr,
+            server_kwargs={
+                "fault_plan": ScheduledFaultPlan(at=(0, 3), kind="conn_drop")
+            },
+            connections=2,
+            duration_seconds=0.4,
+            zipf_a=1.2,
+        )
+    finally:
+        mgr.close()
+    assert summary["dropped"] >= 1
+    assert summary["ok"] > 0  # the workers reconnected and kept going
+    assert summary["hung"] == 0 and summary["errors"] == 0
+    assert _invariant(summary)
+
+
+def test_collect_hook_captures_single_source_rows(catalog):
+    mgr = ShardManager(catalog, shards=2, max_workers=2)
+    collected = []
+    try:
+        summary = _drive(
+            mgr,
+            connections=2,
+            duration_seconds=0.3,
+            zipf_a=1.2,
+            collect=collected,
+        )
+    finally:
+        mgr.close()
+    assert 0 < len(collected) <= summary["ok"]
+    row = collected[0]
+    assert set(row) == {"graph", "source", "reached", "max_dist", "mean_dist"}
+    assert row["graph"] in ("alpha", "beta")
+    assert row["reached"] > 0
 
 
 def test_unknown_graph_pin_rejected(catalog):

@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.net import NetServer, ShardManager, parse_listen
+from repro.resilience import ScheduledFaultPlan
 from repro.service import MAX_BATCH_SOURCES
 
 
@@ -234,6 +235,103 @@ def test_concurrent_connections_interleave(manager):
     replies = _run(manager, scenario)
     assert len(replies) == 16
     assert all(r["ok"] for r in replies)
+
+
+def test_stop_drains_inflight_requests(catalog):
+    """Satellite: stop() waits for busy requests before cutting cords."""
+    mgr = ShardManager(
+        catalog,
+        shards=1,
+        max_workers=1,
+        net_fault_plan=ScheduledFaultPlan(
+            at=(0,), kind="slow_shard", slow_seconds=0.3
+        ),
+    )
+
+    async def main():
+        server = NetServer(mgr, port=0)
+        await server.start()
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "query", "graph": "alpha", "source": 0}\n')
+        await writer.drain()
+        await asyncio.sleep(0.1)  # the slow dispatch cycle is underway
+        stop_task = asyncio.ensure_future(server.stop(drain_seconds=5.0))
+        line = await reader.readline()
+        await stop_task
+        writer.close()
+        await writer.wait_closed()
+        # the listener closed immediately: no new connections
+        refused = False
+        try:
+            await asyncio.open_connection(host, port)
+        except OSError:
+            refused = True
+        return json.loads(line), refused
+
+    try:
+        reply, refused = asyncio.run(main())
+    finally:
+        mgr.close()
+    assert reply["ok"] and reply["graph"] == "alpha"
+    assert refused
+
+
+def test_conn_drop_fault_then_reconnect_works(catalog):
+    mgr = ShardManager(catalog, shards=1, max_workers=1)
+    plan = ScheduledFaultPlan(at=(0,), kind="conn_drop")
+
+    async def main():
+        server = NetServer(mgr, port=0, fault_plan=plan)
+        await server.start()
+        try:
+            host, port = server.address
+            # connection 0 is sabotaged: the request line is read, the
+            # socket is closed without an answer
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"op": "stats"}\n')
+            await writer.drain()
+            first = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            # connection 1 is clean
+            replies = await _roundtrip(
+                host, port, '{"op": "query", "graph": "alpha", "source": 0}'
+            )
+            return first, replies[0], server.conns_dropped
+        finally:
+            await server.stop()
+
+    try:
+        first, reply, dropped = asyncio.run(main())
+    finally:
+        mgr.close()
+    assert first == b""  # EOF, no in-band answer
+    assert reply["ok"]
+    assert dropped == 1
+
+
+def test_healthz_degraded_is_200_all_shards_down_is_503(catalog):
+    """Satellite: 503 only when *no* shard can answer."""
+    mgr = ShardManager(catalog, shards=2, max_workers=1)
+
+    async def scenario(host, port):
+        mgr.set_shard_state(0, "down")
+        degraded = await _http(host, port, b"GET /healthz HTTP/1.0\r\n\r\n")
+        mgr.set_shard_state(1, "failed")
+        dead = await _http(host, port, b"GET /healthz HTTP/1.0\r\n\r\n")
+        return degraded, dead
+
+    try:
+        degraded, dead = _run(mgr, scenario)
+    finally:
+        mgr.close()
+    assert degraded.startswith(b"HTTP/1.1 200 OK")
+    payload = json.loads(degraded.partition(b"\r\n\r\n")[2])
+    assert payload["ok"] is True and payload["shards_up"] == 1
+    assert dead.startswith(b"HTTP/1.1 503")
+    payload = json.loads(dead.partition(b"\r\n\r\n")[2])
+    assert payload["ok"] is False and payload["shards_up"] == 0
 
 
 def test_parse_listen_forms():

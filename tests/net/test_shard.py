@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net import AdmissionController, ShardManager
+from repro.net import AdmissionController, ShardDiedError, ShardManager
+from repro.resilience import ScheduledFaultPlan
 from repro.service import GraphCatalog, QueryEngine, SSSPQuery, handle_line
 
 
@@ -181,6 +182,122 @@ def test_engine_crash_fails_only_that_group(manager):
     good = manager.run(SSSPQuery(graph_id="beta", source=0))
     assert not bad.ok and "internal error" in bad.error
     assert good.ok
+
+
+def test_dispatcher_death_fails_pending_futures(catalog):
+    """Satellite: a dying dispatch loop fails its queue, never strands it."""
+    mgr = ShardManager(
+        catalog,
+        shards=1,
+        max_workers=1,
+        net_fault_plan=ScheduledFaultPlan(at=(0,), kind="shard_crash"),
+    )
+    try:
+        fut = mgr.shards[0].submit([SSSPQuery(graph_id="alpha", source=0)])
+        with pytest.raises(ShardDiedError):
+            fut.result(timeout=5)
+        shard = mgr.shards[0]
+        assert shard.alive is False
+        assert "InjectedShardCrash" in shard.exit_reason
+        snap = shard.dispatcher_snapshot()
+        assert snap["alive"] is False and snap["pending"] == 0
+    finally:
+        mgr.close()
+
+
+def test_submit_to_dead_shard_is_retryable(catalog):
+    mgr = ShardManager(
+        catalog,
+        shards=1,
+        max_workers=1,
+        net_fault_plan=ScheduledFaultPlan(at=(0,), kind="shard_crash"),
+    )
+    try:
+        with pytest.raises(ShardDiedError):
+            mgr.shards[0].submit(
+                [SSSPQuery(graph_id="alpha", source=0)]
+            ).result(timeout=5)
+        with pytest.raises(ShardDiedError) as exc:
+            mgr.shards[0].submit([SSSPQuery(graph_id="alpha", source=1)])
+        assert exc.value.transient is True
+    finally:
+        mgr.close()
+
+
+def test_manager_converts_dead_shard_to_unavailable(catalog):
+    """No supervisor attached: dead-shard traffic fast-fails in-band."""
+    adm = AdmissionController(max_inflight=8)
+    mgr = ShardManager(
+        catalog,
+        shards=1,
+        max_workers=1,
+        admission=adm,
+        net_fault_plan=ScheduledFaultPlan(at=(0,), kind="shard_crash"),
+    )
+    try:
+        with pytest.raises(ShardDiedError):
+            mgr.shards[0].submit(
+                [SSSPQuery(graph_id="alpha", source=0)]
+            ).result(timeout=5)
+        r = mgr.run(SSSPQuery(graph_id="alpha", source=1))
+        assert not r.ok and r.error.startswith("unavailable")
+        assert adm.unavailable >= 1
+        # the failed admission returned its tokens
+        assert adm.inflight(0) == 0
+    finally:
+        mgr.close()
+
+
+def test_adopt_and_restore_assignment_cycle(catalog):
+    """Manager-level failover: orphaned graphs move, then come home."""
+    mgr = ShardManager(catalog, shards=2, max_workers=1)
+    try:
+        graph = next(g for g, s in mgr._home.items() if s == 0)
+        mgr.shards[0].retire("test-induced death")
+        mgr.set_shard_state(0, "down")
+        moved = mgr.adopt_shard_graphs(0)
+        assert moved == {graph: 1}
+        assert mgr.shard_of(graph) == 1
+        assert mgr.run(SSSPQuery(graph_id=graph, source=0)).ok
+        mgr.rebuild_shard(0)
+        restored = mgr.restore_assignment(0)
+        mgr.set_shard_state(0, "up")
+        assert restored == [graph]
+        assert mgr.shard_of(graph) == 0
+        assert mgr.run(SSSPQuery(graph_id=graph, source=0)).ok
+        # the replacement dispatcher runs fault-free
+        assert mgr.shards[0].fault_plan is None
+    finally:
+        mgr.close()
+
+
+def test_adopt_without_survivors_is_a_noop(catalog):
+    mgr = ShardManager(catalog, shards=2, max_workers=1)
+    try:
+        mgr.set_shard_state(0, "down")
+        mgr.set_shard_state(1, "down")
+        assert mgr.adopt_shard_graphs(0) == {}
+        assert mgr.shard_of("alpha") == mgr._home["alpha"]
+    finally:
+        mgr.close()
+
+
+def test_health_serving_only_false_when_all_shards_down(catalog):
+    """Satellite: /healthz flips 503 only when the whole fleet is gone."""
+    mgr = ShardManager(catalog, shards=2, max_workers=1)
+    try:
+        health = mgr.health()
+        assert health["serving"] is True and health["shards_up"] == 2
+        assert all(row["dispatcher"]["alive"] for row in health["shards"])
+        mgr.set_shard_state(0, "down")
+        health = mgr.health()
+        assert health["serving"] is True and health["shards_up"] == 1
+        assert health["shards"][0]["serving"] is False
+        mgr.set_shard_state(1, "failed")
+        health = mgr.health()
+        assert health["serving"] is False and health["shards_up"] == 0
+    finally:
+        mgr.close()
 
 
 def test_close_is_idempotent(catalog):

@@ -158,3 +158,65 @@ class TestDivergentController:
         proxy = DivergentController(inner, after=3)
         assert proxy.setpoint == inner.setpoint
         assert proxy.delta == inner.delta
+
+
+class TestNetFaultKinds:
+    def test_net_kinds_are_registered_but_distinct(self):
+        from repro.resilience import ALL_FAULT_KINDS, NET_FAULT_KINDS
+
+        assert set(NET_FAULT_KINDS) == {
+            "shard_crash", "dispatcher_hang", "slow_shard", "conn_drop",
+        }
+        assert set(NET_FAULT_KINDS) <= set(ALL_FAULT_KINDS)
+        assert not set(NET_FAULT_KINDS) & set(FAULT_KINDS)
+
+    def test_spec_accepts_net_kinds(self):
+        spec = FaultSpec(kind="shard_crash")
+        assert spec.kind == "shard_crash"
+
+    def test_apply_fault_rejects_net_kinds(self):
+        """Pool tasks never execute a network-tier fault."""
+        for kind in ("shard_crash", "dispatcher_hang", "slow_shard",
+                     "conn_drop"):
+            with pytest.raises(ValueError, match="network-tier"):
+                apply_fault(FaultSpec(kind=kind), lambda: 1)
+
+    def test_injected_shard_crash_escapes_except_exception(self):
+        from repro.resilience import InjectedShardCrash
+
+        assert issubclass(InjectedShardCrash, BaseException)
+        assert not issubclass(InjectedShardCrash, Exception)
+
+
+class TestScheduledFaultPlan:
+    def _plan(self, **kw):
+        from repro.resilience import ScheduledFaultPlan
+
+        return ScheduledFaultPlan(**kw)
+
+    def test_fires_exactly_at_scheduled_indices(self):
+        plan = self._plan(at=(2, 5), kind="shard_crash")
+        decisions = [plan.decide(i) for i in range(8)]
+        hits = [i for i, d in enumerate(decisions) if d is not None]
+        assert hits == [2, 5]
+        assert all(decisions[i].kind == "shard_crash" for i in hits)
+
+    def test_count_honours_task_bound(self):
+        plan = self._plan(at=(1, 3, 99))
+        assert plan.count(4) == 2
+        assert plan.count(100) == 3
+
+    def test_carries_tuning_knobs(self):
+        plan = self._plan(
+            at=(0,), kind="dispatcher_hang", hang_seconds=1.5,
+        )
+        spec = plan.decide(0)
+        assert spec.hang_seconds == 1.5
+        slow = self._plan(at=(0,), kind="slow_shard", slow_seconds=0.4)
+        assert slow.decide(0).slow_seconds == 0.4
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            self._plan(at=(0,), kind="segfault")
+        with pytest.raises(ValueError):
+            self._plan(at=(-1,))

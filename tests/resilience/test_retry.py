@@ -121,3 +121,65 @@ class TestValidateResult:
     def test_nan_distance(self):
         with pytest.raises(CorruptResultError, match="NaN"):
             validate_result(_result([0.0, np.nan, 2.0]), num_nodes=3, source=0)
+
+
+class TestRestartPolicy:
+    def test_delay_schedule_matches_retry_backoff(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(
+            budget=4, base_delay=0.1, max_delay=10.0, multiplier=2.0,
+            jitter=0.0,
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_delay_caps_at_max_delay(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(budget=3, base_delay=10.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(2.0)  # default max_delay
+
+    def test_budget_exhaustion(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(budget=2)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+        zero = RestartPolicy(budget=0)
+        assert zero.exhausted(0)
+
+    def test_max_recovery_bounds_the_whole_schedule(self):
+        from repro.resilience import RestartPolicy
+
+        policy = RestartPolicy(
+            budget=3, base_delay=0.1, max_delay=1.0, multiplier=2.0,
+            jitter=0.0,
+        )
+        # 0.1 + 0.2 + 0.4, no jitter slack
+        assert policy.max_recovery_seconds() == pytest.approx(0.7)
+        jittered = RestartPolicy(
+            budget=3, base_delay=0.1, max_delay=1.0, multiplier=2.0,
+            jitter=0.5,
+        )
+        assert jittered.max_recovery_seconds() == pytest.approx(0.7 * 1.5)
+        for restart in (1, 2, 3):
+            assert jittered.delay(restart, key="shard:0") <= (
+                jittered.max_recovery_seconds()
+            )
+
+    def test_deterministic_jitter_per_key(self):
+        from repro.resilience import RestartPolicy
+
+        a = RestartPolicy(budget=3, jitter=0.3, seed=5)
+        b = RestartPolicy(budget=3, jitter=0.3, seed=5)
+        assert a.delay(1, key="shard:0") == b.delay(1, key="shard:0")
+        assert a.delay(1, key="shard:0") != a.delay(1, key="shard:1")
+
+    def test_rejects_negative_budget(self):
+        from repro.resilience import RestartPolicy
+
+        with pytest.raises(ValueError, match="budget"):
+            RestartPolicy(budget=-1)

@@ -673,6 +673,56 @@ class TestNetServeAndLoadgen:
         with pytest.raises(SystemExit, match="cannot reach"):
             main(["loadgen", "127.0.0.1:1", "--duration", "0.2"])
 
+    def test_chaos_net_drill_passes_and_writes_metrics(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        metrics_path = tmp_path / "chaos.json"
+        assert (
+            main(
+                [
+                    "chaos-net", "--scale", "0.003",
+                    "--connections", "2", "--duration", "0.8",
+                    "--stall-ms", "300",
+                    "--metrics", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos-net: PASS" in out
+        assert "0 hung" in out
+        assert "Dijkstra mismatches" in out
+        saved = json.loads(metrics_path.read_text())
+        assert saved["chaos"]["ok"] is True
+        assert saved["chaos"]["restarts"] >= 1
+        assert saved["metrics"]["bench.net.recovery_ms"]["value"] >= 0
+        assert saved["metrics"]["bench.net.hung"]["value"] == 0
+
+    def test_chaos_net_adopt_failover(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos-net", "--scale", "0.003",
+                    "--connections", "2", "--duration", "0.8",
+                    "--stall-ms", "300", "--failover", "adopt",
+                ]
+            )
+            == 0
+        )
+        assert "chaos-net: PASS" in capsys.readouterr().out
+
+    def test_chaos_net_validates_arguments(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["chaos-net", "--shards", "0"])
+        with pytest.raises(SystemExit, match="--crash-shard"):
+            main(["chaos-net", "--shards", "2", "--crash-shard", "5"])
+        with pytest.raises(SystemExit, match="--duration"):
+            main(["chaos-net", "--duration", "0"])
+        with pytest.raises(SystemExit):
+            main(["chaos-net", "--fault-kind", "meteor"])
+
     def test_listen_serve_loadgen_roundtrip(self, tmp_path, capsys):
         """End to end over a real socket: serve --listen + loadgen."""
         import json
