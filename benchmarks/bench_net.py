@@ -13,11 +13,19 @@ The serving acceptance checks for ``repro.net``:
   invariants and restart the shard quickly; the measured downtime is
   the ``bench.net.recovery_ms`` gauge.
 
+* **process-mode recovery** — the same drill with
+  ``--shard-mode process`` and a ``worker_kill`` fault: the shard's
+  worker *process* is SIGKILLed mid-traffic and the supervisor must
+  respawn it (interpreter start + handshake + graph re-adoption)
+  within budget; the measured downtime is
+  ``bench.net.process_recovery_ms``.
+
 Emits ``bench.net.qps`` / ``bench.net.p99_ms`` / ``bench.net.shed`` /
-``bench.net.recovery_ms`` gauges into
-``benchmarks/results/metrics.json`` via the session registry;
-``tools/perf_gate.py`` gates ``bench.net.qps`` and
-``bench.net.recovery_ms`` against ``benchmarks/baselines/ci.json``.
+``bench.net.recovery_ms`` / ``bench.net.process_recovery_ms`` gauges
+into ``benchmarks/results/metrics.json`` via the session registry;
+``tools/perf_gate.py`` gates ``bench.net.qps``,
+``bench.net.recovery_ms`` and ``bench.net.process_recovery_ms``
+against ``benchmarks/baselines/ci.json``.
 """
 
 import asyncio
@@ -137,6 +145,63 @@ def test_chaos_recovery(benchmark, emit):
             [
                 f"shards={SHARDS} fault=shard_crash failover=failfast "
                 f"duration=1.5s",
+                f"sent={summary['sent']} ok={summary['ok']} "
+                f"unavailable={summary['unavailable']} "
+                f"dropped={summary['dropped']} hung={summary['hung']} "
+                f"errors={summary['errors']}",
+                f"restarts={report['restarts']} "
+                f"recovery_ms={recovery_ms:.1f}",
+                f"verified={report['verification']['checked']} answers, "
+                f"{report['verification'].get('mismatches', 0)} mismatches",
+            ]
+        ),
+    )
+
+
+def test_process_chaos_recovery(benchmark, emit):
+    """Worker-process SIGKILL under live traffic: the process-mode gate.
+
+    The heavyweight path: detection over the worker socket, a
+    supervised respawn of a whole Python interpreter, handshake and
+    graph re-adoption before the shard serves again.  The measured
+    downtime becomes ``bench.net.process_recovery_ms`` — much larger
+    than thread-mode recovery (a process spawn imports numpy), which
+    is exactly why it gets its own gate.
+    """
+    report = run_once(
+        benchmark,
+        lambda: run_chaos_drill(
+            shards=SHARDS,
+            scale=GRAPH_SCALE,
+            connections=4,
+            duration_seconds=1.5,
+            fault_kind="worker_kill",
+            shard_mode="process",
+            heartbeat_ms=150.0,
+            restart_policy=RestartPolicy(budget=5, base_delay=0.05),
+            stall_seconds=0.4,
+        ),
+    )
+    assert report["ok"], report
+    assert report["shard_mode"] == "process"
+    summary = report["summary"]
+    recovery_ms = (
+        report["recovery_ms"] if report["recovery_ms"] is not None else 0.0
+    )
+    registry = obs.get_registry()
+    registry.gauge("bench.net.process_recovery_ms").set(round(recovery_ms, 2))
+    registry.gauge("bench.net.process_chaos_restarts").set(report["restarts"])
+    registry.gauge("bench.net.process_chaos_hung").set(summary["hung"])
+    registry.gauge("bench.net.process_chaos_mismatches").set(
+        int(report["verification"].get("mismatches", 0))
+    )
+
+    emit(
+        "net_process_recovery",
+        "\n".join(
+            [
+                f"shards={SHARDS} shard_mode=process fault=worker_kill "
+                f"failover=failfast duration=1.5s",
                 f"sent={summary['sent']} ok={summary['ok']} "
                 f"unavailable={summary['unavailable']} "
                 f"dropped={summary['dropped']} hung={summary['hung']} "

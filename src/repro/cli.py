@@ -309,6 +309,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(routes by graph name; works on stdin and --listen)",
     )
     serve.add_argument(
+        "--shard-mode", choices=["thread", "process"], default="thread",
+        help="where each shard engine lives: a dispatcher thread in "
+        "this process ('thread') or a separate supervised worker "
+        "process with OS-level crash isolation ('process')",
+    )
+    serve.add_argument(
+        "--heartbeat-ms", type=float, default=1000.0,
+        help="worker heartbeat interval (process mode); a worker "
+        "silent for ~4 intervals is declared dead and respawned",
+    )
+    serve.add_argument(
         "--max-inflight", type=int, default=256,
         help="admission bound on in-flight queries per shard; excess "
         "is shed with in-band 'overloaded' errors (--listen mode)",
@@ -500,9 +511,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_net.add_argument(
         "--fault-kind",
-        choices=["shard_crash", "dispatcher_hang", "slow_shard", "conn_drop"],
+        choices=[
+            "shard_crash", "dispatcher_hang", "slow_shard", "conn_drop",
+            "worker_kill", "worker_oom", "frame_corrupt",
+        ],
         default="shard_crash",
-        help="which network-tier fault to inject",
+        help="which network-tier fault to inject (worker_* and "
+        "frame_corrupt need --shard-mode process)",
+    )
+    chaos_net.add_argument(
+        "--shard-mode", choices=["thread", "process"], default="thread",
+        help="run the drill deployment with in-process shard threads "
+        "or out-of-process shard workers",
+    )
+    chaos_net.add_argument(
+        "--heartbeat-ms", type=float, default=250.0,
+        help="worker heartbeat interval for the drill (process mode)",
     )
     chaos_net.add_argument(
         "--crash-at", type=int, default=2,
@@ -544,6 +568,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None,
         help="write the drill report plus bench.net.* gauges to this "
         "JSON file",
+    )
+
+    worker = sub.add_parser(
+        "shard-worker",
+        parents=[common],
+        help="internal: one out-of-process shard engine (spawned by "
+        "'serve --shard-mode process'; not for interactive use)",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="parent frame-protocol endpoint to dial back",
+    )
+    worker.add_argument(
+        "--shard", type=int, required=True, help="shard index this worker serves"
+    )
+    worker.add_argument(
+        "--token", required=True,
+        help="spawn token echoed in the HELLO frame (pairs child to parent)",
+    )
+    worker.add_argument(
+        "--heartbeat-ms", type=float, default=1000.0,
+        help="idle heartbeat interval",
     )
 
     sub.add_parser("version", parents=[common], help="print the package version")
@@ -783,13 +829,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     writer = None
     try:
         with obs.use(registry=registry, events=sink, spans=spans):
-            if args.shards > 1:
+            if args.shards > 1 or args.shard_mode == "process":
                 from repro.net import ShardManager
 
                 engine = ShardManager(
                     catalog,
                     shards=args.shards,
                     drain_limit=args.drain_limit,
+                    shard_mode=args.shard_mode,
+                    heartbeat_ms=args.heartbeat_ms,
                     **engine_kwargs,
                 )
             else:
@@ -898,6 +946,8 @@ def _serve_listen(
         shards=args.shards,
         admission=admission,
         drain_limit=args.drain_limit,
+        shard_mode=args.shard_mode,
+        heartbeat_ms=args.heartbeat_ms,
         **engine_kwargs,
     )
     supervisor = None
@@ -928,7 +978,8 @@ def _serve_listen(
             )
             print(
                 f"listening on {bound_host}:{bound_port} "
-                f"({len(engine.shards)} shards, graphs {engine.graph_ids}, "
+                f"({len(engine.shards)} {args.shard_mode} shards, "
+                f"graphs {engine.graph_ids}, "
                 f"max in-flight {admission.max_inflight}/shard"
                 f"{failover_note}); "
                 "JSONL protocol + HTTP GET /metrics, /healthz",
@@ -1256,8 +1307,21 @@ def _render_top_frame(data: dict, prev: dict | None) -> str:
             cell = f"s{index}:{state}"
             if restarts:
                 cell += f" ({restarts} restart{'s' if restarts != 1 else ''})"
+            worker = (row.get("dispatcher") or {}).get("worker")
+            if worker:
+                beat = worker.get("heartbeat_age_ms")
+                cell += (
+                    f" pid={worker.get('pid', '?')}"
+                    + (f" hb={beat:.0f}ms" if beat is not None else "")
+                )
             cells.append(cell)
-        line = "shards: " + ", ".join(cells)
+        mode = health.get("shard_mode")
+        line = (
+            "shards"
+            + (f" ({mode})" if mode else "")
+            + ": "
+            + ", ".join(cells)
+        )
         if supervisor:
             line += (
                 f"  |  failover={supervisor.get('failover', '?')}"
@@ -1445,13 +1509,19 @@ def _cmd_chaos_net(args: argparse.Namespace) -> int:
         raise SystemExit("--restart-budget must be >= 0")
     if args.stall_ms <= 0:
         raise SystemExit("--stall-ms must be > 0")
+    from repro.resilience import WORKER_FAULT_KINDS
+
+    if args.fault_kind in WORKER_FAULT_KINDS and args.shard_mode != "process":
+        raise SystemExit(
+            f"--fault-kind {args.fault_kind} needs --shard-mode process"
+        )
     registry = obs.MetricsRegistry()
     if not args.quiet:
         print(
-            f"chaos-net: {args.shards} shards, fault {args.fault_kind} at "
-            f"cycle {args.crash_at} on shard {args.crash_shard}, "
-            f"failover={args.failover}, {args.connections} connections "
-            f"for {args.duration}s"
+            f"chaos-net: {args.shards} {args.shard_mode} shards, fault "
+            f"{args.fault_kind} at cycle {args.crash_at} on shard "
+            f"{args.crash_shard}, failover={args.failover}, "
+            f"{args.connections} connections for {args.duration}s"
         )
     with obs.use(registry=registry):
         report = run_chaos_drill(
@@ -1469,6 +1539,8 @@ def _cmd_chaos_net(args: argparse.Namespace) -> int:
             zipf_a=args.zipf,
             seed=args.seed,
             verify=not args.no_verify,
+            shard_mode=args.shard_mode,
+            heartbeat_ms=args.heartbeat_ms,
         )
     summary = report["summary"]
     verification = report["verification"]
@@ -1494,6 +1566,10 @@ def _cmd_chaos_net(args: argparse.Namespace) -> int:
         registry.gauge("bench.net.recovery_ms").set(
             recovery if recovery is not None else 0.0
         )
+        if args.shard_mode == "process":
+            registry.gauge("bench.net.process_recovery_ms").set(
+                recovery if recovery is not None else 0.0
+            )
         registry.gauge("bench.net.hung").set(summary["hung"])
         registry.gauge("bench.net.errors").set(summary["errors"])
         registry.gauge("bench.net.chaos_mismatches").set(
@@ -1785,6 +1861,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return handlers[args.trace_command](args)
 
 
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    """One out-of-process shard engine (spawned by the front-end).
+
+    Deliberately runs under the default (null) observability context:
+    worker-side telemetry stays process-local, which keeps process-mode
+    responses byte-identical to thread mode's.  The parent exports
+    ``net.worker.*`` transport metrics instead.
+    """
+    from repro.net.worker import run_worker
+
+    return run_worker(
+        args.connect,
+        shard_index=args.shard,
+        token=args.token,
+        heartbeat_ms=args.heartbeat_ms,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1801,6 +1895,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "top": _cmd_top,
         "faults": _cmd_faults,
         "chaos-net": _cmd_chaos_net,
+        "shard-worker": _cmd_shard_worker,
         "version": _cmd_version,
     }
     return handlers[args.command](args)

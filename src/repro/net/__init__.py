@@ -24,7 +24,12 @@ answers queries, this package puts that engine on the wire:
   client-visible hangs instead of suffering them;
 * :mod:`~repro.net.chaos` — the ``repro chaos-net`` drill: a faulted
   multi-shard server under live load, audited for zero hangs, correct
-  distances (Dijkstra cross-check) and in-budget recovery.
+  distances (Dijkstra cross-check) and in-budget recovery;
+* :mod:`~repro.net.worker` / :mod:`~repro.net.frames` — out-of-process
+  shard workers (``serve --shard-mode process``): each shard engine in
+  its own supervised worker process behind a length-prefixed,
+  checksummed frame protocol, for OS-level crash isolation (SIGKILL,
+  OOM, segfault) with handshaked respawn and graph re-adoption.
 
 ``docs/serving.md`` walks the full deployment story, including the
 failure modes and recovery section.
@@ -40,17 +45,29 @@ from repro.net.loadgen import run_loadgen
 from repro.net.server import NetServer, parse_listen
 from repro.net.shard import Shard, ShardDiedError, ShardManager
 from repro.net.supervisor import ShardSupervisor
+from repro.net.worker import (
+    HandshakeError,
+    ProcessShard,
+    WorkerClient,
+    WorkerRequestError,
+    run_worker,
+)
 
 __all__ = [
     "AdmissionController",
+    "HandshakeError",
     "NetServer",
     "OVERLOADED_PREFIX",
+    "ProcessShard",
     "Shard",
     "ShardDiedError",
     "ShardManager",
     "ShardSupervisor",
     "UNAVAILABLE_PREFIX",
+    "WorkerClient",
+    "WorkerRequestError",
     "parse_listen",
     "run_chaos_drill",
     "run_loadgen",
+    "run_worker",
 ]

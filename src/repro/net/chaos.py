@@ -40,7 +40,11 @@ from repro.net.loadgen import run_loadgen
 from repro.net.server import NetServer
 from repro.net.shard import ShardManager
 from repro.net.supervisor import ShardSupervisor
-from repro.resilience.faults import NET_FAULT_KINDS, ScheduledFaultPlan
+from repro.resilience.faults import (
+    NET_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    ScheduledFaultPlan,
+)
 from repro.resilience.retry import RestartPolicy
 from repro.service.catalog import GraphCatalog, default_catalog
 
@@ -50,7 +54,9 @@ __all__ = ["run_chaos_drill"]
 _DISPATCHER_KINDS = ("shard_crash", "dispatcher_hang", "slow_shard")
 
 # kinds after which the drill demands a supervised restart
-_LETHAL_KINDS = ("shard_crash", "dispatcher_hang")
+# (worker_kill / worker_oom end the worker *process*; the supervisor
+# must detect the death via waitpid and respawn within budget)
+_LETHAL_KINDS = ("shard_crash", "dispatcher_hang", "worker_kill", "worker_oom")
 
 
 def _verify_rows(
@@ -132,6 +138,8 @@ def run_chaos_drill(
     read_timeout_seconds: float = 10.0,
     drain_seconds: float = 0.5,
     verify: bool = True,
+    shard_mode: str = "thread",
+    heartbeat_ms: float = 250.0,
 ) -> dict:
     """Run one seeded network-tier chaos drill; return its report.
 
@@ -146,6 +154,15 @@ def run_chaos_drill(
             f"fault_kind must be one of {', '.join(NET_FAULT_KINDS)}; "
             f"got {fault_kind!r}"
         )
+    if shard_mode not in ("thread", "process"):
+        raise ValueError(
+            f"shard_mode must be 'thread' or 'process', got {shard_mode!r}"
+        )
+    if fault_kind in WORKER_FAULT_KINDS and shard_mode != "process":
+        raise ValueError(
+            f"fault kind {fault_kind!r} needs shard_mode='process' "
+            "(it sabotages the worker process)"
+        )
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if crash_shard < 0 or crash_shard >= shards:
@@ -159,8 +176,11 @@ def run_chaos_drill(
     lethal = fault_kind in _LETHAL_KINDS
     # worst-case supervised recovery: detection (a stall must age out)
     # plus the full backoff budget, plus slack for the rebuild itself
+    # (process mode pays a worker spawn — interpreter + numpy import —
+    # per restart, so it gets extra headroom)
     recovery_deadline = (
         policy.max_recovery_seconds() + stall_seconds + hang_seconds + 5.0
+        + (10.0 if shard_mode == "process" else 0.0)
     )
 
     admission = AdmissionController(
@@ -169,13 +189,18 @@ def run_chaos_drill(
             deadline_ms / 1000.0 if deadline_ms is not None else None
         ),
     )
+    shard_fault_kinds = _DISPATCHER_KINDS + (
+        WORKER_FAULT_KINDS if shard_mode == "process" else ()
+    )
     manager = ShardManager(
         cat,
         shards=shards,
         admission=admission,
         drain_limit=drain_limit,
-        net_fault_plan=plan if fault_kind in _DISPATCHER_KINDS else None,
+        net_fault_plan=plan if fault_kind in shard_fault_kinds else None,
         net_fault_shard=crash_shard,
+        shard_mode=shard_mode,
+        heartbeat_ms=heartbeat_ms,
         mode="thread",
         max_workers=workers,
     )
@@ -250,6 +275,7 @@ def run_chaos_drill(
     return {
         "ok": ok,
         "wall_seconds": round(wall, 3),
+        "shard_mode": shard_mode,
         "fault": {
             "kind": fault_kind,
             "at": crash_at,

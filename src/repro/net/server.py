@@ -118,6 +118,8 @@ class NetServer:
         self._busy = 0  # connections currently inside request handling
         self._conn_tasks: Set["asyncio.Task"] = set()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_started = False
+        self._stop_done: Optional["asyncio.Event"] = None
         registry = obs.get_registry()
         self._conn_gauge = registry.gauge("net.connections")
         self._conn_counter = registry.counter("net.connections.opened")
@@ -159,22 +161,38 @@ class NetServer:
         finish their current responses.  Whatever is still running
         after the deadline is cancelled (its connection closes without
         a response, which clients classify as a drop, not a hang).
+
+        Idempotent and concurrency-safe: a second ``stop`` (a repeated
+        SIGTERM, or a signal racing an already-draining shutdown) must
+        not raise or double-close the listener, so later callers just
+        await the first call's completion.  The started-flag check and
+        set happen with no ``await`` between them, which makes them
+        atomic on the event loop.
         """
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        if drain_seconds > 0:
-            deadline = asyncio.get_running_loop().time() + drain_seconds
-            while self._busy > 0:
-                if asyncio.get_running_loop().time() >= deadline:
-                    break
-                await asyncio.sleep(0.01)
-        tasks = [t for t in self._conn_tasks if not t.done()]
-        for task in tasks:
-            task.cancel()
-        if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._stop_started:
+            if self._stop_done is not None:
+                await self._stop_done.wait()
+            return
+        self._stop_started = True
+        self._stop_done = asyncio.Event()
+        try:
+            server, self._server = self._server, None
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            if drain_seconds > 0:
+                deadline = asyncio.get_running_loop().time() + drain_seconds
+                while self._busy > 0:
+                    if asyncio.get_running_loop().time() >= deadline:
+                        break
+                    await asyncio.sleep(0.01)
+            tasks = [t for t in self._conn_tasks if not t.done()]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            self._stop_done.set()
 
     @property
     def draining(self) -> int:

@@ -386,6 +386,7 @@ class Shard:
     def dispatcher_snapshot(self) -> dict:
         """JSON-ready liveness facts (the ``health`` op's per-shard row)."""
         return {
+            "mode": "thread",
             "alive": self.alive,
             "beat_age_seconds": round(self.beat_age(), 3),
             "pending": self.pending_count(),
@@ -454,16 +455,26 @@ class ShardManager:
         net_fault_plan=None,
         net_fault_shard: Optional[int] = None,
         tick_seconds: float = 0.25,
+        shard_mode: str = "thread",
+        heartbeat_ms: float = 1000.0,
         **engine_kwargs,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if shard_mode not in ("thread", "process"):
+            raise ValueError(
+                f"shard_mode must be 'thread' or 'process', got {shard_mode!r}"
+            )
+        if heartbeat_ms <= 0:
+            raise ValueError("heartbeat_ms must be positive")
         names = catalog.names()
         if not names:
             raise ValueError("catalog is empty; nothing to shard")
         shards = min(shards, len(names))  # an engine with no graphs is useless
         self.catalog = catalog
         self.admission = admission
+        self.shard_mode = shard_mode
+        self.heartbeat_ms = float(heartbeat_ms)
         self._engine_kwargs = dict(engine_kwargs)
         self._drain_limit = drain_limit
         self._tick_seconds = tick_seconds
@@ -491,16 +502,31 @@ class ShardManager:
 
     def _build_shard(self, index: int, *, with_faults: bool) -> Shard:
         owned = [n for n in self._names if self._home[n] == index]
+        plan = None
+        if with_faults and self._net_fault_plan is not None:
+            if self._net_fault_shard is None or self._net_fault_shard == index:
+                plan = self._net_fault_plan
+        if self.shard_mode == "process":
+            from repro.net.worker import ProcessShard
+
+            sub = self.catalog.subset(owned)
+            shard = ProcessShard(
+                index,
+                sub,
+                drain_limit=self._drain_limit,
+                fault_plan=plan,
+                tick_seconds=self._tick_seconds,
+                heartbeat_ms=self.heartbeat_ms,
+                engine_kwargs=self._engine_kwargs,
+            )
+            self.catalog.adopt(sub)  # reuse graphs the spawn materialised
+            return shard
         engine = QueryEngine(
             self.catalog.subset(owned),
             labels={"shard": str(index)},
             **self._engine_kwargs,
         )
         self.catalog.adopt(engine.catalog)  # reuse shard-loaded graphs
-        plan = None
-        if with_faults and self._net_fault_plan is not None:
-            if self._net_fault_shard is None or self._net_fault_shard == index:
-                plan = self._net_fault_plan
         return Shard(
             index,
             engine,
@@ -558,6 +584,10 @@ class ShardManager:
         old.retire("replaced by supervisor")
         shard = self._build_shard(index, with_faults=False)
         self.shards[index] = shard
+        if self.shard_mode == "process":
+            self._registry.counter(
+                "net.worker.restarts", {"shard": str(index)}
+            ).inc()
         if self.admission is not None:
             self.admission.reset_shard(index)
             self.admission.register_shard(index)
@@ -739,6 +769,7 @@ class ShardManager:
         shard_stats = [shard.stats() for shard in self.shards]
         return {
             "graphs": self.graph_ids,
+            "shard_mode": self.shard_mode,
             "queries": sum(s["queries"] for s in shard_stats),
             "max_batch": shard_stats[0]["max_batch"],
             "telemetry": self.telemetry,
@@ -796,6 +827,7 @@ class ShardManager:
         return {
             "serving": serving > 0,
             "shards_up": serving,
+            "shard_mode": self.shard_mode,
             "pool": {
                 "mode": shard_health[0]["pool"]["mode"],
                 "max_workers": sum(

@@ -173,6 +173,7 @@ class ShardSupervisor:
             return
         shard = self.manager.shards[index]
         if watch.state == STATE_UP:
+            heartbeat_expired = getattr(shard, "heartbeat_expired", None)
             if not shard.alive:
                 self._declare_down(
                     index, now,
@@ -184,6 +185,15 @@ class ShardSupervisor:
                     f"dispatcher stalled: no heartbeat for "
                     f"{shard.beat_age(now):.2f}s with "
                     f"{shard.pending_count()} pending group(s)",
+                )
+            elif heartbeat_expired is not None and heartbeat_expired(now):
+                # process-mode shards heartbeat over their worker
+                # socket even when idle; silence means the worker is
+                # wedged or unreachable without any queue to age out
+                self._declare_down(
+                    index, now,
+                    f"worker heartbeat timed out "
+                    f"({shard.beat_age(now):.2f}s since last frame)",
                 )
             return
         # state == down: restart when the backoff window opens

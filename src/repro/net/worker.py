@@ -1,0 +1,1056 @@
+"""Out-of-process shard workers: OS-level crash isolation per shard.
+
+Thread-mode shards (:class:`~repro.net.shard.Shard`) share the
+front-end's address space, so a segfaulting kernel or an OOM kill
+takes the whole server down.  Process mode moves each shard's
+:class:`~repro.service.engine.QueryEngine` into a separate **worker
+process** (``repro shard-worker``, spawned by the front-end) that
+speaks the length-prefixed, checksummed frame protocol of
+:mod:`repro.net.frames` over a loopback TCP socket:
+
+* :func:`run_worker` — the worker side: connect back to the parent,
+  HELLO handshake (wire version, JSONL protocol version, spawn token),
+  adopt packed graphs (fingerprint-verified both ways), build the
+  engine from the CONFIG frame, then answer REQUEST frames and beat
+  HEARTBEAT frames while idle.  Single-threaded by design: a beating
+  worker is provably not wedged.
+* :class:`WorkerClient` — the parent side: spawns and handshakes the
+  process, correlates async request/response frames under per-request
+  deadlines and a bounded outstanding-frame window, detects death by
+  EOF *and* ``waitpid`` (SIGKILL/SIGSEGV show up as signal exits),
+  and answers CRC-rejected frames with retryable errors instead of
+  tearing the stream down.
+* :class:`ProcessShard` — a drop-in :class:`~repro.net.shard.Shard`
+  whose dispatch path forwards to the worker.  The supervisor restarts
+  it exactly like a thread shard (``rebuild_shard`` spawns a fresh
+  process and replays graph adoption), and ``--failover adopt``
+  re-adoption crosses the process boundary through
+  :meth:`_WorkerEngineProxy.adopt_graph`.
+
+Failure semantics: a dead worker fails all in-flight correlations with
+:class:`WorkerRequestError` (a :class:`~repro.net.shard.ShardDiedError`
+subclass, so the manager answers in-band retryable ``unavailable:``
+errors for exactly the dead shard's sources); a corrupt frame fails
+only its own correlation id.  Worker-side telemetry is process-local
+by construction — the worker runs under a null observability context
+so its answers are byte-identical to thread mode's; the front-end
+instead exports ``net.worker.*`` counters (restarts, heartbeat
+misses, corrupt frames, bytes in/out) labelled ``{"shard": i}``.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.net.frames import (
+    FT_ADOPT,
+    FT_ADOPT_OK,
+    FT_CONFIG,
+    FT_ERROR,
+    FT_HEARTBEAT,
+    FT_HELLO,
+    FT_READY,
+    FT_REQUEST,
+    FT_RESPONSE,
+    FT_SHUTDOWN,
+    WIRE_VERSION,
+    FrameCorruptError,
+    FrameError,
+    decode_json_payload,
+    encode_frame,
+    encode_json_frame,
+    recv_frame,
+    send_json_frame,
+)
+from repro.net.shard import Shard, ShardDiedError
+from repro.service.catalog import GraphCatalog
+from repro.service.engine import QueryEngine, QueryResponse, SSSPQuery
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.serial import (
+    engine_config_from_wire,
+    engine_config_to_wire,
+    pack_graph,
+    unpack_graph,
+)
+from repro.resilience.faults import WORKER_FAULT_KINDS, plan_from_wire, plan_to_wire
+
+__all__ = [
+    "HandshakeError",
+    "ProcessShard",
+    "WorkerClient",
+    "WorkerRequestError",
+    "query_from_wire",
+    "query_to_wire",
+    "run_worker",
+]
+
+#: Generous: a cold worker pays the numpy import before it can HELLO.
+DEFAULT_SPAWN_TIMEOUT = 30.0
+
+#: Outstanding REQUEST frames allowed per worker before submits fail
+#: fast (retryable).  The dispatcher drains in merged groups, so the
+#: window bounds memory, not throughput.
+DEFAULT_WINDOW = 32
+
+DEFAULT_REQUEST_DEADLINE = 60.0
+
+
+class WorkerRequestError(ShardDiedError):
+    """A worker request failed retryably (death, deadline, corruption).
+
+    Subclasses :class:`~repro.net.shard.ShardDiedError` so the manager
+    maps it to an in-band ``unavailable:`` answer and the supervisor's
+    restart machinery stays the single recovery path.
+    """
+
+
+class HandshakeError(RuntimeError):
+    """The worker failed version, token or fingerprint verification."""
+
+
+# ----------------------------------------------------------------------
+# query wire form (the REQUEST payload rows)
+# ----------------------------------------------------------------------
+def query_to_wire(query: SSSPQuery) -> dict:
+    """A JSON-safe query row.  Traces stay on the front-end side."""
+    return {
+        "graph_id": query.graph_id,
+        "source": query.source,
+        "algorithm": query.algorithm,
+        "params": dict(query.params),
+        "request_id": query.request_id,
+    }
+
+
+def query_from_wire(data: Mapping) -> SSSPQuery:
+    return SSSPQuery(
+        graph_id=data["graph_id"],
+        source=data["source"],
+        algorithm=data["algorithm"],
+        params=dict(data["params"]),
+        request_id=data.get("request_id"),
+    )
+
+
+# ----------------------------------------------------------------------
+# the worker side (runs inside `repro shard-worker`)
+# ----------------------------------------------------------------------
+def _die_oom() -> None:
+    """Simulate an OOM kill: clamp our address space, then allocate.
+
+    ``resource.setrlimit(RLIMIT_AS)`` makes the failure real (the
+    allocator genuinely cannot map more memory), and ``os._exit(137)``
+    mirrors the exit status the kernel OOM killer produces.
+    """
+    try:
+        import resource
+
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(resource.RLIMIT_AS, (256 << 20, hard))
+        hog = []
+        while True:
+            hog.append(bytearray(16 << 20))
+    except MemoryError:
+        pass
+    except Exception:
+        pass
+    os._exit(137)
+
+
+class _WorkerProcess:
+    """The worker's single-threaded serve loop over one parent socket."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        shard_index: int,
+        token: str,
+        heartbeat_ms: float,
+    ):
+        self.sock = sock
+        self.shard_index = shard_index
+        self.token = token
+        self.heartbeat_seconds = max(0.01, heartbeat_ms / 1000.0)
+        self.catalog = GraphCatalog()
+        self.engine: Optional[QueryEngine] = None
+        self.fault_plan = None
+        self._request_index = 0
+
+    # -- faults --------------------------------------------------------
+    def _next_worker_fault(self):
+        if self.fault_plan is None:
+            return None
+        fault = self.fault_plan.decide(self._request_index)
+        self._request_index += 1
+        if fault is not None and fault.kind not in WORKER_FAULT_KINDS:
+            return None  # dispatcher-tier kinds run on the parent side
+        return fault
+
+    # -- frame handlers ------------------------------------------------
+    def _hello(self) -> None:
+        send_json_frame(
+            self.sock,
+            FT_HELLO,
+            0,
+            {
+                "wire_version": WIRE_VERSION,
+                "protocol_version": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "shard": self.shard_index,
+                "token": self.token,
+            },
+        )
+
+    def _handle_adopt(self, corr: int, payload: bytes) -> None:
+        graph_id, graph = unpack_graph(payload)
+        self.catalog.register(graph_id, graph)
+        if self.engine is not None:
+            self.engine.adopt_graph(graph_id, graph)
+        send_json_frame(
+            self.sock,
+            FT_ADOPT_OK,
+            corr,
+            {"graph": graph_id, "fingerprint": graph.fingerprint()},
+        )
+
+    def _handle_config(self, corr: int, payload: bytes) -> None:
+        cfg = decode_json_payload(payload)
+        kwargs = engine_config_from_wire(cfg.get("engine", {}))
+        self.heartbeat_seconds = max(
+            0.01, float(cfg.get("heartbeat_ms", self.heartbeat_seconds * 1000.0)) / 1000.0
+        )
+        self.fault_plan = plan_from_wire(cfg.get("fault_plan"))
+        self.engine = QueryEngine(self.catalog, **kwargs)
+        send_json_frame(
+            self.sock,
+            FT_READY,
+            corr,
+            {
+                "pid": os.getpid(),
+                "graphs": {
+                    gid: self.catalog.fingerprint(gid)
+                    for gid in self.catalog.names()
+                },
+                "stats": self.engine.stats(),
+                "health": self.engine.health(),
+            },
+        )
+
+    def _handle_request(self, corr: int, payload: bytes) -> None:
+        fault = self._next_worker_fault()
+        if fault is not None and fault.kind == "worker_kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault is not None and fault.kind == "worker_oom":
+            _die_oom()
+        if self.engine is None:
+            send_json_frame(
+                self.sock,
+                FT_ERROR,
+                corr,
+                {"error": "worker not configured yet", "retryable": True},
+            )
+            return
+        body = decode_json_payload(payload)
+        queries = [query_from_wire(row) for row in body["queries"]]
+        try:
+            responses = self.engine.run_many(queries)
+        except Exception as exc:  # engine bugs answer in-band, non-retryable
+            send_json_frame(
+                self.sock,
+                FT_ERROR,
+                corr,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "retryable": False,
+                },
+            )
+            return
+        frame = encode_json_frame(
+            FT_RESPONSE,
+            corr,
+            {"responses": [r.to_wire() for r in responses]},
+        )
+        if fault is not None and fault.kind == "frame_corrupt":
+            frame = bytearray(frame)
+            frame[-1] ^= 0xFF  # flip a payload bit *after* the CRC was set
+            frame = bytes(frame)
+        self.sock.sendall(frame)
+
+    def _heartbeat(self) -> None:
+        stats = self.engine.stats() if self.engine is not None else None
+        health = self.engine.health() if self.engine is not None else None
+        send_json_frame(
+            self.sock,
+            FT_HEARTBEAT,
+            0,
+            {"pid": os.getpid(), "stats": stats, "health": health},
+        )
+
+    # -- the loop ------------------------------------------------------
+    def serve(self) -> int:
+        self._hello()
+        try:
+            while True:
+                try:
+                    frame_type, corr, payload = recv_frame(
+                        self.sock, idle_timeout=self.heartbeat_seconds
+                    )
+                except socket.timeout:
+                    self._heartbeat()
+                    continue
+                except FrameCorruptError as exc:
+                    # parent→worker corruption: answer that corr
+                    # retryably; the stream itself is still in sync
+                    send_json_frame(
+                        self.sock,
+                        FT_ERROR,
+                        exc.corr,
+                        {"error": f"corrupt frame received: {exc}", "retryable": True},
+                    )
+                    continue
+                if frame_type == FT_SHUTDOWN:
+                    return 0
+                if frame_type == FT_ADOPT:
+                    self._handle_adopt(corr, payload)
+                elif frame_type == FT_CONFIG:
+                    self._handle_config(corr, payload)
+                elif frame_type == FT_REQUEST:
+                    self._handle_request(corr, payload)
+                else:
+                    send_json_frame(
+                        self.sock,
+                        FT_ERROR,
+                        corr,
+                        {
+                            "error": f"unexpected frame type {frame_type}",
+                            "retryable": True,
+                        },
+                    )
+        except (EOFError, OSError, FrameError):
+            return 0  # parent went away; die quietly, never orphan
+        finally:
+            if self.engine is not None:
+                try:
+                    self.engine.close(cancel_pending=True)
+                except Exception:
+                    pass
+            try:
+                self.sock.close()
+            except Exception:
+                pass
+
+
+def run_worker(
+    connect: str,
+    *,
+    shard_index: int,
+    token: str,
+    heartbeat_ms: float = 1000.0,
+) -> int:
+    """Entry point for ``repro shard-worker`` (one process, one shard).
+
+    Connects back to the parent at ``host:port``, handshakes, and
+    serves until SHUTDOWN or parent disappearance.  Returns the
+    process exit code.
+    """
+    host, _, port = connect.rpartition(":")
+    sock = socket.create_connection((host or "127.0.0.1", int(port)), timeout=10.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    worker = _WorkerProcess(
+        sock, shard_index=shard_index, token=token, heartbeat_ms=heartbeat_ms
+    )
+    return worker.serve()
+
+
+# ----------------------------------------------------------------------
+# the parent side
+# ----------------------------------------------------------------------
+class _Pending:
+    __slots__ = ("future", "deadline_at", "windowed")
+
+    def __init__(self, future: Future, deadline_at: float, windowed: bool):
+        self.future = future
+        self.deadline_at = deadline_at
+        self.windowed = windowed
+
+
+class WorkerClient:
+    """Spawn, handshake and drive one shard-worker process.
+
+    The client owns the socket: a writer lock serialises frame sends,
+    and a dedicated reader thread correlates everything inbound —
+    RESPONSE / ERROR / ADOPT_OK resolve their correlation id's future,
+    HEARTBEAT refreshes the liveness clock and the cached stats/health
+    payloads, and a CRC-corrupt frame fails only its own correlation.
+    Death (EOF, socket error, or the process reaped by ``waitpid``)
+    fails every in-flight future with a retryable
+    :class:`WorkerRequestError`.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        graphs: Mapping[str, "object"],
+        *,
+        engine_kwargs: Optional[Mapping] = None,
+        fault_plan=None,
+        heartbeat_ms: float = 1000.0,
+        heartbeat_timeout_ms: Optional[float] = None,
+        window: int = DEFAULT_WINDOW,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+    ):
+        self.index = index
+        self.heartbeat_ms = float(heartbeat_ms)
+        self.heartbeat_timeout_seconds = (
+            float(heartbeat_timeout_ms) / 1000.0
+            if heartbeat_timeout_ms is not None
+            else max(0.5, 4.0 * self.heartbeat_ms / 1000.0)
+        )
+        self.window = int(window)
+        self._window_slots = threading.BoundedSemaphore(self.window)
+        self._wlock = threading.Lock()
+        self._plock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._corr = 0
+        self._dead = False
+        self.death_reason: Optional[str] = None
+        self.last_frame = time.monotonic()
+        self.last_stats: Optional[dict] = None
+        self.last_health: Optional[dict] = None
+        self.graph_fingerprints: Dict[str, str] = {}
+        self._hb_missing = False
+        registry = obs.get_registry()
+        labels = {"shard": str(index)}
+        self._bytes_in = registry.counter("net.worker.bytes_in", labels)
+        self._bytes_out = registry.counter("net.worker.bytes_out", labels)
+        self._corrupt_counter = registry.counter("net.worker.frames_corrupt", labels)
+        self._hb_miss_counter = registry.counter("net.worker.heartbeat_misses", labels)
+
+        self._spawn(dict(graphs), dict(engine_kwargs or {}), fault_plan, spawn_timeout)
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-worker-client-{index}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # -- spawn + handshake (synchronous; reader not running yet) -------
+    def _spawn(
+        self,
+        graphs: Dict[str, "object"],
+        engine_kwargs: Dict,
+        fault_plan,
+        spawn_timeout: float,
+    ) -> None:
+        import secrets
+
+        import repro
+
+        token = secrets.token_hex(8)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            listener.settimeout(spawn_timeout)
+            port = listener.getsockname()[1]
+            env = dict(os.environ)
+            src_root = str(Path(repro.__file__).resolve().parents[1])
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = (
+                src_root if not existing else src_root + os.pathsep + existing
+            )
+            self.proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "shard-worker",
+                    "--connect",
+                    f"127.0.0.1:{port}",
+                    "--shard",
+                    str(self.index),
+                    "--token",
+                    token,
+                    "--heartbeat-ms",
+                    str(self.heartbeat_ms),
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stdin=subprocess.DEVNULL,
+            )
+            try:
+                while True:
+                    sock, addr = listener.accept()
+                    frame_type, _, payload = recv_frame(sock, idle_timeout=spawn_timeout)
+                    hello = decode_json_payload(payload)
+                    if frame_type != FT_HELLO or hello.get("token") != token:
+                        sock.close()  # a stray local connection, not our child
+                        continue
+                    break
+            except (socket.timeout, EOFError, FrameError) as exc:
+                raise HandshakeError(
+                    f"worker {self.index} never completed HELLO: {exc}"
+                ) from None
+        finally:
+            listener.close()
+        try:
+            if hello.get("wire_version") != WIRE_VERSION:
+                raise HandshakeError(
+                    f"worker {self.index} speaks wire version "
+                    f"{hello.get('wire_version')}, expected {WIRE_VERSION}"
+                )
+            if hello.get("protocol_version") != PROTOCOL_VERSION:
+                raise HandshakeError(
+                    f"worker {self.index} speaks protocol version "
+                    f"{hello.get('protocol_version')}, expected {PROTOCOL_VERSION} "
+                    "(stale handshake: mixed code versions?)"
+                )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.sock = sock
+            self.pid = int(hello["pid"])
+            # ship the graphs, fingerprint-checked both ways
+            for graph_id in sorted(graphs):
+                graph = graphs[graph_id]
+                self._handshake_adopt(graph_id, graph, spawn_timeout)
+            corr = self._next_corr()
+            self._send_raw(
+                encode_json_frame(
+                    FT_CONFIG,
+                    corr,
+                    {
+                        "engine": engine_config_to_wire(engine_kwargs),
+                        "heartbeat_ms": self.heartbeat_ms,
+                        "fault_plan": plan_to_wire(fault_plan),
+                    },
+                )
+            )
+            frame_type, got_corr, payload = recv_frame(
+                self.sock, idle_timeout=spawn_timeout
+            )
+            ready = decode_json_payload(payload)
+            if frame_type != FT_READY or got_corr != corr:
+                raise HandshakeError(
+                    f"worker {self.index} answered CONFIG with frame type "
+                    f"{frame_type} corr {got_corr}"
+                )
+            if ready.get("graphs") != self.graph_fingerprints:
+                raise HandshakeError(
+                    f"worker {self.index} READY fingerprints diverge: "
+                    f"{ready.get('graphs')} != {self.graph_fingerprints}"
+                )
+            self.last_stats = ready.get("stats")
+            self.last_health = ready.get("health")
+            self.last_frame = time.monotonic()
+        except BaseException:
+            self._terminate_process(graceful=False)
+            raise
+
+    def _handshake_adopt(self, graph_id: str, graph, timeout: float) -> None:
+        corr = self._next_corr()
+        self._send_raw(encode_frame(FT_ADOPT, corr, pack_graph(graph_id, graph)))
+        frame_type, got_corr, payload = recv_frame(self.sock, idle_timeout=timeout)
+        body = decode_json_payload(payload)
+        expected = graph.fingerprint()
+        if (
+            frame_type != FT_ADOPT_OK
+            or got_corr != corr
+            or body.get("graph") != graph_id
+            or body.get("fingerprint") != expected
+        ):
+            raise HandshakeError(
+                f"worker {self.index} failed to adopt {graph_id!r}: "
+                f"type={frame_type} corr={got_corr} body={body}"
+            )
+        self.graph_fingerprints[graph_id] = expected
+
+    # -- the reader thread ---------------------------------------------
+    def _read_loop(self) -> None:
+        tick = 0.05
+        while not self._dead:
+            try:
+                ready, _, _ = select.select([self.sock], [], [], tick)
+            except (OSError, ValueError):
+                self._mark_dead("socket closed")
+                return
+            if not ready:
+                self._sweep(time.monotonic())
+                continue
+            try:
+                frame_type, corr, payload = recv_frame(
+                    self.sock, idle_timeout=None, frame_timeout=30.0
+                )
+            except FrameCorruptError as exc:
+                self._corrupt_counter.inc()
+                self._finish(
+                    exc.corr,
+                    error=WorkerRequestError(
+                        f"worker {self.index} answered corr {exc.corr} with a "
+                        f"corrupt frame; retry shortly"
+                    ),
+                )
+                continue
+            except (EOFError, OSError, FrameError) as exc:
+                self._mark_dead(self.exit_description() or f"{type(exc).__name__}: {exc}")
+                return
+            self.last_frame = time.monotonic()
+            self._hb_missing = False
+            self._bytes_in.inc(len(payload) + 17)  # header is 17 bytes
+            if frame_type == FT_HEARTBEAT:
+                body = decode_json_payload(payload)
+                if body.get("stats") is not None:
+                    self.last_stats = body["stats"]
+                if body.get("health") is not None:
+                    self.last_health = body["health"]
+                continue
+            if frame_type in (FT_RESPONSE, FT_ADOPT_OK):
+                self._finish(corr, result=decode_json_payload(payload))
+            elif frame_type == FT_ERROR:
+                body = decode_json_payload(payload)
+                if body.get("retryable", True):
+                    error: Exception = WorkerRequestError(
+                        f"worker {self.index}: {body.get('error')}"
+                    )
+                else:
+                    error = RuntimeError(
+                        f"worker {self.index}: {body.get('error')}"
+                    )
+                self._finish(corr, error=error)
+            # unknown frame types are ignored (forward compatibility)
+
+    def _sweep(self, now: float) -> None:
+        """Idle tick: expire deadlines, account heartbeat misses, reap."""
+        expired: List[Tuple[int, _Pending]] = []
+        with self._plock:
+            for corr, pending in list(self._pending.items()):
+                if now >= pending.deadline_at:
+                    expired.append((corr, self._pending.pop(corr)))
+        for corr, pending in expired:
+            self._release(pending)
+            if not pending.future.done():
+                pending.future.set_exception(
+                    WorkerRequestError(
+                        f"worker {self.index} deadline exceeded on corr {corr}; "
+                        "retry shortly"
+                    )
+                )
+        if self.proc.poll() is not None:
+            self._mark_dead(self.exit_description())
+            return
+        if (
+            now - self.last_frame > self.heartbeat_timeout_seconds
+            and not self._hb_missing
+        ):
+            self._hb_missing = True
+            self._hb_miss_counter.inc()
+
+    def _mark_dead(self, reason: Optional[str]) -> None:
+        if self._dead:
+            return
+        self._dead = True
+        self.death_reason = reason or "worker connection lost"
+        with self._plock:
+            pending = dict(self._pending)
+            self._pending.clear()
+        for corr, item in pending.items():
+            self._release(item)
+            if not item.future.done():
+                item.future.set_exception(
+                    WorkerRequestError(
+                        f"worker {self.index} died ({self.death_reason}); "
+                        "retry shortly"
+                    )
+                )
+        try:
+            self.sock.close()
+        except Exception:
+            pass
+
+    def _release(self, pending: _Pending) -> None:
+        if pending.windowed:
+            pending.windowed = False
+            try:
+                self._window_slots.release()
+            except ValueError:
+                pass
+
+    def _finish(self, corr: int, *, result=None, error=None) -> None:
+        with self._plock:
+            pending = self._pending.pop(corr, None)
+        if pending is None:
+            return  # already deadline-expired or failed on death
+        self._release(pending)
+        if pending.future.done():
+            return
+        if error is not None:
+            pending.future.set_exception(error)
+        else:
+            pending.future.set_result(result)
+
+    # -- sends ---------------------------------------------------------
+    def _next_corr(self) -> int:
+        with self._wlock:
+            self._corr += 1
+            return self._corr
+
+    def _send_raw(self, data: bytes) -> None:
+        with self._wlock:
+            self.sock.sendall(data)
+        self._bytes_out.inc(len(data))
+
+    # -- public surface ------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._dead and self.proc.poll() is None
+
+    def beat_age(self, now: Optional[float] = None) -> float:
+        now = time.monotonic() if now is None else now
+        return max(0.0, now - self.last_frame)
+
+    def heartbeat_expired(self, now: Optional[float] = None) -> bool:
+        """No frame (not even a heartbeat) for the timeout window."""
+        return self.beat_age(now) > self.heartbeat_timeout_seconds
+
+    def exit_description(self) -> Optional[str]:
+        """How the process ended, per ``waitpid`` (None while running)."""
+        code = self.proc.poll()
+        if code is None:
+            return None
+        if code < 0:
+            try:
+                name = signal.Signals(-code).name
+            except ValueError:
+                name = f"signal {-code}"
+            return f"worker pid {self.pid} killed by {name}"
+        return f"worker pid {self.pid} exited with code {code}"
+
+    def request(
+        self,
+        wire_queries: List[dict],
+        *,
+        deadline_seconds: float = DEFAULT_REQUEST_DEADLINE,
+    ) -> "Future[dict]":
+        """Send one REQUEST frame; the future resolves to its payload.
+
+        Fails fast (retryably) when the worker is dead or the
+        outstanding-frame window is full.
+        """
+        future: Future = Future()
+        if not self.alive:
+            future.set_exception(
+                WorkerRequestError(
+                    f"worker {self.index} is dead "
+                    f"({self.death_reason or self.exit_description()}); retry shortly"
+                )
+            )
+            return future
+        if not self._window_slots.acquire(timeout=deadline_seconds / 4.0):
+            future.set_exception(
+                WorkerRequestError(
+                    f"worker {self.index} window full "
+                    f"({self.window} frames outstanding); retry shortly"
+                )
+            )
+            return future
+        corr = self._next_corr()
+        pending = _Pending(future, time.monotonic() + deadline_seconds, True)
+        with self._plock:
+            self._pending[corr] = pending
+        try:
+            self._send_raw(
+                encode_json_frame(FT_REQUEST, corr, {"queries": wire_queries})
+            )
+        except Exception as exc:
+            self._mark_dead(f"send failed: {type(exc).__name__}: {exc}")
+        # a death racing the send is covered: _mark_dead fails every
+        # registered pending, and we registered before sending
+        if self._dead:
+            self._finish(
+                corr,
+                error=WorkerRequestError(
+                    f"worker {self.index} died during submit; retry shortly"
+                ),
+            )
+        return future
+
+    def adopt_graph(self, graph_id: str, graph, *, timeout: float = 30.0) -> None:
+        """Synchronously ship one graph (failover adoption path)."""
+        if not self.alive:
+            raise WorkerRequestError(
+                f"worker {self.index} is dead; cannot adopt {graph_id!r}"
+            )
+        future: Future = Future()
+        corr = self._next_corr()
+        with self._plock:
+            self._pending[corr] = _Pending(future, time.monotonic() + timeout, False)
+        try:
+            self._send_raw(encode_frame(FT_ADOPT, corr, pack_graph(graph_id, graph)))
+        except Exception as exc:
+            self._mark_dead(f"send failed: {type(exc).__name__}: {exc}")
+        body = future.result(timeout=timeout)
+        expected = graph.fingerprint()
+        if body.get("graph") != graph_id or body.get("fingerprint") != expected:
+            raise HandshakeError(
+                f"worker {self.index} mis-adopted {graph_id!r}: {body}"
+            )
+        self.graph_fingerprints[graph_id] = expected
+
+    def _terminate_process(self, *, graceful: bool) -> None:
+        proc = getattr(self, "proc", None)
+        if proc is None:
+            return
+        if proc.poll() is None:
+            if graceful:
+                try:
+                    self._send_raw(encode_json_frame(FT_SHUTDOWN, 0, {}))
+                    proc.wait(timeout=2.0)
+                except Exception:
+                    pass
+            if proc.poll() is None:
+                try:
+                    proc.terminate()
+                    proc.wait(timeout=2.0)
+                except Exception:
+                    pass
+            if proc.poll() is None:
+                try:
+                    proc.kill()
+                    proc.wait(timeout=2.0)
+                except Exception:
+                    pass
+
+    def close(self, *, graceful: bool = True) -> None:
+        self._terminate_process(graceful=graceful and not self._dead)
+        self._mark_dead("closed")
+        reader = getattr(self, "_reader", None)
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=2.0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready worker facts for health rows and ``repro top``."""
+        return {
+            "pid": getattr(self, "pid", None),
+            "alive": self.alive,
+            "heartbeat_age_ms": round(self.beat_age() * 1000.0, 3),
+            "heartbeat_timeout_ms": round(self.heartbeat_timeout_seconds * 1000.0, 3),
+            "outstanding": len(self._pending),
+            "window": self.window,
+            "exit": self.exit_description(),
+        }
+
+
+class _WorkerPoolView:
+    """The ``engine.pool`` duck-type the manager's stats path reads."""
+
+    def __init__(self, graph_ids: List[str]):
+        self.graph_ids = sorted(graph_ids)
+
+
+class _WorkerEngineProxy:
+    """Looks like a QueryEngine; forwards the few calls that matter.
+
+    The real engine lives in the worker process.  ``telemetry`` is
+    always False on this side — worker metrics are process-local (we
+    export ``net.worker.*`` transport counters instead), which also
+    keeps process-mode responses byte-identical to thread mode's.
+    ``stats()`` and ``health()`` serve the last payload the worker
+    shipped (READY, then every heartbeat), never blocking the caller
+    on a round trip.
+    """
+
+    telemetry = False
+
+    def __init__(self, client: WorkerClient, catalog: GraphCatalog):
+        self._client = client
+        self.catalog = catalog
+        self.pool = _WorkerPoolView(catalog.names())
+
+    def stats(self) -> dict:
+        stats = dict(self._client.last_stats or _EMPTY_STATS)
+        stats["worker"] = self._client.snapshot()
+        return stats
+
+    def health(self) -> dict:
+        health = dict(self._client.last_health or _EMPTY_HEALTH)
+        pool = dict(health.get("pool") or _EMPTY_HEALTH["pool"])
+        pool["alive"] = bool(pool.get("alive", True)) and self._client.alive
+        health["pool"] = pool
+        health["worker"] = self._client.snapshot()
+        return health
+
+    def adopt_graph(self, graph_id: str, graph) -> None:
+        self._client.adopt_graph(graph_id, graph)
+        self.catalog.register(graph_id, graph)
+        self.pool = _WorkerPoolView(self.catalog.names())
+
+    def close(self, *, cancel_pending: bool = False) -> None:
+        self._client.close(graceful=not cancel_pending)
+
+
+# What the proxy serves before the worker's first stats/health payload
+# lands (shapes match QueryEngine.stats()/health() aggregation keys).
+_EMPTY_STATS = {
+    "queries": 0,
+    "max_batch": 1,
+    "cache": {"hits": 0, "misses": 0, "evictions": 0, "size": 0, "capacity": 0},
+    "pool": {"mode": "thread", "max_workers": 0, "pending": 0},
+    "retries": {"attempts": 0, "exhausted": 0},
+}
+_EMPTY_HEALTH = {
+    "pool": {
+        "mode": "thread",
+        "max_workers": 0,
+        "pending": 0,
+        "alive": True,
+        "lost_workers": 0,
+        "rebuilds": 0,
+    },
+    "breakers": [],
+    "breakers_open": 0,
+    "retries": {"attempts": 0, "exhausted": 0, "max_attempts": 0},
+}
+
+
+class ProcessShard(Shard):
+    """A Shard whose engine lives in a separate worker process.
+
+    The parent keeps the dispatcher thread (queueing, merge-draining,
+    dispatcher-tier fault injection and the submit/death race handling
+    are inherited unchanged) but ``_run_items`` forwards the merged
+    group to the worker over the frame protocol *without blocking*:
+    responses resolve via the client's reader thread, so the
+    dispatcher keeps beating and draining while requests are in
+    flight (pipelined up to the client's window).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        catalog: GraphCatalog,
+        *,
+        drain_limit: int = 64,
+        fault_plan=None,
+        tick_seconds: float = 0.25,
+        heartbeat_ms: float = 1000.0,
+        request_deadline_seconds: float = DEFAULT_REQUEST_DEADLINE,
+        engine_kwargs: Optional[Mapping] = None,
+        window: int = DEFAULT_WINDOW,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+    ):
+        graphs = catalog.load_all()
+        self._client = WorkerClient(
+            index,
+            graphs,
+            engine_kwargs=engine_kwargs,
+            fault_plan=fault_plan,
+            heartbeat_ms=heartbeat_ms,
+            window=window,
+            spawn_timeout=spawn_timeout,
+        )
+        self._request_deadline = float(request_deadline_seconds)
+        proxy = _WorkerEngineProxy(self._client, catalog)
+        super().__init__(
+            index,
+            proxy,  # type: ignore[arg-type] — duck-typed engine facade
+            drain_limit=drain_limit,
+            fault_plan=fault_plan,
+            tick_seconds=tick_seconds,
+        )
+
+    @property
+    def client(self) -> WorkerClient:
+        return self._client
+
+    # -- dispatch forwards to the worker, pipelined --------------------
+    def _run_items(self, items) -> None:
+        self.cycles += 1
+        queries = [q for it in items for q in it.queries]
+        self.dispatched += len(queries)
+        try:
+            future = self._client.request(
+                [query_to_wire(q) for q in queries],
+                deadline_seconds=self._request_deadline,
+            )
+        except Exception as exc:
+            for it in items:
+                self._resolve(it, error=exc)
+            return
+
+        def _settle(done_future) -> None:
+            try:
+                body = done_future.result()
+                rows = body["responses"]
+                if len(rows) != len(queries):
+                    raise WorkerRequestError(
+                        f"worker {self.index} answered {len(rows)} rows "
+                        f"for {len(queries)} queries; retry shortly"
+                    )
+                responses = [
+                    QueryResponse.from_wire(q, row)
+                    for q, row in zip(queries, rows)
+                ]
+            except BaseException as exc:  # noqa: BLE001 — waiters, not us
+                for it in items:
+                    self._resolve(it, error=exc)
+                return
+            offset = 0
+            for it in items:
+                chunk = responses[offset : offset + len(it.queries)]
+                offset += len(it.queries)
+                self._resolve(it, result=chunk)
+
+        future.add_done_callback(_settle)
+
+    # -- liveness folds in the worker process --------------------------
+    @property
+    def alive(self) -> bool:
+        if not (self._thread.is_alive() and self.exit_reason is None):
+            return False
+        if not self._client.alive:
+            if self.exit_reason is None:
+                self.exit_reason = (
+                    self._client.death_reason
+                    or self._client.exit_description()
+                    or "worker process died"
+                )
+            return False
+        return True
+
+    def beat_age(self, now: Optional[float] = None) -> float:
+        """Age of the *worker's* last frame (heartbeats count).
+
+        The parent dispatcher never blocks long in process mode, so
+        its own beat is not the honest liveness signal — the worker's
+        frame stream is.
+        """
+        return self._client.beat_age(now)
+
+    def heartbeat_expired(self, now: Optional[float] = None) -> bool:
+        """Idle-silent worker: no frames and nothing in flight.
+
+        A busy worker that stops answering is covered by
+        :meth:`stalled`; this catches the idle one that stopped
+        heartbeating (wedged or unreachable) with nothing queued.
+        """
+        return (
+            self._client.alive
+            and self.pending_count() == 0
+            and self._client.heartbeat_expired(now)
+        )
+
+    def dispatcher_snapshot(self) -> dict:
+        snap = super().dispatcher_snapshot()
+        snap["mode"] = "process"
+        snap["worker"] = self._client.snapshot()
+        return snap

@@ -27,6 +27,7 @@ from repro.resilience.faults import (
     ALL_FAULT_KINDS,
     FAULT_KINDS,
     NET_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     DivergentController,
     FaultPlan,
     FaultSpec,
@@ -35,6 +36,8 @@ from repro.resilience.faults import (
     InjectedTransientError,
     ScheduledFaultPlan,
     apply_fault,
+    plan_from_wire,
+    plan_to_wire,
 )
 from repro.resilience.guard import DivergenceGuard, GuardConfig
 from repro.resilience.retry import (
@@ -64,7 +67,10 @@ __all__ = [
     "RestartPolicy",
     "RetryPolicy",
     "ScheduledFaultPlan",
+    "WORKER_FAULT_KINDS",
     "apply_fault",
     "classify_error",
+    "plan_from_wire",
+    "plan_to_wire",
     "validate_result",
 ]

@@ -40,6 +40,21 @@ rejects them, because they sabotage infrastructure, not tasks:
 * ``"conn_drop"`` — the server closes a client connection abruptly
   after reading a request, before answering it.
 
+Worker-process fault kinds (``WORKER_FAULT_KINDS``, a subset of
+``NET_FAULT_KINDS``) are interpreted *inside* an out-of-process shard
+worker (``repro shard-worker``), indexed by request frame:
+
+* ``"worker_kill"`` — the worker SIGKILLs itself mid-request: the
+  parent's waitpid sees a signal death, exactly like an OOM killer or
+  a segfaulting kernel;
+* ``"worker_oom"`` — the worker clamps its own address-space rlimit
+  and then allocates until ``MemoryError``, dying with a distinct exit
+  code (a realistic out-of-memory death, not a simulated one);
+* ``"frame_corrupt"`` — the worker flips bytes in one response frame
+  *after* computing its CRC, so the front-end's checksum verification
+  must reject the frame and answer that request with a retryable
+  error.
+
 :class:`ScheduledFaultPlan` is the precision variant for drills: it
 fires a chosen kind at explicit indices (``at=(3,)`` = sabotage the
 third dispatch cycle) instead of rolling seeded dice per index.
@@ -67,6 +82,7 @@ __all__ = [
     "ALL_FAULT_KINDS",
     "FAULT_KINDS",
     "NET_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedCrashError",
@@ -74,14 +90,23 @@ __all__ = [
     "InjectedTransientError",
     "ScheduledFaultPlan",
     "apply_fault",
+    "plan_from_wire",
+    "plan_to_wire",
     "DivergentController",
 ]
 
 FAULT_KINDS = ("transient", "crash", "hang", "corrupt", "poolbreak")
 
+# worker-process kinds: decided by the same machinery, shipped over the
+# frame protocol and interpreted inside `repro shard-worker` processes
+WORKER_FAULT_KINDS = ("worker_kill", "worker_oom", "frame_corrupt")
+
 # network-tier kinds: decided by the same seeded machinery, interpreted
-# by repro.net (shard dispatcher / TCP server), never by apply_fault
-NET_FAULT_KINDS = ("shard_crash", "dispatcher_hang", "slow_shard", "conn_drop")
+# by repro.net (shard dispatcher / TCP server / worker), never by
+# apply_fault
+NET_FAULT_KINDS = (
+    "shard_crash", "dispatcher_hang", "slow_shard", "conn_drop"
+) + WORKER_FAULT_KINDS
 
 ALL_FAULT_KINDS = FAULT_KINDS + NET_FAULT_KINDS
 
@@ -226,6 +251,59 @@ class ScheduledFaultPlan:
 
     def count(self, tasks: int) -> int:
         return sum(1 for i in self.at if i < tasks)
+
+
+def plan_to_wire(plan) -> Optional[dict]:
+    """A JSON-safe description of a fault plan (worker bootstrap).
+
+    Out-of-process shard workers receive their fault plan inside the
+    CONFIG frame; this is the encoding.  ``None`` stays ``None``.
+    """
+    if plan is None:
+        return None
+    if isinstance(plan, ScheduledFaultPlan):
+        return {
+            "type": "scheduled",
+            "at": list(plan.at),
+            "kind": plan.kind,
+            "hang_seconds": plan.hang_seconds,
+            "slow_seconds": plan.slow_seconds,
+        }
+    if isinstance(plan, FaultPlan):
+        return {
+            "type": "seeded",
+            "rate": plan.rate,
+            "seed": plan.seed,
+            "kinds": list(plan.kinds),
+            "hang_seconds": plan.hang_seconds,
+            "slow_seconds": plan.slow_seconds,
+        }
+    raise TypeError(
+        f"cannot serialize fault plan of type {type(plan).__name__}"
+    )
+
+
+def plan_from_wire(data: Optional[dict]):
+    """Invert :func:`plan_to_wire`; validation re-runs in the plan."""
+    if data is None:
+        return None
+    plan_type = data.get("type")
+    if plan_type == "scheduled":
+        return ScheduledFaultPlan(
+            at=tuple(int(i) for i in data["at"]),
+            kind=data["kind"],
+            hang_seconds=float(data.get("hang_seconds", 0.25)),
+            slow_seconds=float(data.get("slow_seconds", 0.05)),
+        )
+    if plan_type == "seeded":
+        return FaultPlan(
+            rate=float(data["rate"]),
+            seed=int(data.get("seed", 0)),
+            kinds=tuple(data["kinds"]),
+            hang_seconds=float(data.get("hang_seconds", 0.25)),
+            slow_seconds=float(data.get("slow_seconds", 0.05)),
+        )
+    raise ValueError(f"unknown fault plan wire type {plan_type!r}")
 
 
 def _corrupt(result: object) -> object:

@@ -148,6 +148,38 @@ class QueryResponse:
             out["attempts"] = self.attempts
         return out
 
+    # Wire fields shipped verbatim between shard-worker processes and
+    # the front-end: everything except ``query`` (the caller already
+    # holds it, and rebuilding from it keeps ids/traces identical).
+    _WIRE_FIELDS = (
+        "ok",
+        "cache",
+        "error",
+        "fingerprint",
+        "reached",
+        "iterations",
+        "relaxations",
+        "max_dist",
+        "mean_dist",
+        "wall_seconds",
+        "attempts",
+        "trace_id",
+    )
+
+    def to_wire(self) -> dict:
+        """A JSON-safe dict for the worker frame protocol.
+
+        Round-tripping through :meth:`from_wire` yields a response
+        whose :meth:`as_dict` is byte-identical to this one's — the
+        process-mode server answers exactly what thread mode would.
+        """
+        return {name: getattr(self, name) for name in self._WIRE_FIELDS}
+
+    @classmethod
+    def from_wire(cls, query: SSSPQuery, data: Mapping) -> "QueryResponse":
+        """Invert :meth:`to_wire`, re-attaching the caller's query."""
+        return cls(query=query, **{k: data[k] for k in cls._WIRE_FIELDS})
+
 
 def _summarise(result: SSSPResult) -> dict:
     finite = result.finite_distances()

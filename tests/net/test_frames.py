@@ -1,0 +1,133 @@
+"""Frame codec: framing, CRC rejection, resync, timeout semantics."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.net.frames import (
+    FT_ERROR,
+    FT_HEARTBEAT,
+    FT_REQUEST,
+    FT_RESPONSE,
+    MAX_FRAME_BYTES,
+    FrameCorruptError,
+    FrameError,
+    FrameTooLarge,
+    encode_frame,
+    frame_crc,
+    recv_frame,
+    send_frame,
+)
+from repro.net.frames import _HEADER as HEADER
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_round_trip_preserves_type_corr_payload(pair):
+    a, b = pair
+    payload = b'{"queries": [1, 2, 3]}'
+    send_frame(a, FT_REQUEST, 42, payload)
+    ft, corr, got = recv_frame(b)
+    assert (ft, corr, got) == (FT_REQUEST, 42, payload)
+
+
+def test_empty_payload_round_trips(pair):
+    a, b = pair
+    send_frame(a, FT_HEARTBEAT, 7, b"")
+    assert recv_frame(b) == (FT_HEARTBEAT, 7, b"")
+
+
+def test_crc_covers_header_fields_not_just_payload():
+    # same payload, different corr -> different CRC (a frame cannot be
+    # replayed under another correlation id without detection)
+    assert frame_crc(FT_REQUEST, 1, b"x") != frame_crc(FT_REQUEST, 2, b"x")
+    assert frame_crc(FT_REQUEST, 1, b"x") != frame_crc(FT_RESPONSE, 1, b"x")
+
+
+def test_corrupt_payload_raises_with_corr_preserved(pair):
+    a, b = pair
+    frame = bytearray(encode_frame(FT_RESPONSE, 99, b"payload-bytes"))
+    frame[-1] ^= 0xFF
+    a.sendall(frame)
+    with pytest.raises(FrameCorruptError) as exc_info:
+        recv_frame(b)
+    assert exc_info.value.corr == 99
+    assert exc_info.value.frame_type == FT_RESPONSE
+
+
+def test_stream_resyncs_after_corrupt_frame(pair):
+    # the length prefix of a corrupt frame is honest, so the next
+    # frame decodes cleanly: corruption is per-frame, not per-stream
+    a, b = pair
+    bad = bytearray(encode_frame(FT_REQUEST, 1, b"garbled"))
+    bad[-3] ^= 0x01
+    a.sendall(bad)
+    send_frame(a, FT_REQUEST, 2, b"clean")
+    with pytest.raises(FrameCorruptError):
+        recv_frame(b)
+    assert recv_frame(b) == (FT_REQUEST, 2, b"clean")
+
+
+def test_oversize_frame_rejected_before_allocation(pair):
+    a, b = pair
+    header = HEADER.pack(MAX_FRAME_BYTES + 1, FT_REQUEST, 5, 0)
+    a.sendall(header)
+    with pytest.raises(FrameTooLarge):
+        recv_frame(b)
+
+
+def test_encode_rejects_oversize_payload():
+    with pytest.raises(FrameTooLarge):
+        encode_frame(FT_REQUEST, 1, b"\x00" * (MAX_FRAME_BYTES + 1))
+
+
+def test_idle_timeout_propagates_as_socket_timeout(pair):
+    a, b = pair
+    with pytest.raises(socket.timeout):
+        recv_frame(b, idle_timeout=0.05)
+
+
+def test_mid_frame_timeout_is_fatal_frame_error(pair):
+    # half a header then silence: the stream can never resync, so the
+    # reader must not surface this as a benign idle tick
+    a, b = pair
+    a.sendall(HEADER.pack(10, FT_REQUEST, 3, 0)[:8])
+    with pytest.raises(FrameError):
+        recv_frame(b, idle_timeout=0.05, frame_timeout=0.1)
+
+
+def test_eof_raises_eoferror(pair):
+    a, b = pair
+    a.close()
+    with pytest.raises(EOFError):
+        recv_frame(b)
+
+
+def test_eof_mid_frame_raises_eoferror(pair):
+    a, b = pair
+    frame = encode_frame(FT_ERROR, 4, b"partial")
+    a.sendall(frame[: len(frame) - 3])
+    a.close()
+    with pytest.raises(EOFError):
+        recv_frame(b)
+
+
+def test_header_layout_is_stable():
+    # wire contract: u32 len | u8 type | u64 corr | u32 crc, network order
+    assert HEADER.size == 17
+    payload = b"abc"
+    frame = encode_frame(FT_REQUEST, 0x1122334455667788, payload)
+    length, ftype, corr, crc = HEADER.unpack(frame[: HEADER.size])
+    assert length == len(payload)
+    assert ftype == FT_REQUEST
+    assert corr == 0x1122334455667788
+    assert crc == frame_crc(FT_REQUEST, corr, payload)
+    assert frame[HEADER.size:] == payload

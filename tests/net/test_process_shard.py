@@ -1,0 +1,223 @@
+"""Process-mode shards: parity with thread mode, crash isolation."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.net import (
+    UNAVAILABLE_PREFIX,
+    ProcessShard,
+    ShardManager,
+    ShardSupervisor,
+)
+from repro.resilience import ScheduledFaultPlan
+from repro.resilience.retry import RestartPolicy
+from repro.service import SSSPQuery, handle_line
+
+
+@pytest.fixture
+def process_manager(catalog):
+    mgr = ShardManager(
+        catalog,
+        shards=2,
+        shard_mode="process",
+        heartbeat_ms=150.0,
+        max_workers=1,
+    )
+    yield mgr
+    mgr.close(cancel_pending=True)
+
+
+def _strip(d):
+    if not isinstance(d, dict):
+        return d
+    d = {k: v for k, v in d.items() if k not in ("wall_seconds", "trace")}
+    if "results" in d:
+        d["results"] = [_strip(x) for x in d["results"]]
+    return d
+
+
+def test_process_mode_protocol_matches_thread_mode(catalog, grids, registry):
+    """The acceptance bar: process-mode answers byte-match thread-mode."""
+    from repro.service import GraphCatalog
+
+    thread_cat = GraphCatalog()
+    for name, graph in grids.items():
+        thread_cat.register(name, graph)
+    thread_mgr = ShardManager(thread_cat, shards=2, max_workers=1)
+    proc_mgr = ShardManager(
+        catalog, shards=2, shard_mode="process", max_workers=1
+    )
+    try:
+        for line in [
+            '{"op": "query", "graph": "alpha", "source": 0}',
+            '{"op": "query", "graph": "beta", "sources": [0, 1, 2]}',
+            '{"op": "query", "graph": "alpha", "source": 3, '
+            '"algorithm": "dijkstra"}',
+            '{"op": "query", "graph": "nope", "source": 0, "id": "x"}',
+            '{"op": "graphs"}',
+            "not json",
+        ]:
+            threaded = _strip(handle_line(thread_mgr, line))
+            process = _strip(handle_line(proc_mgr, line))
+            assert json.dumps(process, sort_keys=True) == json.dumps(
+                threaded, sort_keys=True
+            ), line
+    finally:
+        thread_mgr.close(cancel_pending=True)
+        proc_mgr.close(cancel_pending=True)
+
+
+def test_run_many_round_trips_through_worker(process_manager):
+    queries = [
+        SSSPQuery(graph_id="alpha", source=1),
+        SSSPQuery(graph_id="beta", source=2),
+        SSSPQuery(graph_id="alpha", source=3),
+    ]
+    responses = process_manager.run_many(queries)
+    assert all(r.ok for r in responses)
+    assert [r.query.source for r in responses] == [1, 2, 3]
+    # telemetry stays parent-side: the worker never fabricates a trace
+    assert all(r.trace_id is None for r in responses)
+
+
+def test_stats_and_health_surface_worker_facts(process_manager):
+    stats = process_manager.stats()
+    assert stats["shard_mode"] == "process"
+    health = process_manager.health()
+    assert health["shard_mode"] == "process"
+    for row in health["shards"]:
+        dispatcher = row["dispatcher"]
+        assert dispatcher["mode"] == "process"
+        worker = dispatcher["worker"]
+        assert isinstance(worker["pid"], int)
+        assert worker["alive"] is True
+        assert worker["heartbeat_age_ms"] >= 0.0
+
+
+def test_worker_kill_mid_batch_fails_only_dead_shards_sources(catalog, registry):
+    """A worker death mid-batch must never surface partial distances."""
+    mgr = ShardManager(
+        catalog,
+        shards=2,
+        shard_mode="process",
+        max_workers=1,
+        net_fault_plan=ScheduledFaultPlan(at=(0,), kind="worker_kill"),
+        net_fault_shard=0,
+    )
+    try:
+        # one batch spanning both shards: alpha (shard 0, sabotaged)
+        # and beta (shard 1, healthy)
+        queries = [
+            SSSPQuery(graph_id="alpha", source=0),
+            SSSPQuery(graph_id="beta", source=0),
+            SSSPQuery(graph_id="alpha", source=1),
+            SSSPQuery(graph_id="beta", source=1),
+        ]
+        responses = mgr.run_many(queries)
+        by_graph = {}
+        for r in responses:
+            by_graph.setdefault(r.query.graph_id, []).append(r)
+        for r in by_graph["alpha"]:
+            assert not r.ok
+            assert r.error.startswith(UNAVAILABLE_PREFIX)
+            assert r.reached == 0 and r.max_dist is None
+        for r in by_graph["beta"]:
+            assert r.ok, r.error
+            assert r.reached > 0
+    finally:
+        mgr.close(cancel_pending=True)
+
+
+def test_supervisor_respawns_killed_worker_and_restores_answers(
+    catalog, registry
+):
+    mgr = ShardManager(
+        catalog,
+        shards=2,
+        shard_mode="process",
+        heartbeat_ms=100.0,
+        max_workers=1,
+    )
+    policy = RestartPolicy(budget=3, base_delay=0.05, max_delay=0.2, jitter=0.0)
+    supervisor = ShardSupervisor(
+        mgr,
+        restart_policy=policy,
+        check_interval=0.02,
+        stall_seconds=2.0,
+    )
+    supervisor.start()
+    try:
+        baseline = mgr.run_many(
+            [SSSPQuery(graph_id=g, source=0) for g in ("alpha", "beta")]
+        )
+        assert all(r.ok for r in baseline)
+        old_pid = mgr.shards[0].client.proc.pid
+        os.kill(old_pid, signal.SIGKILL)
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            report = supervisor.report()
+            watch = report["shards"]["0"]
+            if watch["state"] == "up" and watch["restarts"] >= 1:
+                break
+            time.sleep(0.02)
+        report = supervisor.report()
+        assert report["shards"]["0"]["state"] == "up"
+        assert report["shards"]["0"]["restarts"] >= 1
+        # the respawned worker re-adopted its partition: same answers,
+        # new pid
+        again = mgr.run_many(
+            [SSSPQuery(graph_id=g, source=0) for g in ("alpha", "beta")]
+        )
+        assert all(r.ok for r in again)
+        assert [r.max_dist for r in again] == [r.max_dist for r in baseline]
+        assert mgr.shards[0].client.proc.pid != old_pid
+        assert (
+            registry.counter("net.worker.restarts", {"shard": "0"}).value >= 1
+        )
+    finally:
+        supervisor.stop()
+        mgr.close(cancel_pending=True)
+
+
+def test_idle_heartbeat_keeps_worker_alive(catalog, registry):
+    shard = ProcessShard(0, catalog, heartbeat_ms=80.0)
+    try:
+        time.sleep(0.5)  # several heartbeat intervals of pure idleness
+        assert shard.alive
+        assert not shard.heartbeat_expired()
+        assert shard.beat_age() < 1.0
+        snap = shard.dispatcher_snapshot()
+        assert snap["mode"] == "process"
+        assert snap["worker"]["alive"] is True
+    finally:
+        shard.close()
+
+
+def test_frozen_worker_trips_heartbeat_watchdog(catalog, registry):
+    shard = ProcessShard(0, catalog, heartbeat_ms=80.0)
+    supervisor_saw_it = False
+    try:
+        os.kill(shard.client.proc.pid, signal.SIGSTOP)
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if shard.heartbeat_expired():
+                    supervisor_saw_it = True
+                    break
+                time.sleep(0.02)
+        finally:
+            os.kill(shard.client.proc.pid, signal.SIGCONT)
+        assert supervisor_saw_it
+    finally:
+        shard.close()
+
+
+def test_shard_manager_rejects_unknown_mode(catalog):
+    with pytest.raises(ValueError, match="shard_mode"):
+        ShardManager(catalog, shards=1, shard_mode="fiber")

@@ -277,6 +277,48 @@ def test_stop_drains_inflight_requests(catalog):
     assert refused
 
 
+def test_stop_is_idempotent_under_signal_races(catalog):
+    """Satellite: a second SIGTERM (stop() racing stop()) must not raise.
+
+    The first stop owns the shutdown; every later call — concurrent or
+    after completion — just awaits the same drain instead of
+    double-closing the listener.
+    """
+    mgr = ShardManager(
+        catalog,
+        shards=1,
+        max_workers=1,
+        net_fault_plan=ScheduledFaultPlan(
+            at=(0,), kind="slow_shard", slow_seconds=0.3
+        ),
+    )
+
+    async def main():
+        server = NetServer(mgr, port=0)
+        await server.start()
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "query", "graph": "alpha", "source": 0}\n')
+        await writer.drain()
+        await asyncio.sleep(0.1)  # request in flight: stop() must drain
+        # two signals in flight: both stops run concurrently...
+        first = asyncio.ensure_future(server.stop(drain_seconds=5.0))
+        second = asyncio.ensure_future(server.stop(drain_seconds=5.0))
+        line = await reader.readline()
+        await asyncio.gather(first, second)
+        # ...and a third stop after completion is equally harmless
+        await server.stop()
+        writer.close()
+        await writer.wait_closed()
+        return json.loads(line)
+
+    try:
+        reply = asyncio.run(main())
+    finally:
+        mgr.close()
+    assert reply["ok"] and reply["graph"] == "alpha"
+
+
 def test_conn_drop_fault_then_reconnect_works(catalog):
     mgr = ShardManager(catalog, shards=1, max_workers=1)
     plan = ScheduledFaultPlan(at=(0,), kind="conn_drop")

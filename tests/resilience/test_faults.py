@@ -162,11 +162,20 @@ class TestDivergentController:
 
 class TestNetFaultKinds:
     def test_net_kinds_are_registered_but_distinct(self):
-        from repro.resilience import ALL_FAULT_KINDS, NET_FAULT_KINDS
+        from repro.resilience import (
+            ALL_FAULT_KINDS,
+            NET_FAULT_KINDS,
+            WORKER_FAULT_KINDS,
+        )
 
         assert set(NET_FAULT_KINDS) == {
             "shard_crash", "dispatcher_hang", "slow_shard", "conn_drop",
+            "worker_kill", "worker_oom", "frame_corrupt",
         }
+        assert set(WORKER_FAULT_KINDS) == {
+            "worker_kill", "worker_oom", "frame_corrupt",
+        }
+        assert set(WORKER_FAULT_KINDS) <= set(NET_FAULT_KINDS)
         assert set(NET_FAULT_KINDS) <= set(ALL_FAULT_KINDS)
         assert not set(NET_FAULT_KINDS) & set(FAULT_KINDS)
 
@@ -177,7 +186,8 @@ class TestNetFaultKinds:
     def test_apply_fault_rejects_net_kinds(self):
         """Pool tasks never execute a network-tier fault."""
         for kind in ("shard_crash", "dispatcher_hang", "slow_shard",
-                     "conn_drop"):
+                     "conn_drop", "worker_kill", "worker_oom",
+                     "frame_corrupt"):
             with pytest.raises(ValueError, match="network-tier"):
                 apply_fault(FaultSpec(kind=kind), lambda: 1)
 
@@ -220,3 +230,46 @@ class TestScheduledFaultPlan:
             self._plan(at=(0,), kind="segfault")
         with pytest.raises(ValueError):
             self._plan(at=(-1,))
+
+
+class TestPlanWireFormat:
+    """plan_to_wire / plan_from_wire: fault plans over the frame socket."""
+
+    def test_scheduled_plan_round_trips(self):
+        from repro.resilience import (
+            ScheduledFaultPlan,
+            plan_from_wire,
+            plan_to_wire,
+        )
+
+        plan = ScheduledFaultPlan(
+            at=(2, 5), kind="worker_kill", hang_seconds=1.5, slow_seconds=0.2
+        )
+        wire = plan_to_wire(plan)
+        assert wire["type"] == "scheduled"
+        import json
+
+        json.dumps(wire)  # must be JSON-safe as-is
+        assert plan_from_wire(wire) == plan
+
+    def test_seeded_plan_round_trips(self):
+        from repro.resilience import FaultPlan, plan_from_wire, plan_to_wire
+
+        plan = FaultPlan(rate=0.25, seed=11, kinds=("crash", "transient"))
+        wire = plan_to_wire(plan)
+        assert wire["type"] == "seeded"
+        assert plan_from_wire(wire) == plan
+
+    def test_none_round_trips(self):
+        from repro.resilience import plan_from_wire, plan_to_wire
+
+        assert plan_to_wire(None) is None
+        assert plan_from_wire(None) is None
+
+    def test_unknown_shapes_rejected(self):
+        from repro.resilience import plan_from_wire, plan_to_wire
+
+        with pytest.raises(TypeError):
+            plan_to_wire(object())
+        with pytest.raises(ValueError):
+            plan_from_wire({"type": "astral"})

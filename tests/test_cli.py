@@ -723,6 +723,76 @@ class TestNetServeAndLoadgen:
         with pytest.raises(SystemExit):
             main(["chaos-net", "--fault-kind", "meteor"])
 
+    def test_process_mode_stdin_serve_matches_thread_mode(
+        self, capsys, tmp_path
+    ):
+        """Satellite: --shard-mode process answers byte-match thread mode."""
+        import json
+
+        requests = self._requests(tmp_path)
+        base = ["serve", "--input", requests, "--scale", "0.003",
+                "--shards", "2", "-q"]
+        assert main(base) == 0
+        threaded = capsys.readouterr().out
+        assert main(base + ["--shard-mode", "process"]) == 0
+        process = capsys.readouterr().out
+
+        def strip(text):
+            return [
+                {
+                    k: v
+                    for k, v in json.loads(line).items()
+                    if k not in ("wall_seconds", "trace")
+                }
+                for line in text.splitlines()
+            ]
+
+        assert strip(process) == strip(threaded)
+
+    def test_chaos_net_rejects_worker_kinds_in_thread_mode(self):
+        for kind in ("worker_kill", "worker_oom", "frame_corrupt"):
+            with pytest.raises(SystemExit, match="process"):
+                main(["chaos-net", "--fault-kind", kind])
+
+    def test_chaos_net_process_mode_gates_recovery_metric(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        metrics_path = tmp_path / "chaos-process.json"
+        assert (
+            main(
+                [
+                    "chaos-net", "--scale", "0.003",
+                    "--shard-mode", "process",
+                    "--fault-kind", "worker_kill",
+                    "--connections", "2", "--duration", "0.8",
+                    "--stall-ms", "300", "--heartbeat-ms", "150",
+                    "--metrics", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos-net: PASS" in out
+        assert "process shards" in out
+        saved = json.loads(metrics_path.read_text())
+        assert saved["chaos"]["ok"] is True
+        assert saved["chaos"]["shard_mode"] == "process"
+        assert saved["chaos"]["restarts"] >= 1
+        assert saved["metrics"]["bench.net.process_recovery_ms"]["value"] >= 0
+
+    def test_shard_worker_requires_connection_arguments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard-worker"])
+        args = build_parser().parse_args(
+            [
+                "shard-worker", "--connect", "127.0.0.1:9999",
+                "--shard", "3", "--token", "cafe",
+            ]
+        )
+        assert args.shard == 3 and args.token == "cafe"
+
     def test_listen_serve_loadgen_roundtrip(self, tmp_path, capsys):
         """End to end over a real socket: serve --listen + loadgen."""
         import json
