@@ -157,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--device", choices=["tk1", "tx1"], default=None,
                      help="also replay the run on this simulated device")
     run.add_argument("--save-trace", default=None, help="write the trace JSON here")
+    run.add_argument(
+        "--backend", default=None,
+        help="kernel backend for nearfar (numpy, numba; default: "
+        "$REPRO_KERNEL_BACKEND, then numpy)",
+    )
 
     gen = sub.add_parser(
         "generate", parents=[common], help="write a synthetic dataset to a file"
@@ -186,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--source", type=int, default=None)
     rec.add_argument("--setpoint", type=float, default=None, help="P (adaptive)")
     rec.add_argument("--delta", type=float, default=None, help="delta (nearfar)")
+    rec.add_argument(
+        "--backend", default=None,
+        help="kernel backend for nearfar (numpy, numba; default: "
+        "$REPRO_KERNEL_BACKEND, then numpy)",
+    )
     rec.add_argument(
         "-o", "--out", default="run",
         help="output base path: writes <out>.trace.json, <out>.events.jsonl, "
@@ -243,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-batch", type=int, default=16,
             help="coalesce up to N concurrent same-corridor queries "
             "into one batched kernel call (1 disables)",
+        )
+        p.add_argument(
+            "--backend", default=None,
+            help="default kernel backend for nearfar queries (numpy, "
+            "numba; default: $REPRO_KERNEL_BACKEND, then numpy)",
         )
         p.add_argument(
             "--breaker-threshold", type=int, default=5,
@@ -658,7 +673,9 @@ def _cmd_sssp(args: argparse.Namespace) -> int:
         elif args.algorithm == "delta-stepping":
             result = delta_stepping(graph, source, args.delta)
         elif args.algorithm == "nearfar":
-            result, trace = nearfar_sssp(graph, source, delta=args.delta)
+            result, trace = nearfar_sssp(
+                graph, source, delta=args.delta, backend=args.backend
+            )
         elif args.algorithm == "kla":
             result, trace = kla_sssp(graph, source, args.k)
         else:
@@ -813,6 +830,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache_size=args.cache_size,
         max_batch=args.max_batch,
+        backend=args.backend,
         **_resilience_kwargs(args),
     )
     if args.listen:
@@ -1127,6 +1145,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             cache_size=args.cache_size,
             max_batch=args.max_batch,
+            backend=args.backend,
             **_resilience_kwargs(args),
         )
         with engine:
@@ -1403,6 +1422,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             cache_size=args.cache_size,
             max_batch=args.max_batch,
+            backend=args.backend,
             **kwargs,
         )
         with engine:
@@ -1674,7 +1694,8 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
                     )
                 else:
                     result, trace = nearfar_sssp(
-                        graph, source, delta=args.delta
+                        graph, source, delta=args.delta,
+                        backend=args.backend,
                     )
         events_written = sink.count
 

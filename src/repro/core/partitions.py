@@ -60,6 +60,7 @@ class FarQueuePartitions:
     # ------------------------------------------------------------------
     @property
     def num_partitions(self) -> int:
+        """Live partition count (grows one per Eq. 7 overflow)."""
         return len(self._uppers)
 
     @property
@@ -69,23 +70,29 @@ class FarQueuePartitions:
 
     @property
     def current_index(self) -> int:
+        """Index of the current (first non-empty) partition."""
         return self._current
 
     def partition_sizes(self) -> np.ndarray:
+        """Staged-vertex count per partition, as an int64 array."""
         return np.asarray(self._counts, dtype=np.int64)
 
     def total(self) -> int:
+        """Total staged vertices across all partitions."""
         return int(sum(self._counts))
 
     def current_partition_size(self) -> int:
+        """Staged-vertex count of the current partition."""
         self._advance_current()
         return self._counts[self._current]
 
     def current_partition_upper(self) -> float:
+        """Upper distance bound B_i of the current partition."""
         self._advance_current()
         return self._uppers[self._current]
 
     def current_partition_lower(self) -> float:
+        """Lower distance bound (B_{i-1}) of the current partition."""
         self._advance_current()
         return self._uppers[self._current - 1] if self._current else 0.0
 
@@ -248,32 +255,41 @@ class FlatFarQueue:
     # -- inspection -----------------------------------------------------
     @property
     def num_partitions(self) -> int:
+        """Always 1: the whole far range is a single bag."""
         return 1
 
     @property
     def boundaries(self) -> List[float]:
+        """The single (trivial) upper bound: +inf."""
         return [math.inf]
 
     def partition_sizes(self) -> np.ndarray:
+        """One-element array holding the total staged count."""
         return np.asarray([self._count], dtype=np.int64)
 
     def total(self) -> int:
+        """Total staged vertices."""
         return self._count
 
     def current_partition_size(self) -> int:
+        """Same as :meth:`total` — there is only one partition."""
         return self._count
 
     def current_partition_upper(self) -> float:
+        """Always +inf: the flat queue spans the whole far range."""
         return math.inf
 
     def current_partition_lower(self) -> float:
+        """Always 0.0: the flat queue spans the whole far range."""
         return 0.0
 
     def min_occupied_lower(self) -> float:
+        """0.0 when anything is staged, +inf when empty."""
         return 0.0 if self._count else math.inf
 
     # -- mutation -------------------------------------------------------
     def insert(self, vertices: np.ndarray, distances: np.ndarray) -> None:
+        """Stage ``vertices`` (distances only validated, not used)."""
         if vertices.size == 0:
             return
         if vertices.size != distances.size:
@@ -295,9 +311,11 @@ class FlatFarQueue:
         return out
 
     def extract_all(self) -> np.ndarray:
+        """Drain the whole queue."""
         return self.extract_below(math.inf)
 
     def refresh_boundaries(self, setpoint: float, alpha: float) -> None:
+        """Validate inputs and count the refresh; no boundaries exist."""
         if not (setpoint > 0 and alpha > 0) or math.isinf(setpoint) or (
             math.isinf(alpha)
         ):

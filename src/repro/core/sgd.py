@@ -142,6 +142,7 @@ class FixedRateSGD:
             raise ValueError("rate must be in (0, 1]")
 
     def update(self, grad: float, hess: float) -> float:
+        """One damped Newton step at the fixed rate; returns new θ."""
         if not (hess >= 0):
             raise ValueError(f"second derivative must be >= 0, got {hess}")
         mu = self.rate / max(hess, self.epsilon)
@@ -151,6 +152,7 @@ class FixedRateSGD:
         return self.value
 
     def reset(self, value: float | None = None) -> None:
+        """Forget all state (optionally resetting θ)."""
         if value is not None:
             self.value = value
         self.updates = 0

@@ -142,14 +142,17 @@ class AdaptiveNearFarStepper:
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
+        """True once the frontier is empty and the run is complete."""
         return self.frontier.size == 0
 
     @property
     def setpoint(self) -> float:
+        """The controller's live parallelism set-point P (settable)."""
         return self.controller.setpoint
 
     @setpoint.setter
     def setpoint(self, value: float) -> None:
+        """Retarget the controller mid-run (the power servo uses this)."""
         if value <= 0:
             raise ValueError("setpoint must be positive")
         self.controller.setpoint = float(value)

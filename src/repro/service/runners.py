@@ -41,7 +41,7 @@ ALGORITHM_PARAMS: Dict[str, Tuple[str, ...]] = {
     "dijkstra": (),
     "bellman-ford": (),
     "delta-stepping": ("delta",),
-    "nearfar": ("delta",),
+    "nearfar": ("delta", "backend"),
     "adaptive": ("setpoint",),
     "kla": ("k",),
 }
@@ -68,6 +68,15 @@ def validate_params(algorithm: str, params: Mapping) -> dict:
             f"algorithm {algorithm!r} does not accept {unknown}; "
             f"accepted: {list(accepted) or 'none'}"
         )
+    backend = params.get("backend")
+    if backend is not None:
+        from repro.sssp.backends import backend_names
+
+        if backend not in backend_names():
+            raise ValueError(
+                f"unknown kernel backend {backend!r} "
+                f"(registered: {', '.join(backend_names())})"
+            )
     return params
 
 
@@ -104,7 +113,11 @@ def run_algorithm(
         from repro.sssp.nearfar import nearfar_sssp
 
         result, _ = nearfar_sssp(
-            graph, source, delta=params.get("delta"), collect_trace=False
+            graph,
+            source,
+            delta=params.get("delta"),
+            collect_trace=False,
+            backend=params.get("backend"),
         )
         return result
     if algorithm == "kla":
@@ -151,7 +164,12 @@ def run_algorithm_batch(
     if algorithm in BATCHED_ALGORITHMS:
         from repro.sssp.batch_kernels import batched_nearfar_sssp
 
-        return batched_nearfar_sssp(graph, sources, delta=params.get("delta"))
+        return batched_nearfar_sssp(
+            graph,
+            sources,
+            delta=params.get("delta"),
+            backend=params.get("backend"),
+        )
     return [run_algorithm(graph, s, algorithm, params) for s in sources]
 
 

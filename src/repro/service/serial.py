@@ -44,7 +44,14 @@ _MAGIC = b"RGPH"
 _HEADER_LEN = struct.Struct("!I")
 
 # Engine kwargs that are already JSON-safe scalars.
-_SCALAR_KEYS = ("mode", "max_workers", "timeout", "cache_size", "max_batch")
+_SCALAR_KEYS = (
+    "mode",
+    "max_workers",
+    "timeout",
+    "cache_size",
+    "max_batch",
+    "backend",
+)
 
 
 class GraphTransferError(ValueError):

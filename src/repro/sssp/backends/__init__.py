@@ -1,0 +1,177 @@
+"""Kernel-backend registry for the near+far hot path.
+
+The near+far inner loops (advance / filter / bisect / drain, single-
+and multi-source) execute through a :class:`~repro.sssp.backends.base.
+KernelBackend` picked at run time.  Two backends ship:
+
+* ``numpy`` — the reference ufunc implementation, always available,
+  the default;
+* ``numba`` — JIT-compiled advance/filter kernels, bit-identical to
+  numpy, falling back to numpy with a one-time warning when the numba
+  wheel is not importable.
+
+Selection precedence, resolved by :func:`resolve_backend`:
+
+1. an explicit argument (``nearfar_sssp(..., backend="numba")``,
+   ``--backend`` on the CLI, ``QueryEngine(backend=...)``);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. the ``numpy`` default.
+
+Third-party backends plug in via :func:`register_backend`; the
+contract they must honour (bit-identical distances) is documented on
+:class:`~repro.sssp.backends.base.KernelBackend` and in
+``docs/kernels.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Dict, Tuple
+
+from repro.sssp.backends.base import KernelBackend
+from repro.sssp.backends.numba_backend import (
+    BackendUnavailableError,
+    NumbaBackend,
+    numba_available,
+)
+from repro.sssp.backends.numpy_backend import NumpyBackend
+
+__all__ = [
+    "BackendUnavailableError",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "KernelBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "backend_available",
+    "backend_names",
+    "get_backend",
+    "numba_available",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The backend used when neither argument nor environment names one.
+DEFAULT_BACKEND = "numpy"
+
+# name -> zero-arg factory; instantiation may raise
+# BackendUnavailableError when an optional dependency is missing
+_REGISTRY: Dict[str, Callable[[], KernelBackend]] = {}
+
+# resolved singletons (a fallen-back name caches its substitute)
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+# backend names we already warned about falling back from
+_WARNED: set = set()
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory`` is called lazily, at most once per process, the first
+    time the name is resolved; it may raise
+    :class:`BackendUnavailableError` to signal a missing optional
+    dependency, which :func:`resolve_backend` converts into a numpy
+    fallback.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("backend name must be a non-empty string")
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_available(name: str) -> bool:
+    """True when ``name`` is registered and its factory constructs.
+
+    Distinguishes "registered but missing its optional dependency"
+    (e.g. numba without the wheel — False) from "resolvable" (True);
+    benchmarks use this to decide whether a compiled-speedup assertion
+    is meaningful.
+    """
+    if name not in _REGISTRY:
+        return False
+    try:
+        _instance(name)
+    except BackendUnavailableError:
+        return False
+    return True
+
+
+def _instance(name: str) -> KernelBackend:
+    """Construct-or-fetch the singleton for a registered name."""
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _REGISTRY[name]()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The backend registered under ``name``, without fallback.
+
+    Raises ``ValueError`` naming the registered backends for an
+    unknown name, and :class:`BackendUnavailableError` when the
+    backend exists but its optional dependency does not — callers who
+    want the graceful numpy fallback use :func:`resolve_backend`.
+    """
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown kernel backend {name!r} "
+            f"(registered: {', '.join(backend_names())})"
+        )
+    return _instance(name)
+
+
+def resolve_backend(
+    backend: str | KernelBackend | None = None,
+) -> KernelBackend:
+    """Resolve a backend request into a usable instance.
+
+    Precedence: explicit ``backend`` argument (a name or an already-
+    constructed :class:`KernelBackend`, passed through as-is) >
+    ``REPRO_KERNEL_BACKEND`` environment variable > ``numpy``.  An
+    unknown name raises ``ValueError`` listing the registered
+    backends.  A known backend whose optional dependency is missing
+    falls back to numpy, warning once per process per backend name —
+    the returned instance's ``name`` is honestly ``"numpy"``, so
+    traces and metrics record what actually ran.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    name = backend or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown kernel backend {name!r} "
+            f"(registered: {', '.join(backend_names())})"
+        )
+    try:
+        return _instance(name)
+    except BackendUnavailableError as exc:
+        if name not in _WARNED:
+            _WARNED.add(name)
+            warnings.warn(
+                f"kernel backend {name!r} is unavailable ({exc}); "
+                f"falling back to {DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _instance(DEFAULT_BACKEND)
+
+
+def _reset_backend_state() -> None:
+    """Drop cached instances and warning dedup (test isolation hook)."""
+    _INSTANCES.clear()
+    _WARNED.clear()
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("numba", NumbaBackend)

@@ -1,0 +1,124 @@
+"""The kernel-backend contract for the near+far hot path.
+
+A :class:`KernelBackend` bundles the eight frontier-stage primitives —
+four single-source, four batched — that :func:`repro.sssp.nearfar.
+nearfar_sssp` and :func:`repro.sssp.batch_kernels.batched_nearfar_sssp`
+call in their inner loops.  The reference semantics are the NumPy
+functions in :mod:`repro.sssp.frontier`; every backend must reproduce
+them **bit-for-bit**:
+
+* ``advance`` relaxes with atomicMin semantics — candidates are
+  computed from the *pre-stage* distance snapshot, commits happen in
+  edge order, and the improved set compares each candidate against the
+  endpoint's pre-stage distance;
+* ``filter``/``batched_filter`` return the sorted unique survivors;
+* ``bisect``/``drain`` partition by the current delta window.
+
+Bit-identity is what makes backends interchangeable mid-deployment:
+the acceptance tests pin distances byte-for-byte across backends on
+every graph family, so a serving stack can flip
+``REPRO_KERNEL_BACKEND`` without invalidating caches or baselines.
+See ``docs/kernels.md`` for the full walkthrough and
+:func:`repro.sssp.backends.register_backend` for how to plug in a new
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sssp.frontier import AdvanceOutput, BatchedAdvanceOutput
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Abstract kernel set behind the near+far registry.
+
+    Subclasses override any subset of the eight stage methods; the
+    semantics of each are fixed by the like-named function in
+    :mod:`repro.sssp.frontier` (the NumPy reference), and overrides
+    must stay bit-identical to it.  ``name`` is the registry key and
+    what gets stamped into trace meta, ``result.extra`` and
+    ``service.query.*`` metric labels.
+    """
+
+    #: Registry key; also the value stamped into traces and metrics.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # single-source stages
+    # ------------------------------------------------------------------
+    def advance(
+        self, graph: CSRGraph, frontier: np.ndarray, dist: np.ndarray
+    ) -> AdvanceOutput:
+        """Relax every out-edge of ``frontier`` in place on ``dist``."""
+        raise NotImplementedError
+
+    def filter_frontier(self, improved: np.ndarray) -> np.ndarray:
+        """Deduplicate advance output into the next frontier."""
+        raise NotImplementedError
+
+    def bisect(
+        self, vertices: np.ndarray, dist: np.ndarray, split: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Split ``vertices`` into (near, far) by ``dist < split``."""
+        raise NotImplementedError
+
+    def drain_far_queue(
+        self,
+        far: np.ndarray,
+        dist: np.ndarray,
+        lower: float,
+        split: float,
+        delta: float,
+    ) -> Tuple[np.ndarray, np.ndarray, float, float, int]:
+        """Pull the next non-empty distance band from the far queue."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # batched (multi-source) stages
+    # ------------------------------------------------------------------
+    def batched_advance(
+        self,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        dist: np.ndarray,
+        num_queries: int,
+    ) -> BatchedAdvanceOutput:
+        """Relax the out-edges of a flattened multi-query frontier."""
+        raise NotImplementedError
+
+    def batched_filter(self, improved: np.ndarray) -> np.ndarray:
+        """Deduplicate improved composite keys across every query."""
+        raise NotImplementedError
+
+    def batched_bisect(
+        self,
+        keys: np.ndarray,
+        dist: np.ndarray,
+        splits: np.ndarray,
+        n: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Split composite ``keys`` into (near, far) per-query."""
+        raise NotImplementedError
+
+    def batched_drain_far(
+        self,
+        far: np.ndarray,
+        dist: np.ndarray,
+        n: int,
+        lower: np.ndarray,
+        split: np.ndarray,
+        delta: np.ndarray,
+        need: np.ndarray,
+        far_q: np.ndarray | None = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-query bisect-far-queue over a flattened far set."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

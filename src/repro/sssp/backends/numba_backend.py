@@ -1,0 +1,257 @@
+"""JIT-compiled kernel backend (numba), bit-identical to NumPy.
+
+The two hottest stages — advance and filter — are rewritten as
+``@njit`` kernels: the edge gather runs under ``parallel=True`` with a
+``prange`` over frontier vertices (each writes a disjoint slice of the
+edge-sized candidate arrays, so no synchronisation is needed), while
+the distance *commit* loop stays serial in edge order.  That split is
+what preserves bit-identity with the NumPy reference: a serial
+min-commit visits edges in exactly the order ``np.minimum.at`` does,
+so ties and float rounding resolve identically, and the improved set
+compares each candidate against the same pre-stage snapshot the
+reference gathers.  Bisect and drain are already single ufunc sweeps
+with nothing left to compile, so they are inherited from
+:class:`~repro.sssp.backends.numpy_backend.NumpyBackend`.
+
+numba is an optional dependency: :func:`numba_available` probes for
+it, constructing :class:`NumbaBackend` without it raises
+:class:`BackendUnavailableError`, and the registry's
+:func:`~repro.sssp.backends.resolve_backend` turns that into a
+one-time warning plus a fallback to the numpy backend.  Compilation is
+lazy — the first advance call pays the JIT cost (seconds), subsequent
+calls run the cached machine code; benchmarks warm up with one
+throwaway run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sssp.backends.numpy_backend import NumpyBackend
+from repro.sssp.frontier import AdvanceOutput, BatchedAdvanceOutput
+
+__all__ = ["BackendUnavailableError", "NumbaBackend", "numba_available"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+# compiled kernel table, built once per process on first use
+_COMPILED: dict | None = None
+
+
+class BackendUnavailableError(ImportError):
+    """An optional backend's dependency could not be imported."""
+
+
+def _load_numba():
+    """Import and return the ``numba`` module (monkeypatch point).
+
+    Tests patch this to simulate a missing wheel; keeping the import
+    behind one seam means the fallback path is testable even on
+    machines where numba is installed.
+    """
+    import numba
+
+    return numba
+
+
+def numba_available() -> bool:
+    """True when the numba JIT can actually be imported here."""
+    try:
+        _load_numba()
+    except ImportError:
+        return False
+    return True
+
+
+def _build_kernels() -> dict:
+    """Compile the JIT kernel set (lazily, once per process)."""
+    numba = _load_numba()
+    njit = numba.njit
+    prange = numba.prange
+
+    @njit(cache=True)
+    def dedup_sorted(keys):
+        # sort + adjacent-diff keep: np.unique's output without its
+        # Python-level dispatch; identical values, identical order
+        out = np.sort(keys)
+        m = 1
+        for i in range(1, out.size):
+            if out[i] != out[i - 1]:
+                out[m] = out[i]
+                m += 1
+        return out[:m].copy()
+
+    @njit(parallel=True, cache=True)
+    def advance(indptr, indices, weights, frontier, dist):
+        f = frontier.size
+        counts = np.empty(f, np.int64)
+        for i in range(f):
+            u = frontier[i]
+            counts[i] = indptr[u + 1] - indptr[u]
+        pos = np.empty(f + 1, np.int64)
+        pos[0] = 0
+        for i in range(f):
+            pos[i + 1] = pos[i] + counts[i]
+        x2 = pos[f]
+        v = np.empty(x2, np.int64)
+        cand = np.empty(x2, np.float64)
+        # parallel gather: frontier vertices own disjoint output slices
+        for i in prange(f):
+            u = frontier[i]
+            du = dist[u]
+            base = pos[i]
+            start = indptr[u]
+            for j in range(counts[i]):
+                e = start + j
+                v[base + j] = indices[e]
+                cand[base + j] = du + weights[e]
+        old = np.empty(x2, np.float64)
+        for e in prange(x2):
+            old[e] = dist[v[e]]
+        # serial commit in edge order == np.minimum.at semantics
+        for e in range(x2):
+            if cand[e] < dist[v[e]]:
+                dist[v[e]] = cand[e]
+        m = 0
+        for e in range(x2):
+            if cand[e] < old[e]:
+                m += 1
+        improved = np.empty(m, np.int64)
+        k = 0
+        for e in range(x2):
+            if cand[e] < old[e]:
+                improved[k] = v[e]
+                k += 1
+        return improved, x2
+
+    @njit(parallel=True, cache=True)
+    def batched_advance(indptr, indices, weights, frontier, dist, n, B):
+        f = frontier.size
+        counts = np.empty(f, np.int64)
+        relax = np.zeros(B, np.int64)
+        for i in range(f):
+            u = frontier[i] % n
+            c = indptr[u + 1] - indptr[u]
+            counts[i] = c
+            relax[frontier[i] // n] += c
+        pos = np.empty(f + 1, np.int64)
+        pos[0] = 0
+        for i in range(f):
+            pos[i + 1] = pos[i] + counts[i]
+        x2 = pos[f]
+        vkeys = np.empty(x2, np.int64)
+        cand = np.empty(x2, np.float64)
+        for i in prange(f):
+            key = frontier[i]
+            u = key % n
+            qn = key - u  # q * n
+            du = dist[key]
+            base = pos[i]
+            start = indptr[u]
+            for j in range(counts[i]):
+                e = start + j
+                vkeys[base + j] = qn + indices[e]
+                cand[base + j] = du + weights[e]
+        old = np.empty(x2, np.float64)
+        for e in prange(x2):
+            old[e] = dist[vkeys[e]]
+        for e in range(x2):
+            if cand[e] < dist[vkeys[e]]:
+                dist[vkeys[e]] = cand[e]
+        m = 0
+        for e in range(x2):
+            if cand[e] < old[e]:
+                m += 1
+        improved = np.empty(m, np.int64)
+        k = 0
+        for e in range(x2):
+            if cand[e] < old[e]:
+                improved[k] = vkeys[e]
+                k += 1
+        return improved, x2, relax
+
+    return {
+        "dedup_sorted": dedup_sorted,
+        "advance": advance,
+        "batched_advance": batched_advance,
+    }
+
+
+def _kernels() -> dict:
+    """The process-wide compiled kernel table, building it on demand."""
+    global _COMPILED
+    if _COMPILED is None:
+        _COMPILED = _build_kernels()
+    return _COMPILED
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT advance/filter kernels; NumPy bisect/drain inherited.
+
+    Construction verifies numba imports (raising
+    :class:`BackendUnavailableError` otherwise) so backend resolution
+    fails fast; actual compilation is deferred to the first kernel
+    call.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        try:
+            _load_numba()
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                f"numba backend unavailable: {exc}"
+            ) from exc
+
+    def advance(
+        self, graph: CSRGraph, frontier: np.ndarray, dist: np.ndarray
+    ) -> AdvanceOutput:
+        """JIT relax of frontier out-edges, atomicMin commit order."""
+        if frontier.size == 0:
+            return AdvanceOutput(improved=_EMPTY, x2=0, relaxations=0)
+        improved, x2 = _kernels()["advance"](
+            graph.indptr, graph.indices, graph.weights, frontier, dist
+        )
+        return AdvanceOutput(improved=improved, x2=int(x2), relaxations=int(x2))
+
+    def filter_frontier(self, improved: np.ndarray) -> np.ndarray:
+        """JIT sort + adjacent-diff dedup (== ``np.unique`` output)."""
+        if improved.size == 0:
+            return _EMPTY
+        return _kernels()["dedup_sorted"](improved)
+
+    def batched_advance(
+        self,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        dist: np.ndarray,
+        num_queries: int,
+    ) -> BatchedAdvanceOutput:
+        """JIT multi-query relax over composite keys, one sweep."""
+        B = int(num_queries)
+        if frontier.size == 0:
+            return BatchedAdvanceOutput(
+                improved=_EMPTY,
+                x2=0,
+                relaxations_per_query=np.zeros(B, dtype=np.int64),
+            )
+        improved, x2, relax = _kernels()["batched_advance"](
+            graph.indptr,
+            graph.indices,
+            graph.weights,
+            frontier,
+            dist,
+            graph.num_nodes,
+            B,
+        )
+        return BatchedAdvanceOutput(
+            improved=improved, x2=int(x2), relaxations_per_query=relax
+        )
+
+    def batched_filter(self, improved: np.ndarray) -> np.ndarray:
+        """JIT dedup of composite keys (== :func:`batched_filter`)."""
+        if improved.size == 0:
+            return _EMPTY
+        return _kernels()["dedup_sorted"](improved)

@@ -109,6 +109,7 @@ def batch_run(
     mode: str = "thread",
     timeout: float | None = None,
     delta: float | None = None,
+    backend: str | None = None,
 ) -> BatchRun:
     """Run ``runner`` from every source.
 
@@ -127,9 +128,10 @@ def batch_run(
     ``mode="batched"`` is the fast path: it ignores ``runner`` and
     answers the whole batch with one multi-source near+far pass
     (:func:`repro.sssp.batch_kernels.batched_nearfar_sssp`, optionally
-    tuned by ``delta``).  Distances are byte-identical to looping
-    ``nearfar_sssp`` over the sources; traces come back empty (the
-    batched kernel keeps counters, not per-iteration records).
+    tuned by ``delta`` and run on the kernel ``backend`` of your choice
+    — see :mod:`repro.sssp.backends`).  Distances are byte-identical to
+    looping ``nearfar_sssp`` over the sources; traces come back empty
+    (the batched kernel keeps counters, not per-iteration records).
     """
     sources = np.asarray(sources, dtype=np.int64)
     if sources.size == 0:
@@ -138,7 +140,9 @@ def batch_run(
     if mode == "batched":
         from repro.sssp.batch_kernels import batched_nearfar_sssp
 
-        results = batched_nearfar_sssp(graph, sources, delta=delta)
+        results = batched_nearfar_sssp(
+            graph, sources, delta=delta, backend=backend
+        )
         traces = [
             RunTrace(
                 algorithm="nearfar", graph_name=graph.name, source=int(s)

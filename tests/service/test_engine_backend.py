@@ -1,0 +1,126 @@
+"""Engine-level backend selection: injection, labels, stats, wire."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.registry import parse_name
+from repro.service import QueryEngine, SSSPQuery
+from repro.service.serial import engine_config_from_wire, engine_config_to_wire
+
+
+class TestEngineBackend:
+    def test_default_is_unset(self, catalog, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        with QueryEngine(catalog) as engine:
+            assert engine.backend is None
+            assert engine.stats()["backend"] is None
+
+    def test_explicit_backend_recorded(self, catalog):
+        with QueryEngine(catalog, backend="numpy") as engine:
+            assert engine.backend == "numpy"
+            assert engine.stats()["backend"] == "numpy"
+            response = engine.run(SSSPQuery("grid", 0, "nearfar"))
+            assert response.ok, response.error
+
+    def test_env_default(self, catalog, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        with QueryEngine(catalog) as engine:
+            assert engine.backend == "numpy"
+
+    def test_arg_beats_env(self, catalog, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "bogus")
+        with QueryEngine(catalog, backend="numpy") as engine:
+            assert engine.backend == "numpy"
+
+    def test_unknown_backend_fails_construction(self, catalog):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            QueryEngine(catalog, backend="cuda")
+
+    def test_unknown_backend_param_rejected_per_query(self, catalog):
+        with QueryEngine(catalog) as engine:
+            response = engine.run(
+                SSSPQuery("grid", 0, "nearfar", {"backend": "cuda"})
+            )
+        assert not response.ok
+        assert "unknown kernel backend 'cuda'" in response.error
+        assert "numpy" in response.error  # lists what is registered
+
+    def test_backend_param_rejected_for_other_algorithms(self, catalog):
+        with QueryEngine(catalog) as engine:
+            response = engine.run(
+                SSSPQuery("grid", 0, "dijkstra", {"backend": "numpy"})
+            )
+        assert not response.ok
+        assert "does not accept" in response.error
+
+    def test_backend_distances_match_default(self, catalog, grid):
+        plain = QueryEngine(catalog)
+        with plain:
+            ref = plain.run(SSSPQuery("grid", 5, "nearfar"))
+        with QueryEngine(catalog, backend="numpy") as engine:
+            got = engine.run(SSSPQuery("grid", 5, "nearfar"))
+        assert got.ok and ref.ok
+        assert got.reached == ref.reached
+        assert got.relaxations == ref.relaxations
+        assert got.max_dist == ref.max_dist
+
+    def test_batched_path_with_backend(self, catalog):
+        with QueryEngine(catalog, backend="numpy", max_batch=8) as engine:
+            queries = [
+                SSSPQuery("grid", s, "nearfar") for s in range(6)
+            ]
+            responses = engine.run_many(queries)
+        assert all(r.ok for r in responses)
+
+
+class TestBackendMetricsLabel:
+    def test_query_latency_carries_backend_label(self, catalog):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry=registry):
+            with QueryEngine(catalog, backend="numpy") as engine:
+                response = engine.run(SSSPQuery("grid", 0, "nearfar"))
+                assert response.ok
+        keys = [
+            key
+            for key in registry.snapshot()
+            if key.startswith("service.query.latency")
+        ]
+        assert keys, "no latency histogram recorded"
+        for key in keys:
+            _, labels = parse_name(key)
+            assert labels["backend"] == "numpy"
+            assert labels["algorithm"] == "nearfar"
+
+    def test_no_backend_no_label(self, catalog, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        registry = obs.MetricsRegistry()
+        with obs.use(registry=registry):
+            with QueryEngine(catalog) as engine:
+                assert engine.run(SSSPQuery("grid", 0, "nearfar")).ok
+        keys = [
+            key
+            for key in registry.snapshot()
+            if key.startswith("service.query.latency")
+        ]
+        assert keys
+        for key in keys:
+            _, labels = parse_name(key)
+            assert "backend" not in labels
+
+
+class TestBackendOnTheWire:
+    def test_round_trips_engine_config(self):
+        wire = engine_config_to_wire(
+            {"mode": "thread", "max_batch": 4, "backend": "numpy"}
+        )
+        assert wire["backend"] == "numpy"
+        kwargs = engine_config_from_wire(wire)
+        assert kwargs["backend"] == "numpy"
+
+    def test_process_shards_accept_backend(self, catalog):
+        from repro.net import ShardManager
+
+        with ShardManager(catalog, shards=2, backend="numpy") as manager:
+            response = manager.run(SSSPQuery("grid", 0, "nearfar"))
+        assert response.ok, response.error

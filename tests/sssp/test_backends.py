@@ -1,0 +1,266 @@
+"""Kernel-backend registry: selection, fallback, and bit-identity."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_road_network,
+    random_weighted_graph,
+)
+from repro.sssp import backends
+from repro.sssp.backends import (
+    BackendUnavailableError,
+    KernelBackend,
+    NumpyBackend,
+    backend_available,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.sssp.backends import numba_backend
+from repro.sssp.batch_kernels import batched_nearfar_sssp
+from repro.sssp.nearfar import nearfar_sssp
+
+# one per family: undirected road grid, undirected scale-free,
+# directed Erdos-Renyi, unstructured random digraph
+GRAPHS = [
+    grid_road_network(14, 14, seed=3),
+    barabasi_albert(300, 3, seed=5),
+    erdos_renyi(400, 6.0, seed=7),
+    random_weighted_graph(350, 2400, seed=11),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state():
+    """Isolate cached instances and warning dedup between tests."""
+    backends._reset_backend_state()
+    yield
+    backends._reset_backend_state()
+    # drop any backend a test registered on top of the built-ins
+    for name in list(backends._REGISTRY):
+        if name not in ("numpy", "numba"):
+            del backends._REGISTRY[name]
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert "numpy" in backend_names()
+        assert "numba" in backend_names()
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="numba, numpy"):
+            get_backend("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend 'cuda'"):
+            resolve_backend("cuda")
+
+    def test_numpy_always_available(self):
+        assert backend_available("numpy")
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_unregistered_never_available(self):
+        assert not backend_available("cuda")
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            register_backend("", NumpyBackend)
+
+    def test_custom_backend_registers_and_resolves(self):
+        class Custom(NumpyBackend):
+            name = "custom"
+
+        register_backend("custom", Custom)
+        assert "custom" in backend_names()
+        assert resolve_backend("custom").name == "custom"
+
+
+class TestResolutionPrecedence:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(backends.ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_overrides_default(self, monkeypatch):
+        class Custom(NumpyBackend):
+            name = "custom"
+
+        register_backend("custom", Custom)
+        monkeypatch.setenv(backends.ENV_VAR, "custom")
+        assert resolve_backend(None).name == "custom"
+
+    def test_arg_overrides_env(self, monkeypatch):
+        class Custom(NumpyBackend):
+            name = "custom"
+
+        register_backend("custom", Custom)
+        monkeypatch.setenv(backends.ENV_VAR, "custom")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_instance_passthrough(self):
+        instance = NumpyBackend()
+        assert resolve_backend(instance) is instance
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_backend(None)
+
+
+class TestNumbaFallback:
+    @pytest.fixture()
+    def no_numba(self, monkeypatch):
+        def _raise():
+            raise ImportError("No module named 'numba'")
+
+        monkeypatch.setattr(numba_backend, "_load_numba", _raise)
+        backends._reset_backend_state()
+
+    def test_falls_back_to_numpy_with_one_warning(self, no_numba):
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+            resolved = resolve_backend("numba")
+        assert resolved.name == "numpy"
+        # second resolve: same fallback, no second warning
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            again = resolve_backend("numba")
+        assert again.name == "numpy"
+        assert caught == []
+
+    def test_get_backend_raises_without_fallback(self, no_numba):
+        with pytest.raises(BackendUnavailableError):
+            get_backend("numba")
+
+    def test_reported_unavailable(self, no_numba):
+        assert not backend_available("numba")
+
+    def test_run_under_fallback_matches_numpy(self, no_numba):
+        graph = GRAPHS[0]
+        baseline, _ = nearfar_sssp(graph, 0, backend="numpy")
+        with pytest.warns(RuntimeWarning):
+            result, trace = nearfar_sssp(graph, 0, backend="numba")
+        assert np.array_equal(baseline.dist, result.dist)
+        # the stamp records what actually ran
+        assert trace.meta["backend"] == "numpy"
+        assert result.extra["backend"] == "numpy"
+
+
+def _resolve_quietly(name):
+    """Resolve a backend, tolerating the numba-fallback warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return resolve_backend(name)
+
+
+class TestBitIdentity:
+    """Distances must match the numpy reference byte-for-byte."""
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    @pytest.mark.parametrize("gi", range(len(GRAPHS)))
+    def test_single_source(self, gi, backend):
+        graph = GRAPHS[gi]
+        resolved = _resolve_quietly(backend)
+        for source in (0, graph.num_nodes // 2):
+            baseline, _ = nearfar_sssp(graph, source, backend="numpy")
+            result, _ = nearfar_sssp(graph, source, backend=resolved)
+            assert np.array_equal(baseline.dist, result.dist)
+            assert baseline.iterations == result.iterations
+            assert baseline.relaxations == result.relaxations
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    @pytest.mark.parametrize("B", [1, 4, 64, 256])
+    @pytest.mark.parametrize("gi", range(len(GRAPHS)))
+    def test_multi_source(self, gi, B, backend):
+        graph = GRAPHS[gi]
+        resolved = _resolve_quietly(backend)
+        rng = np.random.default_rng(gi * 1000 + B)
+        sources = rng.integers(0, graph.num_nodes, size=B)
+        baseline = batched_nearfar_sssp(graph, sources, backend="numpy")
+        results = batched_nearfar_sssp(graph, sources, backend=resolved)
+        for ref, got in zip(baseline, results):
+            assert np.array_equal(ref.dist, got.dist)
+            assert ref.iterations == got.iterations
+            assert ref.relaxations == got.relaxations
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    def test_batched_matches_looped_single_source(self, backend):
+        graph = GRAPHS[2]
+        resolved = _resolve_quietly(backend)
+        sources = [1, 17, 42, 99]
+        batched = batched_nearfar_sssp(graph, sources, backend=resolved)
+        for source, got in zip(sources, batched):
+            ref, _ = nearfar_sssp(graph, source, backend="numpy")
+            assert np.array_equal(ref.dist, got.dist)
+
+
+@pytest.mark.skipif(
+    not backend_available("numba"), reason="numba wheel unavailable"
+)
+class TestRealNumba:
+    """Strict checks that only run where the JIT actually compiles."""
+
+    def test_resolves_to_itself(self):
+        assert resolve_backend("numba").name == "numba"
+
+    def test_compiled_advance_bit_identical(self):
+        graph = GRAPHS[1]
+        kb = resolve_backend("numba")
+        ref, _ = nearfar_sssp(graph, 3, backend="numpy")
+        got, trace = nearfar_sssp(graph, 3, backend=kb)
+        assert trace.meta["backend"] == "numba"
+        assert np.array_equal(ref.dist, got.dist)
+
+
+class TestStamping:
+    def test_trace_meta_and_extra(self):
+        graph = GRAPHS[0]
+        result, trace = nearfar_sssp(graph, 0, backend="numpy")
+        assert trace.meta["backend"] == "numpy"
+        assert result.extra["backend"] == "numpy"
+
+    def test_batched_extra(self):
+        graph = GRAPHS[0]
+        results = batched_nearfar_sssp(graph, [0, 1], backend="numpy")
+        assert all(r.extra["backend"] == "numpy" for r in results)
+
+    def test_run_start_event_carries_backend(self):
+        from repro import obs
+
+        graph = GRAPHS[0]
+        sink = obs.ListSink()
+        with obs.use(events=sink):
+            nearfar_sssp(graph, 0, backend="numpy")
+            batched_nearfar_sssp(graph, [0, 1], backend="numpy")
+        [start] = sink.of_type("run_start")
+        assert start["backend"] == "numpy"
+        [bstart] = sink.of_type("batch_run_start")
+        assert bstart["backend"] == "numpy"
+
+
+class TestKernelBackendContract:
+    def test_abstract_methods_raise(self):
+        kb = KernelBackend()
+        empty = np.zeros(0, dtype=np.int64)
+        for call in (
+            lambda: kb.advance(GRAPHS[0], empty, empty.astype(float)),
+            lambda: kb.filter_frontier(empty),
+            lambda: kb.bisect(empty, empty.astype(float), 1.0),
+            lambda: kb.drain_far_queue(empty, empty.astype(float), 0, 1, 1),
+            lambda: kb.batched_advance(GRAPHS[0], empty, empty.astype(float), 1),
+            lambda: kb.batched_filter(empty),
+            lambda: kb.batched_bisect(empty, empty.astype(float), empty, 1),
+            lambda: kb.batched_drain_far(
+                empty, empty.astype(float), 1, empty, empty, empty, empty
+            ),
+        ):
+            with pytest.raises(NotImplementedError):
+                call()
+
+    def test_repr_names_backend(self):
+        assert "numpy" in repr(NumpyBackend())
